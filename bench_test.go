@@ -1,0 +1,365 @@
+// Benchmarks mirroring every table and figure of the paper's evaluation
+// (§6), plus ablations for the design choices called out in DESIGN.md.
+// These run at a small fixed scale so `go test -bench=.` stays minutes-
+// bounded; cmd/ssrq-bench runs the full parameter sweeps at configurable
+// scales and prints paper-style tables.
+package ssrq
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"ssrq/internal/core"
+	"ssrq/internal/dataset"
+	"ssrq/internal/exp"
+	"ssrq/internal/gen"
+	"ssrq/internal/graph"
+	"ssrq/internal/landmark"
+)
+
+const (
+	benchSeed     = 42
+	benchQueryCnt = 16
+)
+
+var benchSizes = map[string]int{"gowalla": 2500, "foursquare": 4000, "twitter": 2000}
+
+type benchEngine struct {
+	eng   *core.Engine
+	ds    *dataset.Dataset
+	users []graph.VertexID
+}
+
+var (
+	benchMu    sync.Mutex
+	benchCache = map[string]*benchEngine{}
+)
+
+// getEngine builds (once) an engine for the preset with the given options.
+func getEngine(b *testing.B, preset string, mutate func(*core.Options)) *benchEngine {
+	b.Helper()
+	key := preset
+	opts := exp.EngineOptions(exp.DefaultS, false, 200, benchSeed)
+	if mutate != nil {
+		mutate(&opts)
+		key = fmt.Sprintf("%s/%+v", preset, opts)
+	}
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	if be, ok := benchCache[key]; ok {
+		return be
+	}
+	var p gen.Preset
+	switch preset {
+	case "gowalla":
+		p = gen.GowallaPreset
+	case "foursquare":
+		p = gen.FoursquarePreset
+	case "twitter":
+		p = gen.TwitterPreset
+	default:
+		b.Fatalf("unknown preset %s", preset)
+	}
+	ds, err := p.Dataset(benchSizes[preset], benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := core.NewEngine(ds, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	be := &benchEngine{eng: eng, ds: ds, users: exp.QueryUsers(ds, benchQueryCnt, benchSeed)}
+	benchCache[key] = be
+	return be
+}
+
+// benchQueries runs the query workload round-robin for b.N iterations.
+func benchQueries(b *testing.B, be *benchEngine, algo core.Algorithm, k int, alpha float64) {
+	b.Helper()
+	prm := core.Params{K: k, Alpha: alpha}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := be.users[i%len(be.users)]
+		if _, err := be.eng.Query(algo, q, prm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2Stats regenerates the Table 2 dataset statistics.
+func BenchmarkTable2Stats(b *testing.B) {
+	for _, preset := range []string{"gowalla", "foursquare", "twitter"} {
+		be := getEngine(b, preset, nil)
+		b.Run(preset, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				st := be.ds.Stats()
+				if st.NumVertices == 0 {
+					b.Fatal("empty stats")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig7aHops measures the hop-statistics study (furthest result
+// member per query).
+func BenchmarkFig7aHops(b *testing.B) {
+	be := getEngine(b, "gowalla", nil)
+	prm := core.Params{K: exp.DefaultK, Alpha: exp.DefaultAlpha}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := be.users[i%len(be.users)]
+		res, err := be.eng.Query(core.AIS, q, prm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pending := res.IDSet()
+		it := graph.NewDijkstraIterator(be.ds.G, q)
+		worst := int32(0)
+		for len(pending) > 0 {
+			v, _, ok := it.Next()
+			if !ok {
+				break
+			}
+			if pending[v] {
+				delete(pending, v)
+				if h := it.HopsOf(v); h > worst {
+					worst = h
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig7bJaccard measures the SSRQ-vs-single-domain similarity study.
+func BenchmarkFig7bJaccard(b *testing.B) {
+	be := getEngine(b, "foursquare", nil)
+	prm := core.Params{K: exp.DefaultK, Alpha: exp.DefaultAlpha}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := be.users[i%len(be.users)]
+		res, err := be.eng.Query(core.AIS, q, prm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ssrqSet := res.IDSet()
+		knn := be.eng.Grid().KNN(be.ds.Pts[q], prm.K, func(id int32) bool { return id == int32(q) })
+		inter := 0
+		for _, nb := range knn {
+			if ssrqSet[nb.ID] {
+				inter++
+			}
+		}
+	}
+}
+
+// BenchmarkFig8RuntimeVsK is the main comparison: every algorithm across k,
+// on the Gowalla and Foursquare substitutes (run-time chart; the pop-ratio
+// chart shares the same executions and is reported by cmd/ssrq-bench).
+func BenchmarkFig8RuntimeVsK(b *testing.B) {
+	for _, preset := range []string{"gowalla", "foursquare"} {
+		be := getEngine(b, preset, nil)
+		for _, algo := range []core.Algorithm{core.SFA, core.SPA, core.TSA, core.TSAQC, core.AIS} {
+			for _, k := range []int{10, 30, 50} {
+				b.Run(fmt.Sprintf("%s/%v/k=%d", preset, algo, k), func(b *testing.B) {
+					benchQueries(b, be, algo, k, exp.DefaultAlpha)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig8CHVariants adds the contraction-hierarchy comparison curves.
+func BenchmarkFig8CHVariants(b *testing.B) {
+	be := getEngine(b, "gowalla", func(o *core.Options) { o.BuildCH = true })
+	for _, algo := range []core.Algorithm{core.SFACH, core.SPACH, core.TSACH} {
+		b.Run(algo.String(), func(b *testing.B) {
+			benchQueries(b, be, algo, exp.DefaultK, exp.DefaultAlpha)
+		})
+	}
+}
+
+// BenchmarkFig9RuntimeVsAlpha sweeps the preference parameter.
+func BenchmarkFig9RuntimeVsAlpha(b *testing.B) {
+	be := getEngine(b, "gowalla", nil)
+	for _, algo := range []core.Algorithm{core.SFA, core.SPA, core.TSA, core.TSAQC, core.AIS} {
+		for _, alpha := range []float64{0.1, 0.5, 0.9} {
+			b.Run(fmt.Sprintf("%v/alpha=%.1f", algo, alpha), func(b *testing.B) {
+				benchQueries(b, be, algo, exp.DefaultK, alpha)
+			})
+		}
+	}
+}
+
+// BenchmarkFig10AISVersions compares AIS-BID / AIS⁻ / AIS.
+func BenchmarkFig10AISVersions(b *testing.B) {
+	for _, preset := range []string{"gowalla", "foursquare"} {
+		be := getEngine(b, preset, nil)
+		for _, algo := range []core.Algorithm{core.AISBID, core.AISMinus, core.AIS} {
+			b.Run(fmt.Sprintf("%s/%v", preset, algo), func(b *testing.B) {
+				benchQueries(b, be, algo, exp.DefaultK, exp.DefaultAlpha)
+			})
+		}
+	}
+}
+
+// BenchmarkFig11Precomputation sweeps the §5.4 cached-list length t.
+func BenchmarkFig11Precomputation(b *testing.B) {
+	be := getEngine(b, "gowalla", nil)
+	for _, t := range []int{50, 200, 800} {
+		b.Run(fmt.Sprintf("t=%d", t), func(b *testing.B) {
+			be.eng.ResetCache(t)
+			be.eng.Precompute(be.users)
+			benchQueries(b, be, core.AISCache, exp.DefaultK, exp.DefaultAlpha)
+		})
+	}
+	b.Run("AIS-baseline", func(b *testing.B) {
+		benchQueries(b, be, core.AIS, exp.DefaultK, exp.DefaultAlpha)
+	})
+}
+
+// BenchmarkFig12Granularity sweeps the grid granularity s.
+func BenchmarkFig12Granularity(b *testing.B) {
+	for _, s := range []int{5, 10, 25} {
+		s := s
+		be := getEngine(b, "gowalla", func(o *core.Options) { o.GridS = s })
+		for _, algo := range []core.Algorithm{core.SPA, core.AIS} {
+			b.Run(fmt.Sprintf("s=%d/%v", s, algo), func(b *testing.B) {
+				benchQueries(b, be, algo, exp.DefaultK, exp.DefaultAlpha)
+			})
+		}
+	}
+}
+
+// BenchmarkFig13Twitter runs the high-degree dataset.
+func BenchmarkFig13Twitter(b *testing.B) {
+	be := getEngine(b, "twitter", nil)
+	for _, algo := range []core.Algorithm{core.SFA, core.SPA, core.TSA, core.TSAQC, core.AIS} {
+		b.Run(algo.String(), func(b *testing.B) {
+			benchQueries(b, be, algo, exp.DefaultK, exp.DefaultAlpha)
+		})
+	}
+}
+
+// BenchmarkFig14aCorrelation compares positive / independent / negative
+// social↔spatial correlation (locations re-synthesized around the query).
+func BenchmarkFig14aCorrelation(b *testing.B) {
+	base := getEngine(b, "foursquare", nil)
+	for _, sign := range []gen.CorrelationSign{gen.PositiveCorrelation, gen.IndependentCorrelation, gen.NegativeCorrelation} {
+		q := base.users[0]
+		ds, err := gen.CorrelatedDataset(base.ds, q, sign, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng, err := core.NewEngine(ds, exp.EngineOptions(exp.DefaultS, false, 1, benchSeed))
+		if err != nil {
+			b.Fatal(err)
+		}
+		be := &benchEngine{eng: eng, ds: ds, users: []graph.VertexID{q}}
+		b.Run(sign.String(), func(b *testing.B) {
+			benchQueries(b, be, core.AIS, exp.DefaultK, exp.DefaultAlpha)
+		})
+	}
+}
+
+// BenchmarkFig14bScalability sweeps the data size via forest-fire samples.
+func BenchmarkFig14bScalability(b *testing.B) {
+	base := getEngine(b, "foursquare", nil)
+	for _, size := range []int{1000, 2000, 4000} {
+		var ds *dataset.Dataset
+		var err error
+		if size >= base.ds.NumUsers() {
+			ds = base.ds
+		} else if ds, err = gen.SampledDataset(base.ds, size, benchSeed); err != nil {
+			b.Fatal(err)
+		}
+		eng, err := core.NewEngine(ds, exp.EngineOptions(exp.DefaultS, false, 1, benchSeed))
+		if err != nil {
+			b.Fatal(err)
+		}
+		be := &benchEngine{eng: eng, ds: ds, users: exp.QueryUsers(ds, benchQueryCnt, benchSeed)}
+		for _, algo := range []core.Algorithm{core.SFA, core.AIS} {
+			b.Run(fmt.Sprintf("n=%d/%v", size, algo), func(b *testing.B) {
+				benchQueries(b, be, algo, exp.DefaultK, exp.DefaultAlpha)
+			})
+		}
+	}
+}
+
+// --- Ablations (design choices from DESIGN.md §4) ---
+
+// BenchmarkAblationFwdEvery varies GraphDist's forward/reverse balance
+// (Algorithm 3 alternates 1:1; larger values starve the shared forward
+// search — see the delayed-evaluation discussion in EXPERIMENTS.md).
+func BenchmarkAblationFwdEvery(b *testing.B) {
+	for _, fe := range []int{1, 2, 4} {
+		fe := fe
+		be := getEngine(b, "gowalla", func(o *core.Options) { o.FwdEvery = fe })
+		b.Run(fmt.Sprintf("fwdEvery=%d", fe), func(b *testing.B) {
+			benchQueries(b, be, core.AIS, exp.DefaultK, exp.DefaultAlpha)
+		})
+	}
+}
+
+// BenchmarkAblationLandmarkCount varies M (the paper fine-tuned M=8).
+func BenchmarkAblationLandmarkCount(b *testing.B) {
+	for _, m := range []int{4, 8, 16} {
+		m := m
+		be := getEngine(b, "gowalla", func(o *core.Options) { o.NumLandmarks = m })
+		b.Run(fmt.Sprintf("M=%d", m), func(b *testing.B) {
+			benchQueries(b, be, core.AIS, exp.DefaultK, exp.DefaultAlpha)
+		})
+	}
+}
+
+// BenchmarkAblationLandmarkStrategy compares selection strategies.
+func BenchmarkAblationLandmarkStrategy(b *testing.B) {
+	for _, st := range []landmark.Strategy{landmark.Farthest, landmark.HighestDegree, landmark.Random} {
+		st := st
+		be := getEngine(b, "gowalla", func(o *core.Options) { o.LandmarkStrategy = st })
+		b.Run(st.String(), func(b *testing.B) {
+			benchQueries(b, be, core.AIS, exp.DefaultK, exp.DefaultAlpha)
+		})
+	}
+}
+
+// BenchmarkAblationGridLevels varies the number of stored grid levels (the
+// paper keeps the lowest two of a three-level hierarchy).
+func BenchmarkAblationGridLevels(b *testing.B) {
+	for _, l := range []int{1, 2, 3} {
+		l := l
+		be := getEngine(b, "gowalla", func(o *core.Options) { o.GridLevels = l; o.GridS = 6 })
+		b.Run(fmt.Sprintf("levels=%d", l), func(b *testing.B) {
+			benchQueries(b, be, core.AIS, exp.DefaultK, exp.DefaultAlpha)
+		})
+	}
+}
+
+// BenchmarkIndexBuild measures full engine construction (landmark tables,
+// grid, social summaries).
+func BenchmarkIndexBuild(b *testing.B) {
+	ds, err := gen.GowallaPreset.Dataset(benchSizes["gowalla"], benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.NewEngine(ds, exp.EngineOptions(exp.DefaultS, false, 1, benchSeed)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLocationUpdate measures §5.1 index maintenance under movement.
+func BenchmarkLocationUpdate(b *testing.B) {
+	be := getEngine(b, "twitter", nil) // all users located
+	pts := be.ds.Pts
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := int32(i % be.ds.NumUsers())
+		p := pts[id]
+		be.eng.MoveUser(id, Point{X: 1 - p.X, Y: 1 - p.Y})
+	}
+}

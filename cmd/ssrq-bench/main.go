@@ -1,0 +1,54 @@
+// Command ssrq-bench regenerates every table and figure of the paper's
+// evaluation section (§6) on synthetic paper-substitute datasets and prints
+// the same rows/series the paper reports.
+//
+// Usage:
+//
+//	ssrq-bench -exp all -scale medium          # everything, default sizes
+//	ssrq-bench -exp fig8 -scale small -ch      # one figure, with CH variants
+//
+// Experiments: table2 fig7a fig7b fig8 fig9 fig10 fig11 fig12 fig13 fig14a
+// fig14b all. Scales: small | medium | large (see internal/exp).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ssrq/internal/exp"
+)
+
+func main() {
+	var (
+		expID   = flag.String("exp", "all", "experiment id (table2, fig7a..fig14b, all)")
+		scale   = flag.String("scale", "medium", "dataset scale: small|medium|large")
+		seed    = flag.Int64("seed", 42, "generator seed")
+		withCH  = flag.Bool("ch", false, "include the SFA-CH/SPA-CH/TSA-CH variants in fig8 (slow preprocessing)")
+		queries = flag.Int("queries", 0, "override the number of queries per measurement")
+	)
+	flag.Parse()
+
+	sc, err := exp.ScaleByName(*scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *queries > 0 {
+		sc.NumQueries = *queries
+	}
+
+	fmt.Printf("ssrq-bench: exp=%s scale=%s seed=%d queries=%d ch=%v\n",
+		*expID, sc.Name, *seed, sc.NumQueries, *withCH)
+	fmt.Printf("defaults (Table 3): k=%d alpha=%.1f s=%d M=%d levels=%d\n",
+		exp.DefaultK, exp.DefaultAlpha, exp.DefaultS, exp.DefaultM, exp.DefaultLevels)
+
+	suite := exp.NewSuite(sc, *seed, os.Stdout)
+	start := time.Now()
+	if err := suite.Run(*expID, *withCH); err != nil {
+		fmt.Fprintln(os.Stderr, "ssrq-bench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\ncompleted in %v (%d measurements)\n", time.Since(start).Round(time.Millisecond), len(suite.Measurements))
+}

@@ -1,0 +1,66 @@
+// Command ssrq-server exposes SSRQ over HTTP: a minimal location-based
+// social search service backed by the AIS index, with live location updates
+// (the workload the paper's index maintenance targets, §5.1).
+//
+// Endpoints:
+//
+//	GET  /query?q=<user>&k=<int>&alpha=<float>[&algo=AIS]   ranked result
+//	GET  /user/<id>                                          location + degree
+//	POST /move   {"id":123,"x":1.5,"y":2.5}                  update location
+//	POST /unlocate {"id":123}                                drop location
+//	GET  /stats                                              dataset statistics
+//	GET  /healthz                                            liveness
+//
+// Start with a saved dataset or a synthesized one:
+//
+//	ssrq-server -data fsq.gob -addr :8080
+//	ssrq-server -preset gowalla -n 20000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"ssrq"
+	"ssrq/internal/httpapi"
+)
+
+func main() {
+	var (
+		data   = flag.String("data", "", "dataset file written by ssrq-datagen")
+		preset = flag.String("preset", "gowalla", "synthesize this preset when -data is not given")
+		n      = flag.Int("n", 10000, "synthetic dataset size when -data is not given")
+		seed   = flag.Int64("seed", 42, "seed for synthesis and preprocessing")
+		addr   = flag.String("addr", ":8080", "listen address")
+	)
+	flag.Parse()
+
+	var (
+		ds  *ssrq.Dataset
+		err error
+	)
+	if *data != "" {
+		ds, err = ssrq.LoadDataset(*data)
+	} else {
+		ds, err = ssrq.Synthesize(*preset, *n, *seed)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssrq-server:", err)
+		os.Exit(1)
+	}
+	eng, err := ssrq.NewEngine(ds, &ssrq.Options{Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssrq-server:", err)
+		os.Exit(1)
+	}
+
+	srv := httpapi.New(eng)
+	st := ds.Stats()
+	log.Printf("ssrq-server: %s (%d users, %d edges) listening on %s", st.Name, st.NumVertices, st.NumEdges, *addr)
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		log.Fatal(err)
+	}
+}

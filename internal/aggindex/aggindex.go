@@ -1,0 +1,272 @@
+// Package aggindex implements the paper's Aggregate Index (§5.1): a
+// multi-level regular grid whose cells carry *social summaries* — for each
+// of the M landmarks, the minimum (m̌) and maximum (m̂) shortest-path
+// distance between any user in the cell and that landmark. The summaries
+// extend the landmark triangle-inequality bound from individual vertices to
+// whole groups (Lemma 2), yielding the combined MINF lower bound that drives
+// the AIS branch-and-bound search (Theorem 1).
+//
+// The index wraps the plain spatial grid for membership and occupancy, and
+// maintains summaries under location updates exactly as §5.1 prescribes:
+// deletion from the old cell (recomputing components the mover was
+// responsible for), insertion into the new one (widening m̌/m̂ as needed),
+// with changes propagating recursively to upper levels.
+package aggindex
+
+import (
+	"fmt"
+	"math"
+
+	"ssrq/internal/graph"
+	"ssrq/internal/landmark"
+	"ssrq/internal/spatial"
+)
+
+// Index is the AIS aggregate index. Reads are safe concurrently; Move and
+// friends require external synchronization.
+type Index struct {
+	grid *spatial.Grid
+	lm   *landmark.Set
+	m    int
+	// Summaries, indexed [level][cell*m + j]. Empty cells hold
+	// (min=+Inf, max=-Inf), which makes them prune naturally.
+	minSum [][]float64
+	maxSum [][]float64
+}
+
+// New builds the aggregate index over an existing grid and landmark set.
+func New(grid *spatial.Grid, lm *landmark.Set) (*Index, error) {
+	if grid == nil || lm == nil {
+		return nil, fmt.Errorf("aggindex: nil grid or landmark set")
+	}
+	ix := &Index{grid: grid, lm: lm, m: lm.M()}
+	layout := grid.Layout()
+	for l := 0; l < layout.Levels; l++ {
+		size := layout.NumCells(l) * ix.m
+		mins := make([]float64, size)
+		maxs := make([]float64, size)
+		for i := range mins {
+			mins[i] = math.Inf(1)
+			maxs[i] = math.Inf(-1)
+		}
+		ix.minSum = append(ix.minSum, mins)
+		ix.maxSum = append(ix.maxSum, maxs)
+	}
+	// Leaf summaries from members, then parents from children.
+	leafLevel := layout.LeafLevel()
+	for idx := int32(0); idx < int32(layout.NumCells(leafLevel)); idx++ {
+		ix.recomputeLeaf(idx)
+	}
+	for l := leafLevel - 1; l >= 0; l-- {
+		for idx := int32(0); idx < int32(layout.NumCells(l)); idx++ {
+			ix.recomputeFromChildren(l, idx)
+		}
+	}
+	return ix, nil
+}
+
+// Grid returns the underlying spatial grid.
+func (ix *Index) Grid() *spatial.Grid { return ix.grid }
+
+// Landmarks returns the landmark set the summaries are built on.
+func (ix *Index) Landmarks() *landmark.Set { return ix.lm }
+
+// Layout returns the grid geometry.
+func (ix *Index) Layout() *spatial.Layout { return ix.grid.Layout() }
+
+// MinSummary returns m̌[j] for the cell, the minimum graph distance between
+// any member user and landmark j (+Inf for an empty cell).
+func (ix *Index) MinSummary(level int, idx int32, j int) float64 {
+	return ix.minSum[level][int(idx)*ix.m+j]
+}
+
+// MaxSummary returns m̂[j] for the cell (−Inf for an empty cell).
+func (ix *Index) MaxSummary(level int, idx int32, j int) float64 {
+	return ix.maxSum[level][int(idx)*ix.m+j]
+}
+
+// SocialLowerBound evaluates Lemma 2: a lower bound on the graph distance
+// between the query vertex (whose landmark vector is qvec) and every user in
+// the cell. Empty cells return +Inf.
+func (ix *Index) SocialLowerBound(level int, idx int32, qvec []float64) float64 {
+	base := int(idx) * ix.m
+	mins := ix.minSum[level]
+	maxs := ix.maxSum[level]
+	best := 0.0
+	for j := 0; j < ix.m; j++ {
+		mq := qvec[j]
+		lo, hi := mins[base+j], maxs[base+j]
+		switch {
+		case mq < lo:
+			if math.IsInf(lo, 1) {
+				// Either the cell is empty, or no member is reachable from
+				// landmark j while the query is: both prune.
+				return graph.Infinity
+			}
+			if d := lo - mq; d > best {
+				best = d
+			}
+		case mq > hi:
+			if math.IsInf(mq, 1) {
+				// Query unreachable from landmark j but every member is:
+				// different components, infinite distance.
+				if !math.IsInf(hi, 1) {
+					return graph.Infinity
+				}
+				continue
+			}
+			if d := mq - hi; d > best {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+// recomputeLeaf rebuilds the summary of a leaf cell from its members.
+func (ix *Index) recomputeLeaf(idx int32) bool {
+	base := int(idx) * ix.m
+	leaf := ix.grid.Layout().LeafLevel()
+	changed := false
+	for j := 0; j < ix.m; j++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, u := range ix.grid.CellUsers(idx) {
+			d := ix.lm.Dist(j, u)
+			if d < lo {
+				lo = d
+			}
+			if d > hi {
+				hi = d
+			}
+		}
+		if ix.minSum[leaf][base+j] != lo || ix.maxSum[leaf][base+j] != hi {
+			ix.minSum[leaf][base+j] = lo
+			ix.maxSum[leaf][base+j] = hi
+			changed = true
+		}
+	}
+	return changed
+}
+
+// recomputeFromChildren rebuilds an internal cell's summary as the
+// element-wise min/max over its s×s children; reports whether it changed.
+func (ix *Index) recomputeFromChildren(level int, idx int32) bool {
+	layout := ix.grid.Layout()
+	kids := layout.ChildIndices(level, idx, nil)
+	base := int(idx) * ix.m
+	changed := false
+	for j := 0; j < ix.m; j++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, c := range kids {
+			cb := int(c) * ix.m
+			if v := ix.minSum[level+1][cb+j]; v < lo {
+				lo = v
+			}
+			if v := ix.maxSum[level+1][cb+j]; v > hi {
+				hi = v
+			}
+		}
+		if ix.minSum[level][base+j] != lo || ix.maxSum[level][base+j] != hi {
+			ix.minSum[level][base+j] = lo
+			ix.maxSum[level][base+j] = hi
+			changed = true
+		}
+	}
+	return changed
+}
+
+// propagateUp recomputes ancestors of a leaf until summaries stop changing.
+func (ix *Index) propagateUp(leaf int32) {
+	layout := ix.grid.Layout()
+	idx := leaf
+	for l := layout.LeafLevel(); l > 0; l-- {
+		parent := layout.ParentIndex(l, idx)
+		if !ix.recomputeFromChildren(l-1, parent) {
+			return
+		}
+		idx = parent
+	}
+}
+
+// onInsert widens summaries for a user that joined a leaf cell. Widening is
+// cheap: compare the mover's landmark vector against m̌/m̂ (§5.1).
+func (ix *Index) onInsert(leaf int32, id int32) {
+	base := int(leaf) * ix.m
+	l := ix.grid.Layout().LeafLevel()
+	changed := false
+	for j := 0; j < ix.m; j++ {
+		d := ix.lm.Dist(j, id)
+		if d < ix.minSum[l][base+j] {
+			ix.minSum[l][base+j] = d
+			changed = true
+		}
+		if d > ix.maxSum[l][base+j] {
+			ix.maxSum[l][base+j] = d
+			changed = true
+		}
+	}
+	if changed {
+		ix.propagateUp(leaf)
+	}
+}
+
+// onRemove narrows summaries after a user left a leaf cell. Only components
+// the mover was responsible for are recomputed over the remaining members.
+func (ix *Index) onRemove(leaf int32, id int32) {
+	base := int(leaf) * ix.m
+	l := ix.grid.Layout().LeafLevel()
+	responsible := false
+	for j := 0; j < ix.m; j++ {
+		d := ix.lm.Dist(j, id)
+		if d == ix.minSum[l][base+j] || d == ix.maxSum[l][base+j] {
+			responsible = true
+			break
+		}
+	}
+	if !responsible {
+		return
+	}
+	if ix.recomputeLeaf(leaf) {
+		ix.propagateUp(leaf)
+	}
+}
+
+// Move relocates a user, maintaining grid membership and social summaries.
+func (ix *Index) Move(id int32, to spatial.Point) {
+	oldLeaf := ix.grid.LeafOf(id)
+	ix.grid.Move(id, to)
+	newLeaf := ix.grid.LeafOf(id)
+	if oldLeaf == newLeaf {
+		return // intra-cell move: coordinates updated, summaries unaffected
+	}
+	if oldLeaf >= 0 {
+		ix.onRemove(oldLeaf, id)
+	}
+	if newLeaf >= 0 {
+		ix.onInsert(newLeaf, id)
+	}
+}
+
+// SetLocated indexes a previously unlocated user.
+func (ix *Index) SetLocated(id int32, p spatial.Point) {
+	oldLeaf := ix.grid.LeafOf(id)
+	ix.grid.SetLocated(id, p)
+	newLeaf := ix.grid.LeafOf(id)
+	if oldLeaf == newLeaf {
+		return
+	}
+	if oldLeaf >= 0 {
+		ix.onRemove(oldLeaf, id)
+	}
+	ix.onInsert(newLeaf, id)
+}
+
+// RemoveLocation unindexes a user.
+func (ix *Index) RemoveLocation(id int32) {
+	leaf := ix.grid.LeafOf(id)
+	if leaf < 0 {
+		return
+	}
+	ix.grid.RemoveLocation(id)
+	ix.onRemove(leaf, id)
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"ssrq/internal/graph"
+	"ssrq/internal/pqueue"
+)
+
+// aisConfig selects the AIS flavor evaluated in Fig. 10.
+type aisConfig struct {
+	// sharing enables the §5.2 computation-sharing GraphDist submodule
+	// (distance caching + forward-heap caching). Off = AIS-BID, which runs
+	// a fresh bidirectional ALT search per evaluation.
+	sharing bool
+	// delayed enables the §5.3 delayed evaluation strategy (only meaningful
+	// with sharing, which provides the β bound).
+	delayed bool
+}
+
+// aisItem is one entry of the AIS branch-and-bound heap: an index cell
+// (level ≥ 0) or a user (level == aisUser).
+type aisItem struct {
+	level int16
+	idx   int32
+}
+
+const aisUser = int16(-1)
+
+func aisTie(level int16, idx int32) int64 {
+	if level == aisUser {
+		return int64(idx)
+	}
+	return (int64(level)+1)<<40 | int64(idx)
+}
+
+// runAIS is the Aggregate Index Search (Algorithm 2): a single best-first
+// search over the social-summary grid, driven by the combined lower bound
+// MINF (Theorem 1). Cells expand to children, leaves to users keyed by their
+// individual landmark bound, and users are evaluated exactly — through the
+// shared GraphDist submodule (with optional delayed evaluation) or, for
+// AIS-BID, a fresh bidirectional search each time.
+func (e *Engine) runAIS(q graph.VertexID, prm Params, st *Stats, cfg aisConfig) []Entry {
+	qpt := e.ds.Pts[q]
+	qvec := e.lm.VertexVector(q)
+	layout := e.agg.Layout()
+	alpha := prm.Alpha
+
+	pools := e.getPools()
+	defer e.putPools(pools)
+
+	var evalDist func(graph.VertexID) float64
+	var gd *graphDist
+	if cfg.sharing {
+		gd = newGraphDist(e.ds.G, e.lm, q, pools.rev, st)
+		gd.fwdEvery = e.opts.FwdEvery
+		evalDist = gd.dist
+	} else {
+		fb := &freshBidirectional{
+			g: e.ds.G, lm: e.lm, q: q, hToQ: e.lm.HeuristicTo(q),
+			fwdPool: pools.fwd, revPool: pools.rev, st: st,
+		}
+		evalDist = fb.dist
+	}
+
+	r := newTopK(prm.K)
+	h := pqueue.NewHeap[aisItem](256)
+	var childBuf []int32
+
+	pushCell := func(level int, idx int32) {
+		if e.grid.CountAt(level, idx) == 0 {
+			return
+		}
+		pLow := e.agg.SocialLowerBound(level, idx, qvec)
+		dLow := layout.CellRect(level, idx).MinDist(qpt)
+		if key := combine(alpha, pLow, dLow); finite(key) {
+			h.Push(key, aisTie(int16(level), idx), aisItem{int16(level), idx})
+		}
+	}
+	for idx := int32(0); idx < int32(layout.NumCells(0)); idx++ {
+		pushCell(0, idx)
+	}
+
+	for h.Len() > 0 {
+		head := h.Peek()
+		if head.Key >= r.Fk() {
+			break
+		}
+		item, _ := h.Pop()
+		switch {
+		case item.Value.level != aisUser && int(item.Value.level) < layout.LeafLevel():
+			st.IndexCellPops++
+			childBuf = layout.ChildIndices(int(item.Value.level), item.Value.idx, childBuf[:0])
+			for _, c := range childBuf {
+				pushCell(int(item.Value.level)+1, c)
+			}
+		case item.Value.level != aisUser:
+			// Leaf cell: enqueue members by their individual landmark bound.
+			st.IndexCellPops++
+			for _, u := range e.grid.CellUsers(item.Value.idx) {
+				if u == q {
+					continue
+				}
+				pLow := e.lm.LowerBound(q, u)
+				d := e.ds.Pts[u].Dist(qpt)
+				if key := combine(alpha, pLow, d); finite(key) {
+					h.Push(key, aisTie(aisUser, u), aisItem{aisUser, u})
+				}
+			}
+		default:
+			u := item.Value.idx
+			st.IndexUserPops++
+			d := e.ds.Pts[u].Dist(qpt)
+			if cfg.delayed {
+				// §5.3: if the shared forward search has advanced past this
+				// user's landmark bound, push it back with the tighter
+				// β-based key instead of paying an exact evaluation.
+				if _, known := gd.known(u); !known {
+					if key := combine(alpha, gd.beta(), d); key > item.Key {
+						st.Reinserts++
+						h.Push(key, aisTie(aisUser, u), aisItem{aisUser, u})
+						continue
+					}
+				}
+			}
+			p := evalDist(u)
+			r.Consider(Entry{ID: u, F: combine(alpha, p, d), P: p, D: d})
+		}
+	}
+	return r.Sorted()
+}

@@ -1,0 +1,22 @@
+package core
+
+import "ssrq/internal/graph"
+
+// runBrute is the exhaustive reference: one full Dijkstra from the query
+// vertex, then a linear scan scoring every user. Used for cross-validation
+// and as an honest lower bound on what indexing must beat.
+func (e *Engine) runBrute(q graph.VertexID, prm Params, st *Stats) []Entry {
+	sp := e.ds.G.Dijkstra(q)
+	st.SocialPops += e.ds.NumUsers()
+	r := newTopK(prm.K)
+	for v := 0; v < e.ds.NumUsers(); v++ {
+		id := graph.VertexID(v)
+		if id == q {
+			continue
+		}
+		p := sp.Dist[v]
+		d := e.ds.EuclideanDist(q, id)
+		r.Consider(Entry{ID: id, F: combine(prm.Alpha, p, d), P: p, D: d})
+	}
+	return r.Sorted()
+}

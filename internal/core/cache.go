@@ -1,0 +1,110 @@
+package core
+
+import (
+	"sync"
+
+	"ssrq/internal/graph"
+)
+
+// socialCache implements §5.4's graph-distance pre-computation: for a query
+// user, the t socially-closest users with their exact distances. The paper
+// materializes the lists for every user offline (an all-users build is
+// available via Precompute); queries not covered yet compute their list on
+// first use and memoize it, which yields the same per-query behaviour
+// without the multi-hour cold build.
+type socialCache struct {
+	t  int
+	mu sync.RWMutex
+	// lists[q] holds the t nearest (vertex, distance) pairs ascending,
+	// excluding q itself. complete[q] marks lists that exhausted q's
+	// component before reaching t entries — such a list covers every
+	// finitely-reachable user and never needs the AIS fallback.
+	lists    map[graph.VertexID][]cachedNeighbor
+	complete map[graph.VertexID]bool
+}
+
+type cachedNeighbor struct {
+	V graph.VertexID
+	P float64
+}
+
+func newSocialCache(t int) *socialCache {
+	return &socialCache{
+		t:        t,
+		lists:    make(map[graph.VertexID][]cachedNeighbor),
+		complete: make(map[graph.VertexID]bool),
+	}
+}
+
+// get returns the memoized list for q, computing it on first use.
+func (c *socialCache) get(g *graph.Graph, q graph.VertexID) (list []cachedNeighbor, complete bool) {
+	c.mu.RLock()
+	list, ok := c.lists[q]
+	complete = c.complete[q]
+	c.mu.RUnlock()
+	if ok {
+		return list, complete
+	}
+	list, complete = c.build(g, q)
+	c.mu.Lock()
+	c.lists[q] = list
+	c.complete[q] = complete
+	c.mu.Unlock()
+	return list, complete
+}
+
+func (c *socialCache) build(g *graph.Graph, q graph.VertexID) ([]cachedNeighbor, bool) {
+	it := graph.NewDijkstraIterator(g, q)
+	list := make([]cachedNeighbor, 0, c.t)
+	for len(list) < c.t {
+		v, p, ok := it.Next()
+		if !ok {
+			return list, true // component exhausted before t entries
+		}
+		if v == q {
+			continue
+		}
+		list = append(list, cachedNeighbor{v, p})
+	}
+	return list, false
+}
+
+// Precompute builds the lists for the given query users eagerly (the
+// paper's offline materialization, restricted to the users that will
+// actually query — see DESIGN.md substitutions).
+func (e *Engine) Precompute(users []graph.VertexID) {
+	for _, q := range users {
+		e.cache.get(e.ds.G, q)
+	}
+}
+
+// ResetCache discards the pre-computed lists and changes t — the Fig. 11
+// sweep varies t without rebuilding the rest of the engine.
+func (e *Engine) ResetCache(t int) {
+	if t < 1 {
+		t = 1
+	}
+	e.cache = newSocialCache(t)
+}
+
+// runAISCache answers with the pre-computed list exactly like SFA would —
+// list entries arrive in ascending social distance, so θ = α·p applies — and
+// falls back to full AIS when the list is exhausted inconclusively (§5.4).
+func (e *Engine) runAISCache(q graph.VertexID, prm Params, st *Stats) []Entry {
+	list, complete := e.cache.get(e.ds.G, q)
+	r := newTopK(prm.K)
+	for _, cn := range list {
+		st.CacheHits++
+		d := e.ds.EuclideanDist(q, cn.V)
+		r.Consider(Entry{ID: cn.V, F: combine(prm.Alpha, cn.P, d), P: cn.P, D: d})
+		if theta := prm.Alpha * cn.P; theta >= r.Fk() {
+			return r.Sorted()
+		}
+	}
+	if complete {
+		// The whole component was in the list: the scan above was exact.
+		return r.Sorted()
+	}
+	st.FellBack = true
+	return e.runAIS(q, prm, st, aisConfig{sharing: true, delayed: true})
+}

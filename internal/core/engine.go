@@ -1,0 +1,266 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"ssrq/internal/aggindex"
+	"ssrq/internal/ch"
+	"ssrq/internal/dataset"
+	"ssrq/internal/graph"
+	"ssrq/internal/landmark"
+	"ssrq/internal/spatial"
+)
+
+// Algorithm selects the SSRQ processing method.
+type Algorithm int
+
+const (
+	// SFA is the Social First Approach (§4.1).
+	SFA Algorithm = iota
+	// SPA is the Spatial First Approach (§4.1).
+	SPA
+	// TSA is the landmark-aided Twofold Search Approach with round-robin
+	// probing (§4.2) — the "TSA" of the experiments.
+	TSA
+	// TSAQC is TSA with Quick-Combine probing in its first phase.
+	TSAQC
+	// TSANoLandmark is TSA without the landmark candidate pruning, kept for
+	// ablation (the paper "disregards it because it consistently performs
+	// worse").
+	TSANoLandmark
+	// AISBID is Algorithm 2 evaluating every candidate with a fresh
+	// bidirectional ALT search ([25]) — no computation sharing (Fig. 10).
+	AISBID
+	// AISMinus is AIS with distance and forward-heap caching but without
+	// the delayed evaluation strategy (Fig. 10's AIS⁻).
+	AISMinus
+	// AIS is the full aggregate index search with every optimization (§5).
+	AIS
+	// AISCache is the §5.4 pre-computation method: a t-nearest social list
+	// drives an SFA-style scan and falls back to AIS on exhaustion.
+	AISCache
+	// SFACH, SPACH and TSACH are the Fig. 8 comparison variants whose
+	// social-distance evaluations go through Contraction Hierarchies
+	// instead of the shared incremental Dijkstra.
+	SFACH
+	SPACH
+	TSACH
+	// BruteForce computes one full Dijkstra and scans all users; the
+	// correctness reference.
+	BruteForce
+)
+
+var algoNames = map[Algorithm]string{
+	SFA: "SFA", SPA: "SPA", TSA: "TSA", TSAQC: "TSA-QC", TSANoLandmark: "TSA-NL",
+	AISBID: "AIS-BID", AISMinus: "AIS-", AIS: "AIS", AISCache: "AIS-Cache",
+	SFACH: "SFA-CH", SPACH: "SPA-CH", TSACH: "TSA-CH", BruteForce: "Brute",
+}
+
+func (a Algorithm) String() string {
+	if n, ok := algoNames[a]; ok {
+		return n
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// Options configure engine construction (system parameters of Table 3).
+type Options struct {
+	// GridS is the partitioning granularity s (default 10).
+	GridS int
+	// GridLevels is the number of stored grid levels (default 2: the paper
+	// keeps the lowest two levels of a three-level hierarchy).
+	GridLevels int
+	// NumLandmarks is M (default 8, the paper's fine-tuned value).
+	NumLandmarks int
+	// LandmarkStrategy defaults to the farthest selection of [25].
+	LandmarkStrategy landmark.Strategy
+	// Seed drives randomized preprocessing choices.
+	Seed int64
+	// BuildCH additionally builds a contraction hierarchy so the *-CH
+	// variants can run. Expensive on large social graphs (which is the
+	// point of Fig. 8).
+	BuildCH bool
+	// CHWitnessLimit bounds CH witness searches (default 120).
+	CHWitnessLimit int
+	// CacheT is the t of §5.4: how many socially-nearest users the
+	// pre-computation list holds per query user (default 1000).
+	CacheT int
+	// FwdEvery throttles GraphDist's shared forward search: one forward
+	// pop per FwdEvery reverse pops (default 1 = Algorithm 3's strict
+	// alternation). See the graphdist ablation benchmark.
+	FwdEvery int
+}
+
+func (o *Options) setDefaults() {
+	if o.GridS == 0 {
+		o.GridS = 10
+	}
+	if o.GridLevels == 0 {
+		o.GridLevels = 2
+	}
+	if o.NumLandmarks == 0 {
+		o.NumLandmarks = 8
+	}
+	if o.CHWitnessLimit == 0 {
+		o.CHWitnessLimit = 120
+	}
+	if o.CacheT == 0 {
+		o.CacheT = 1000
+	}
+	if o.FwdEvery == 0 {
+		o.FwdEvery = 1
+	}
+}
+
+// Engine binds a dataset to its indexes and answers SSRQ queries. Queries
+// may run concurrently; location updates require external synchronization
+// with queries.
+type Engine struct {
+	ds        *dataset.Dataset
+	lm        *landmark.Set
+	grid      *spatial.Grid
+	agg       *aggindex.Index
+	hierarchy *ch.CH
+	cache     *socialCache
+	opts      Options
+
+	pools sync.Pool // *queryPools, reused across queries
+}
+
+// queryPools are the per-query A* scratch structures.
+type queryPools struct {
+	rev *graph.AStarPool
+	fwd *graph.AStarPool
+}
+
+// NewEngine builds all indexes over the dataset.
+func NewEngine(ds *dataset.Dataset, opts Options) (*Engine, error) {
+	opts.setDefaults()
+	if ds == nil {
+		return nil, fmt.Errorf("core: nil dataset")
+	}
+	n := ds.NumUsers()
+	m := opts.NumLandmarks
+	if m > n {
+		m = n
+	}
+	lm, err := landmark.Select(ds.G, m, opts.LandmarkStrategy, opts.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("core: selecting landmarks: %w", err)
+	}
+	layout, err := spatial.NewLayout(ds.PaddedBounds(), opts.GridS, opts.GridLevels)
+	if err != nil {
+		return nil, fmt.Errorf("core: grid layout: %w", err)
+	}
+	grid, err := spatial.NewGrid(layout, ds.Pts, ds.Located)
+	if err != nil {
+		return nil, fmt.Errorf("core: grid: %w", err)
+	}
+	agg, err := aggindex.New(grid, lm)
+	if err != nil {
+		return nil, fmt.Errorf("core: aggregate index: %w", err)
+	}
+	e := &Engine{
+		ds:    ds,
+		lm:    lm,
+		grid:  grid,
+		agg:   agg,
+		cache: newSocialCache(opts.CacheT),
+		opts:  opts,
+	}
+	if opts.BuildCH {
+		h, err := ch.Build(ds.G, ch.Options{WitnessSettleLimit: opts.CHWitnessLimit})
+		if err != nil {
+			return nil, fmt.Errorf("core: contraction hierarchy: %w", err)
+		}
+		e.hierarchy = h
+	}
+	e.pools.New = func() any {
+		return &queryPools{
+			rev: graph.NewAStarPool(n),
+			fwd: graph.NewAStarPool(n),
+		}
+	}
+	return e, nil
+}
+
+// Dataset returns the engine's dataset.
+func (e *Engine) Dataset() *dataset.Dataset { return e.ds }
+
+// Landmarks returns the engine's landmark set.
+func (e *Engine) Landmarks() *landmark.Set { return e.lm }
+
+// Grid returns the spatial grid index.
+func (e *Engine) Grid() *spatial.Grid { return e.grid }
+
+// AggIndex returns the AIS aggregate index.
+func (e *Engine) AggIndex() *aggindex.Index { return e.agg }
+
+// Options returns the options the engine was built with (defaults filled).
+func (e *Engine) Options() Options { return e.opts }
+
+// MoveUser relocates a user (normalized coordinates), maintaining both the
+// plain grid and the AIS summaries. Not safe concurrently with queries.
+func (e *Engine) MoveUser(id int32, to spatial.Point) { e.agg.Move(id, to) }
+
+// RemoveUserLocation drops a user's location.
+func (e *Engine) RemoveUserLocation(id int32) { e.agg.RemoveLocation(id) }
+
+// Query answers an SSRQ for query user q.
+func (e *Engine) Query(algo Algorithm, q graph.VertexID, prm Params) (*Result, error) {
+	if err := prm.Validate(); err != nil {
+		return nil, err
+	}
+	if q < 0 || int(q) >= e.ds.NumUsers() {
+		return nil, fmt.Errorf("core: query user %d out of range [0,%d)", q, e.ds.NumUsers())
+	}
+	if !e.ds.Located[q] {
+		return nil, fmt.Errorf("core: query user %d has no known location", q)
+	}
+	res := &Result{Query: q, Params: prm}
+	st := &res.Stats
+	switch algo {
+	case SFA:
+		res.Entries = e.runSFA(q, prm, st, false)
+	case SFACH:
+		if e.hierarchy == nil {
+			return nil, fmt.Errorf("core: %v requires Options.BuildCH", algo)
+		}
+		res.Entries = e.runSFA(q, prm, st, true)
+	case SPA:
+		res.Entries = e.runSPA(q, prm, st, false)
+	case SPACH:
+		if e.hierarchy == nil {
+			return nil, fmt.Errorf("core: %v requires Options.BuildCH", algo)
+		}
+		res.Entries = e.runSPA(q, prm, st, true)
+	case TSA:
+		res.Entries = e.runTSA(q, prm, st, tsaConfig{prune: true})
+	case TSAQC:
+		res.Entries = e.runTSA(q, prm, st, tsaConfig{prune: true, quickCombine: true})
+	case TSANoLandmark:
+		res.Entries = e.runTSA(q, prm, st, tsaConfig{})
+	case TSACH:
+		if e.hierarchy == nil {
+			return nil, fmt.Errorf("core: %v requires Options.BuildCH", algo)
+		}
+		res.Entries = e.runTSA(q, prm, st, tsaConfig{prune: true, useCH: true})
+	case AISBID:
+		res.Entries = e.runAIS(q, prm, st, aisConfig{sharing: false, delayed: false})
+	case AISMinus:
+		res.Entries = e.runAIS(q, prm, st, aisConfig{sharing: true, delayed: false})
+	case AIS:
+		res.Entries = e.runAIS(q, prm, st, aisConfig{sharing: true, delayed: true})
+	case AISCache:
+		res.Entries = e.runAISCache(q, prm, st)
+	case BruteForce:
+		res.Entries = e.runBrute(q, prm, st)
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %v", algo)
+	}
+	return res, nil
+}
+
+func (e *Engine) getPools() *queryPools  { return e.pools.Get().(*queryPools) }
+func (e *Engine) putPools(p *queryPools) { e.pools.Put(p) }

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"ssrq/internal/graph"
+	"ssrq/internal/landmark"
+)
+
+// graphDist is the §5.2 distance submodule of AIS (Algorithm 3): repeated
+// exact social-distance computations from the fixed query vertex to varying
+// targets, with both computation-sharing optimizations:
+//
+//   - forward-heap caching: the forward search is a single plain Dijkstra
+//     whose heap and settled set persist across calls (plain, not A*,
+//     precisely so the heap keys stay target-independent);
+//   - distance caching: targets already settled by the forward search, or
+//     lying on a previously reconstructed shortest path (table T), answer
+//     without any search.
+//
+// The reverse search is a landmark A* from the target toward the query
+// vertex. Its head key certifies termination (see the correctness argument
+// in DESIGN.md §4 — the same stopping rule as Algorithm 3 line 7).
+type graphDist struct {
+	g        *graph.Graph
+	lm       *landmark.Set
+	q        graph.VertexID
+	fwd      *graph.DijkstraIterator
+	revPool  *graph.AStarPool
+	hToQ     graph.Heuristic
+	pathDist map[graph.VertexID]float64 // table T: distance-from-q of path members
+	st       *Stats
+	// fwdEvery throttles how often the shared forward search advances: one
+	// forward pop per fwdEvery reverse pops. Algorithm 3 alternates 1:1;
+	// a larger value spends less on speculative forward growth (the
+	// reverse searches are landmark-guided and cheap) at the price of a
+	// slower-growing β for delayed evaluation. See the gdfwd ablation bench.
+	fwdEvery int
+	iter     int
+}
+
+func newGraphDist(g *graph.Graph, lm *landmark.Set, q graph.VertexID, revPool *graph.AStarPool, st *Stats) *graphDist {
+	gd := &graphDist{
+		g:        g,
+		lm:       lm,
+		q:        q,
+		fwd:      graph.NewDijkstraIterator(g, q),
+		revPool:  revPool,
+		hToQ:     lm.HeuristicTo(q),
+		pathDist: make(map[graph.VertexID]float64),
+		st:       st,
+		fwdEvery: 1,
+	}
+	// Settle the source immediately so reverse searches can always meet a
+	// non-empty forward tree.
+	if _, _, ok := gd.fwd.Next(); ok {
+		st.SocialPops++
+	}
+	return gd
+}
+
+// beta is the §5.3 bound: the distance of the last vertex settled by the
+// shared forward search, lower-bounding p(v_q, v) for every vertex the
+// forward search has not visited.
+func (gd *graphDist) beta() float64 { return gd.fwd.LastKey() }
+
+// known returns the exact distance when it is available for free — from the
+// forward settled set or the path table T.
+func (gd *graphDist) known(v graph.VertexID) (float64, bool) {
+	if d, ok := gd.fwd.SettledDist(v); ok {
+		return d, true
+	}
+	if d, ok := gd.pathDist[v]; ok {
+		return d, true
+	}
+	return 0, false
+}
+
+// dist computes the exact social distance p(v_q, v) — Algorithm 3.
+func (gd *graphDist) dist(v graph.VertexID) float64 {
+	gd.st.GraphDistCalls++
+	if v == gd.q {
+		return 0
+	}
+	if d, ok := gd.known(v); ok {
+		return d
+	}
+	if gd.fwd.Exhausted() {
+		// The query's component is fully settled and v is not in it.
+		return graph.Infinity
+	}
+
+	rev := gd.revPool.NewSearch(gd.g, v, gd.hToQ)
+	// A realized landmark detour (q→landmark→v) seeds the best-known
+	// distance, letting many reverse searches certify termination after a
+	// handful of pops (an ALT-style strengthening of Algorithm 3; exactness
+	// argument in DESIGN.md §4: at termination minDist equals the true
+	// distance whenever any path of length minDist exists, and the landmark
+	// detour is such a path).
+	minDist := gd.lm.UpperBound(gd.q, v)
+	meet := graph.VertexID(-1)
+
+	for {
+		// Either frontier's head key certifies optimality (both searches
+		// settle exact distances: forward is plain Dijkstra, reverse uses a
+		// consistent landmark heuristic).
+		revKey, revOK := rev.HeadKey()
+		if !revOK {
+			break // reverse frontier exhausted
+		}
+		if minDist <= revKey {
+			break
+		}
+		if fwdKey, ok := gd.fwd.HeadKey(); ok && minDist <= fwdKey {
+			break
+		}
+		// Forward step (shared Dijkstra), throttled by fwdEvery.
+		gd.iter++
+		if gd.iter%gd.fwdEvery == 0 {
+			if vf, df, ok := gd.fwd.Next(); ok {
+				gd.st.SocialPops++
+				if dr, settled := rev.SettledDist(vf); settled {
+					if d := df + dr; d < minDist {
+						minDist, meet = d, vf
+					}
+				}
+			}
+		}
+		// Reverse step (landmark A*).
+		vr, dr, ok := rev.Pop()
+		if !ok {
+			break
+		}
+		gd.st.SocialPops++
+		gd.st.ReversePops++
+		if df, settled := gd.fwd.SettledDist(vr); settled {
+			if d := df + dr; d < minDist {
+				minDist, meet = d, vr
+			}
+			// Algorithm 3 line 18: no need to push vr's neighbors — any
+			// continuation through vr is dominated by this meeting path.
+		} else {
+			rev.Expand(vr)
+		}
+	}
+
+	if meet >= 0 {
+		// Distance caching: record the reverse portion of the shortest path
+		// in T. (The forward portion is already covered by the forward
+		// settled set.) By prefix optimality, every vertex x on the path has
+		// p(v_q, x) = minDist − g_rev(x).
+		for x := meet; x >= 0; x = rev.ParentOf(x) {
+			if gx, ok := rev.LabelDist(x); ok {
+				gd.pathDist[x] = minDist - gx
+			}
+		}
+	}
+	return minDist
+}
+
+// freshBidirectional is the unshared evaluator of AIS-BID: a fresh
+// bidirectional ALT search per target, exactly the [25] baseline of Fig. 10.
+type freshBidirectional struct {
+	g       *graph.Graph
+	lm      *landmark.Set
+	q       graph.VertexID
+	hToQ    graph.Heuristic
+	fwdPool *graph.AStarPool
+	revPool *graph.AStarPool
+	st      *Stats
+}
+
+func (fb *freshBidirectional) dist(v graph.VertexID) float64 {
+	fb.st.GraphDistCalls++
+	if v == fb.q {
+		return 0
+	}
+	res := graph.BidirectionalDijkstra(fb.g, fb.q, v, fb.lm.HeuristicTo(v), fb.hToQ, fb.fwdPool, fb.revPool)
+	fb.st.SocialPops += res.Pops
+	return res.Dist
+}

@@ -1,0 +1,49 @@
+// Package core implements the paper's primary contribution: the Social and
+// Spatial Ranking Query (SSRQ) and its complete suite of processing
+// algorithms — the one-domain baselines SFA and SPA (§4.1), the Twofold
+// Search Approach with round-robin and Quick-Combine probing plus landmark
+// pruning (§4.2), the Aggregate Index Search family AIS-BID / AIS⁻ / AIS
+// with the shared GraphDist submodule, computation sharing and delayed
+// evaluation (§5), the §5.4 pre-computation variant, the CH-backed
+// comparison variants of Fig. 8, and a brute-force reference.
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params are the per-query SSRQ parameters (Table 3).
+type Params struct {
+	// K is the number of users to report.
+	K int
+	// Alpha weighs social against spatial proximity (Eq. 1). It must lie
+	// strictly inside (0, 1): the endpoints would multiply a zero
+	// coefficient with the +Inf proximities used for unlocated users and
+	// foreign components, which the paper never exercises (it sweeps
+	// 0.1–0.9). Callers wanting a single-domain ranking can use the kNN
+	// helpers directly.
+	Alpha float64
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.K < 1 {
+		return fmt.Errorf("core: k = %d must be ≥ 1", p.K)
+	}
+	if !(p.Alpha > 0 && p.Alpha < 1) {
+		return fmt.Errorf("core: alpha = %v must lie strictly in (0, 1)", p.Alpha)
+	}
+	return nil
+}
+
+// combine evaluates the ranking function f = α·p + (1−α)·d (Eq. 1) on
+// normalized proximities. With α strictly inside (0,1), +Inf in either
+// domain propagates to +Inf, which encodes both paper conventions:
+// unlocated users and cross-component users can never enter a result.
+func combine(alpha, p, d float64) float64 {
+	return alpha*p + (1-alpha)*d
+}
+
+// finite reports whether f is a real ranking value.
+func finite(f float64) bool { return !math.IsInf(f, 1) && !math.IsNaN(f) }

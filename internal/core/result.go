@@ -1,0 +1,139 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"ssrq/internal/graph"
+)
+
+// Entry is one reported user with its ranking value and the two normalized
+// proximities it decomposes into.
+type Entry struct {
+	ID int32
+	F  float64 // α·P + (1−α)·D
+	P  float64 // normalized social (shortest-path) proximity
+	D  float64 // normalized spatial (Euclidean) proximity
+}
+
+// Stats instruments one query execution. The paper's pop ratio (Fig. 8c/d,
+// 10c/d) is |Vpop| / |V| where |Vpop| counts vertices popped from the
+// methods' search heaps; Stats tracks each heap separately.
+type Stats struct {
+	SocialPops     int // vertices settled by graph searches (Dijkstra/A*, fwd+rev)
+	ReversePops    int // subset of SocialPops settled by reverse A* searches
+	SpatialPops    int // users reported by the incremental spatial NN stream
+	IndexUserPops  int // users popped from the AIS branch-and-bound heap
+	IndexCellPops  int // cells popped from the AIS heap
+	Reinserts      int // delayed-evaluation push-backs (§5.3)
+	GraphDistCalls int // exact social-distance evaluations
+	CHQueries      int // contraction-hierarchy point-to-point queries
+	CacheHits      int // §5.4 pre-computed list hits
+	FellBack       bool
+}
+
+// Pops returns the |Vpop| aggregate used for the pop-ratio metric.
+func (s Stats) Pops() int { return s.SocialPops + s.SpatialPops + s.IndexUserPops }
+
+// PopRatio returns Pops()/n.
+func (s Stats) PopRatio(n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(s.Pops()) / float64(n)
+}
+
+func (s *Stats) add(o Stats) {
+	s.SocialPops += o.SocialPops
+	s.SpatialPops += o.SpatialPops
+	s.IndexUserPops += o.IndexUserPops
+	s.IndexCellPops += o.IndexCellPops
+	s.Reinserts += o.Reinserts
+	s.GraphDistCalls += o.GraphDistCalls
+	s.CHQueries += o.CHQueries
+	s.CacheHits += o.CacheHits
+}
+
+// Result is a completed SSRQ answer, sorted ascending by (F, ID).
+type Result struct {
+	Query   graph.VertexID
+	Params  Params
+	Entries []Entry
+	Stats   Stats
+}
+
+// IDs returns the reported user IDs in rank order.
+func (r *Result) IDs() []int32 {
+	ids := make([]int32, len(r.Entries))
+	for i, e := range r.Entries {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
+// IDSet returns the reported users as a set.
+func (r *Result) IDSet() map[int32]bool {
+	set := make(map[int32]bool, len(r.Entries))
+	for _, e := range r.Entries {
+		set[e.ID] = true
+	}
+	return set
+}
+
+// topK is the interim result R of the paper's algorithms: the best-k entries
+// seen so far with f_k = the k-th (worst) ranking value. Entries with
+// non-finite f never qualify (users at infinite proximity are not
+// recommendable). Ties on f break by ascending ID so every algorithm keeps
+// an identical interim state. With k ≤ 50 (Table 3) a sorted slice beats a
+// heap.
+type topK struct {
+	k       int
+	entries []Entry // ascending (F, ID)
+}
+
+func newTopK(k int) *topK {
+	return &topK{k: k, entries: make([]Entry, 0, k)}
+}
+
+func entryLess(a, b Entry) bool {
+	if a.F != b.F {
+		return a.F < b.F
+	}
+	return a.ID < b.ID
+}
+
+// Fk returns the current k-th ranking value: +Inf while fewer than k entries
+// qualify (so no bound can terminate a search prematurely).
+func (t *topK) Fk() float64 {
+	if len(t.entries) < t.k {
+		return math.Inf(1)
+	}
+	return t.entries[len(t.entries)-1].F
+}
+
+// Consider offers an entry; it is inserted when it beats the current
+// interim result. Reports whether the entry was admitted.
+func (t *topK) Consider(e Entry) bool {
+	if !finite(e.F) {
+		return false
+	}
+	if len(t.entries) == t.k {
+		worst := t.entries[len(t.entries)-1]
+		if !entryLess(e, worst) {
+			return false
+		}
+		t.entries = t.entries[:len(t.entries)-1]
+	}
+	pos := sort.Search(len(t.entries), func(i int) bool { return entryLess(e, t.entries[i]) })
+	t.entries = append(t.entries, Entry{})
+	copy(t.entries[pos+1:], t.entries[pos:])
+	t.entries[pos] = e
+	return true
+}
+
+// Sorted returns the final entries (ascending F, ID). The slice is owned by
+// the topK and must not be mutated further.
+func (t *topK) Sorted() []Entry { return t.entries }
+
+// Len returns the number of admitted entries.
+func (t *topK) Len() int { return len(t.entries) }

@@ -1,0 +1,38 @@
+package core
+
+import "ssrq/internal/graph"
+
+// runSFA is the Social First Algorithm (§4.1): expand Dijkstra around v_q,
+// evaluate every settled user (Euclidean distance is trivial to attach), and
+// stop once θ = α·p(last settled) can no longer beat f_k.
+//
+// With useCH (the SFA-CH variant of Fig. 8), every social distance is
+// re-derived through a Contraction Hierarchies point-to-point query instead
+// of being read off the incremental expansion — the expansion is kept only
+// for its ascending-distance ordering and termination bound. The variant
+// demonstrates the paper's point: on social networks, per-target CH queries
+// lose to one shared incremental Dijkstra.
+func (e *Engine) runSFA(q graph.VertexID, prm Params, st *Stats, useCH bool) []Entry {
+	it := graph.NewDijkstraIterator(e.ds.G, q)
+	r := newTopK(prm.K)
+	for {
+		v, p, ok := it.Next()
+		if !ok {
+			break // component exhausted: all unseen users have p = +Inf
+		}
+		st.SocialPops++
+		if v == q {
+			continue
+		}
+		if useCH {
+			p, _ = e.hierarchy.Dist(q, v)
+			st.CHQueries++
+		}
+		d := e.ds.EuclideanDist(q, v)
+		r.Consider(Entry{ID: v, F: combine(prm.Alpha, p, d), P: p, D: d})
+		if theta := prm.Alpha * it.LastKey(); theta >= r.Fk() {
+			break
+		}
+	}
+	return r.Sorted()
+}

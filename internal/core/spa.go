@@ -1,0 +1,54 @@
+package core
+
+import "ssrq/internal/graph"
+
+// runSPA is the Spatial First Approach (§4.1): stream users by ascending
+// Euclidean distance via the grid's incremental NN search and evaluate each
+// one's social distance, stopping once θ = (1−α)·d(last NN) reaches f_k.
+//
+// The vanilla social-distance module is the shared incremental Dijkstra from
+// v_q, expanded just far enough to settle each requested target ("shortest
+// paths produced incrementally, all with v_q as source"). SPA-CH replaces it
+// with an independent CH query per target (Fig. 8).
+func (e *Engine) runSPA(q graph.VertexID, prm Params, st *Stats, useCH bool) []Entry {
+	nn := e.grid.NewNN(e.ds.Pts[q])
+	r := newTopK(prm.K)
+
+	var fwd *graph.DijkstraIterator
+	if !useCH {
+		fwd = graph.NewDijkstraIterator(e.ds.G, q)
+	}
+	socialDist := func(v graph.VertexID) float64 {
+		if useCH {
+			st.CHQueries++
+			d, _ := e.hierarchy.Dist(q, v)
+			return d
+		}
+		for {
+			if d, ok := fwd.SettledDist(v); ok {
+				return d
+			}
+			if _, _, ok := fwd.Next(); !ok {
+				return graph.Infinity
+			}
+			st.SocialPops++
+		}
+	}
+
+	for {
+		u, d, ok := nn.Next()
+		if !ok {
+			break // every located user has been evaluated
+		}
+		st.SpatialPops++
+		if u == q {
+			continue
+		}
+		p := socialDist(u)
+		r.Consider(Entry{ID: u, F: combine(prm.Alpha, p, d), P: p, D: d})
+		if theta := (1 - prm.Alpha) * d; theta >= r.Fk() {
+			break
+		}
+	}
+	return r.Sorted()
+}

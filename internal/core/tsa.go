@@ -1,0 +1,223 @@
+package core
+
+import (
+	"math"
+
+	"ssrq/internal/graph"
+	"ssrq/internal/pqueue"
+)
+
+// tsaConfig selects the TSA flavor (§4.2).
+type tsaConfig struct {
+	quickCombine bool // probe streams by weighted distance-growth rate
+	prune        bool // landmark candidate pruning before phase 2
+	useCH        bool // phase 2 evaluates candidates via CH point-to-point
+}
+
+// candidateSet is TSA's Q: users encountered by the spatial search but not
+// yet socially evaluated, ordered by Euclidean distance with lazy deletion.
+type candidateSet struct {
+	d    map[int32]float64
+	heap pqueue.Heap[int32]
+}
+
+func newCandidateSet() *candidateSet {
+	return &candidateSet{d: make(map[int32]float64)}
+}
+
+func (c *candidateSet) Add(u int32, d float64) {
+	if _, ok := c.d[u]; ok {
+		return
+	}
+	c.d[u] = d
+	c.heap.Push(d, int64(u), u)
+}
+
+func (c *candidateSet) Contains(u int32) bool { _, ok := c.d[u]; return ok }
+func (c *candidateSet) D(u int32) float64     { return c.d[u] }
+func (c *candidateSet) Remove(u int32)        { delete(c.d, u) }
+func (c *candidateSet) Len() int              { return len(c.d) }
+
+// MinD returns the smallest Euclidean distance among live candidates
+// (the t′_d of Algorithm 1), +Inf when empty.
+func (c *candidateSet) MinD() float64 {
+	for c.heap.Len() > 0 {
+		e := c.heap.Peek()
+		if _, live := c.d[e.Value]; live {
+			return e.Key
+		}
+		c.heap.Pop() // stale: removed earlier
+	}
+	return math.Inf(1)
+}
+
+// PopMinD removes and returns the live candidate with the smallest distance.
+func (c *candidateSet) PopMinD() (u int32, d float64, ok bool) {
+	for c.heap.Len() > 0 {
+		e, _ := c.heap.Pop()
+		if _, live := c.d[e.Value]; live {
+			delete(c.d, e.Value)
+			return e.Value, e.Key, true
+		}
+	}
+	return 0, 0, false
+}
+
+// Prune removes candidates for which drop returns true.
+func (c *candidateSet) Prune(drop func(u int32, d float64) bool) {
+	for u, d := range c.d {
+		if drop(u, d) {
+			delete(c.d, u)
+		}
+	}
+}
+
+// runTSA is the Twofold Search Approach (Algorithm 1): a social and a
+// spatial incremental search run concurrently, bounding unseen users by
+// θ = α·t_p + (1−α)·t_d. Phase 2 resolves the partially-evaluated candidate
+// set Q, by default continuing only the social search (continuing the NN
+// search "would be a waste of computations").
+func (e *Engine) runTSA(q graph.VertexID, prm Params, st *Stats, cfg tsaConfig) []Entry {
+	soc := graph.NewDijkstraIterator(e.ds.G, q)
+	nn := e.grid.NewNN(e.ds.Pts[q])
+	r := newTopK(prm.K)
+	cand := newCandidateSet()
+
+	tp, td := 0.0, 0.0
+	socDone, spaDone := false, false
+
+	advanceSocial := func() {
+		v, p, ok := soc.Next()
+		if !ok {
+			socDone = true
+			return
+		}
+		st.SocialPops++
+		tp = p
+		if v == q {
+			return
+		}
+		d := e.ds.EuclideanDist(q, v)
+		r.Consider(Entry{ID: v, F: combine(prm.Alpha, p, d), P: p, D: d})
+		// Algorithm 1 lines 7–8: a candidate reached by the social search is
+		// now fully evaluated and must leave Q.
+		cand.Remove(v)
+	}
+	advanceSpatial := func() {
+		u, d, ok := nn.Next()
+		if !ok {
+			spaDone = true
+			return
+		}
+		st.SpatialPops++
+		td = d
+		if u == q || soc.Settled(u) {
+			return
+		}
+		cand.Add(u, d)
+	}
+
+	// theta bounds the f value of users unseen by both searches. A finished
+	// stream contributes +Inf: no further qualifying user can exist there.
+	theta := func() float64 {
+		ctp, ctd := tp, td
+		if socDone {
+			ctp = math.Inf(1)
+		}
+		if spaDone {
+			ctd = math.Inf(1)
+		}
+		return combine(prm.Alpha, ctp, ctd)
+	}
+
+	// Quick Combine: exponentially-smoothed per-pull growth of each
+	// stream's frontier distance, weighted by the domain coefficient; the
+	// faster-growing stream is probed because it lifts θ sooner.
+	var socRate, spaRate float64
+	var socPulls, spaPulls int
+	const smooth = 0.5
+
+	for !(socDone && spaDone) {
+		if cfg.quickCombine {
+			// Bootstrap: probe each stream twice before trusting the rates.
+			pickSocial := !socDone &&
+				(spaDone || socPulls < 2 ||
+					(spaPulls >= 2 && prm.Alpha*socRate >= (1-prm.Alpha)*spaRate))
+			if pickSocial {
+				socPulls++
+				before := tp
+				advanceSocial()
+				socRate = smooth*socRate + (1-smooth)*(tp-before)
+			} else {
+				spaPulls++
+				before := td
+				advanceSpatial()
+				spaRate = smooth*spaRate + (1-smooth)*(td-before)
+			}
+		} else {
+			advanceSocial()
+			advanceSpatial()
+		}
+		if theta() >= r.Fk() {
+			break
+		}
+	}
+
+	if cfg.prune {
+		// TSA with landmarks: eliminate candidates whose landmark-derived f
+		// lower bound already misses the interim result.
+		cand.Prune(func(u int32, d float64) bool {
+			return combine(prm.Alpha, e.lm.LowerBound(q, u), d) >= r.Fk()
+		})
+	}
+
+	if cfg.useCH {
+		e.tsaPhase2CH(q, prm, st, r, cand, tp)
+	} else {
+		e.tsaPhase2Social(q, prm, st, r, cand, soc, tp, socDone)
+	}
+	return r.Sorted()
+}
+
+// tsaPhase2Social continues only the social search until every candidate is
+// evaluated, disqualified, or provably beaten (θ′ ≥ f_k).
+func (e *Engine) tsaPhase2Social(q graph.VertexID, prm Params, st *Stats, r *topK,
+	cand *candidateSet, soc *graph.DijkstraIterator, tp float64, socDone bool) {
+	for cand.Len() > 0 && !socDone {
+		if combine(prm.Alpha, tp, cand.MinD()) >= r.Fk() {
+			return
+		}
+		v, p, ok := soc.Next()
+		if !ok {
+			// Remaining candidates are socially unreachable: f = +Inf.
+			return
+		}
+		st.SocialPops++
+		tp = p
+		if cand.Contains(v) {
+			d := cand.D(v)
+			r.Consider(Entry{ID: v, F: combine(prm.Alpha, p, d), P: p, D: d})
+			cand.Remove(v)
+		}
+	}
+}
+
+// tsaPhase2CH is the TSA-CH phase 2 (Fig. 8): candidates are resolved
+// cheapest-Euclidean-first with independent CH point-to-point queries, no
+// social stream continuation. t_p stays frozen at its phase-1 value, so θ′
+// grows only through t′_d.
+func (e *Engine) tsaPhase2CH(q graph.VertexID, prm Params, st *Stats, r *topK,
+	cand *candidateSet, tp float64) {
+	for {
+		u, d, ok := cand.PopMinD()
+		if !ok {
+			return
+		}
+		if combine(prm.Alpha, tp, d) >= r.Fk() {
+			return
+		}
+		st.CHQueries++
+		p, _ := e.hierarchy.Dist(q, u)
+		r.Consider(Entry{ID: u, F: combine(prm.Alpha, p, d), P: p, D: d})
+	}
+}

@@ -1,0 +1,106 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"ssrq/internal/graph"
+	"ssrq/internal/spatial"
+)
+
+// wire is the serialized form of a dataset. Raw (de-normalized) values are
+// stored so a round trip is independent of normalization details.
+type wire struct {
+	Version int
+	Name    string
+	N       int
+	EdgeU   []int32
+	EdgeV   []int32
+	EdgeW   []float64
+	Pts     []spatial.Point
+	Located []bool
+}
+
+const wireVersion = 1
+
+// Save writes the dataset to w in gob encoding.
+func (d *Dataset) Save(w io.Writer) error {
+	n := d.NumUsers()
+	msg := wire{
+		Version: wireVersion,
+		Name:    d.Name,
+		N:       n,
+		Pts:     make([]spatial.Point, n),
+		Located: d.Located,
+	}
+	for i, p := range d.Pts {
+		msg.Pts[i] = spatial.Point{X: p.X * d.Norms.Spatial, Y: p.Y * d.Norms.Spatial}
+	}
+	for v := 0; v < n; v++ {
+		nbrs, ws := d.G.Neighbors(graph.VertexID(v))
+		for i, u := range nbrs {
+			if u > graph.VertexID(v) {
+				msg.EdgeU = append(msg.EdgeU, int32(v))
+				msg.EdgeV = append(msg.EdgeV, u)
+				msg.EdgeW = append(msg.EdgeW, ws[i]*d.Norms.Social)
+			}
+		}
+	}
+	return gob.NewEncoder(w).Encode(&msg)
+}
+
+// Load reads a dataset written by Save.
+func Load(r io.Reader) (*Dataset, error) {
+	var msg wire
+	if err := gob.NewDecoder(r).Decode(&msg); err != nil {
+		return nil, fmt.Errorf("dataset: decoding: %w", err)
+	}
+	if msg.Version != wireVersion {
+		return nil, fmt.Errorf("dataset: unsupported version %d", msg.Version)
+	}
+	if len(msg.EdgeU) != len(msg.EdgeV) || len(msg.EdgeU) != len(msg.EdgeW) {
+		return nil, fmt.Errorf("dataset: corrupt edge arrays")
+	}
+	b := graph.NewBuilder(msg.N)
+	for i := range msg.EdgeU {
+		if err := b.AddEdge(msg.EdgeU[i], msg.EdgeV[i], msg.EdgeW[i]); err != nil {
+			return nil, fmt.Errorf("dataset: edge %d: %w", i, err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return New(msg.Name, g, msg.Pts, msg.Located)
+}
+
+// SaveFile writes the dataset to path.
+func (d *Dataset) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if err := d.Save(bw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a dataset from path.
+func LoadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(bufio.NewReader(f))
+}

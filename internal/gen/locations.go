@@ -1,0 +1,187 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ssrq/internal/graph"
+	"ssrq/internal/spatial"
+)
+
+// LocationConfig controls synthetic location assignment.
+type LocationConfig struct {
+	// Cities is the number of Gaussian population clusters (default 12).
+	Cities int
+	// Sigma is the cluster spread as a fraction of the world extent
+	// (default 0.04).
+	Sigma float64
+	// LocatedFrac is the fraction of users with a known location — the
+	// paper has 54.4% (Gowalla) and 60.3% (Foursquare).
+	LocatedFrac float64
+	// Homophily is the probability that a user settles near the centroid
+	// of already-placed friends instead of a random city, giving the mild
+	// positive social↔spatial correlation real LBSNs show.
+	Homophily float64
+}
+
+func (c *LocationConfig) setDefaults() {
+	if c.Cities == 0 {
+		c.Cities = 12
+	}
+	if c.Sigma == 0 {
+		c.Sigma = 0.04
+	}
+	if c.LocatedFrac == 0 {
+		c.LocatedFrac = 1
+	}
+}
+
+// Locations assigns clustered locations in the unit square to the users of
+// g, honoring the located fraction and friend homophily.
+func Locations(g *graph.Graph, cfg LocationConfig, rng *rand.Rand) ([]spatial.Point, []bool, error) {
+	cfg.setDefaults()
+	if cfg.LocatedFrac < 0 || cfg.LocatedFrac > 1 {
+		return nil, nil, fmt.Errorf("gen: LocatedFrac %v out of [0,1]", cfg.LocatedFrac)
+	}
+	if cfg.Homophily < 0 || cfg.Homophily > 1 {
+		return nil, nil, fmt.Errorf("gen: Homophily %v out of [0,1]", cfg.Homophily)
+	}
+	n := g.NumVertices()
+	centers := make([]spatial.Point, cfg.Cities)
+	for i := range centers {
+		centers[i] = spatial.Point{X: rng.Float64(), Y: rng.Float64()}
+	}
+	pts := make([]spatial.Point, n)
+	located := make([]bool, n)
+	placed := make([]bool, n)
+
+	gauss := func(c spatial.Point) spatial.Point {
+		return spatial.Point{
+			X: clamp01(c.X + rng.NormFloat64()*cfg.Sigma),
+			Y: clamp01(c.Y + rng.NormFloat64()*cfg.Sigma),
+		}
+	}
+
+	for v := 0; v < n; v++ {
+		if rng.Float64() >= cfg.LocatedFrac {
+			continue
+		}
+		located[v] = true
+		anchor := centers[rng.Intn(len(centers))]
+		if cfg.Homophily > 0 && rng.Float64() < cfg.Homophily {
+			// Centroid of already-placed friends, if any.
+			nbrs, _ := g.Neighbors(graph.VertexID(v))
+			var cx, cy float64
+			cnt := 0
+			for _, u := range nbrs {
+				if placed[u] {
+					cx += pts[u].X
+					cy += pts[u].Y
+					cnt++
+				}
+			}
+			if cnt > 0 {
+				anchor = spatial.Point{X: cx / float64(cnt), Y: cy / float64(cnt)}
+			}
+		}
+		pts[v] = gauss(anchor)
+		placed[v] = true
+	}
+	return pts, located, nil
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// CorrelationSign selects the Fig. 14a dataset family.
+type CorrelationSign int
+
+const (
+	// PositiveCorrelation places socially-near users spatially near
+	// (ρ = +1 in the paper's d̄ = ρ·p + ε formula).
+	PositiveCorrelation CorrelationSign = iota
+	// NegativeCorrelation places socially-near users spatially far (ρ = −1).
+	NegativeCorrelation
+	// IndependentCorrelation randomly permutes locations, destroying any
+	// social↔spatial relationship.
+	IndependentCorrelation
+)
+
+func (c CorrelationSign) String() string {
+	switch c {
+	case PositiveCorrelation:
+		return "positive"
+	case NegativeCorrelation:
+		return "negative"
+	case IndependentCorrelation:
+		return "independent"
+	default:
+		return fmt.Sprintf("CorrelationSign(%d)", int(c))
+	}
+}
+
+// CorrelatedLocations implements the paper's Fig. 14a synthesis for a chosen
+// query vertex: every user u is placed on a circle of radius
+// d̄ = |ρ·p̂(v_q, u) + ε| around the query's location, where p̂ is the social
+// distance normalized to [0,1] and ε ∈ [−0.15, 0.15]. Negative correlation
+// uses d̄ = 1 − p̂ + ε so socially-near users land far away. Unreachable
+// users get independent uniform positions. The query user sits at the
+// center. All users are located.
+func CorrelatedLocations(g *graph.Graph, q graph.VertexID, sign CorrelationSign, rng *rand.Rand) ([]spatial.Point, []bool) {
+	n := g.NumVertices()
+	dist := g.DistancesFrom(q)
+	maxD := 0.0
+	for _, d := range dist {
+		if d != graph.Infinity && d > maxD {
+			maxD = d
+		}
+	}
+	if maxD == 0 {
+		maxD = 1
+	}
+	center := spatial.Point{X: 0.5, Y: 0.5}
+	pts := make([]spatial.Point, n)
+	located := make([]bool, n)
+	for v := 0; v < n; v++ {
+		located[v] = true
+		if graph.VertexID(v) == q {
+			pts[v] = center
+			continue
+		}
+		if dist[v] == graph.Infinity || sign == IndependentCorrelation {
+			pts[v] = spatial.Point{X: rng.Float64(), Y: rng.Float64()}
+			continue
+		}
+		p := dist[v] / maxD
+		eps := (rng.Float64() - 0.5) * 0.3 // ε ∈ [−0.15, 0.15]
+		var r float64
+		if sign == PositiveCorrelation {
+			r = p + eps
+		} else {
+			r = 1 - p + eps
+		}
+		if r < 0 {
+			r = -r
+		}
+		if r > 1 {
+			r = 1
+		}
+		// Radius is in [0,1]; scale to at most 0.5 so the circle stays
+		// inside the unit square around the center.
+		r *= 0.5
+		theta := rng.Float64() * 2 * math.Pi
+		pts[v] = spatial.Point{
+			X: clamp01(center.X + r*math.Cos(theta)),
+			Y: clamp01(center.Y + r*math.Sin(theta)),
+		}
+	}
+	return pts, located
+}

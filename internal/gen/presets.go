@@ -1,0 +1,101 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ssrq/internal/dataset"
+	"ssrq/internal/graph"
+	"ssrq/internal/spatial"
+)
+
+// Preset identifies a paper-dataset substitute (Table 2 / Fig. 13).
+type Preset struct {
+	Name string
+	// AvgDegreeTarget drives the attachment parameter.
+	AvgDegreeTarget float64
+	// LocatedFrac matches the paper's located-user percentages.
+	LocatedFrac float64
+	// FireP blends forest-fire community structure into the graph
+	// (fraction of edges grown by forest fire rather than BA).
+	FireP float64
+}
+
+// Paper-dataset presets. Sizes are a parameter: the paper's full scales
+// (196K / 1.88M / 124K users) are reachable with the same presets but the
+// default experiment harness runs laptop-scale (see DESIGN.md §2).
+var (
+	// GowallaPreset mirrors Gowalla: avg degree 9.7, 54.4% located users.
+	GowallaPreset = Preset{Name: "gowalla", AvgDegreeTarget: 9.7, LocatedFrac: 0.544, FireP: 0.30}
+	// FoursquarePreset mirrors Foursquare: avg degree 9.5, 60.3% located.
+	FoursquarePreset = Preset{Name: "foursquare", AvgDegreeTarget: 9.5, LocatedFrac: 0.603, FireP: 0.35}
+	// TwitterPreset mirrors the Singapore Twitter set: avg degree 57.7,
+	// all users geo-tagged.
+	TwitterPreset = Preset{Name: "twitter", AvgDegreeTarget: 57.7, LocatedFrac: 1.0, FireP: 0.10}
+)
+
+// Dataset synthesizes an n-user dataset matching the preset: a geo-social
+// graph (spatially-local edges mixed with preferential attachment, see
+// GeoSocial) with the target average degree, the paper's degree-product edge
+// weights, Gaussian-city locations, and the preset's located fraction.
+func (p Preset) Dataset(n int, seed int64) (*dataset.Dataset, error) {
+	if n < 10 {
+		return nil, fmt.Errorf("gen: preset dataset needs n ≥ 10, got %d", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	m := int(p.AvgDegreeTarget/2 + 0.5)
+	if m < 1 {
+		m = 1
+	}
+	cities := 8 + n/2000 // more clusters as the world grows
+	if cities > 40 {
+		cities = 40
+	}
+	edges, pts, located, err := GeoSocial(GeoSocialConfig{
+		N:           n,
+		M:           m,
+		PLocal:      0.5,
+		Cities:      cities,
+		LocatedFrac: p.LocatedFrac,
+	}, rng)
+	if err != nil {
+		return nil, err
+	}
+	g, err := BuildGraph(n, edges, DegreeProductWeights(n, edges))
+	if err != nil {
+		return nil, err
+	}
+	return dataset.New(p.Name, g, pts, located)
+}
+
+// CorrelatedDataset builds the Fig. 14a dataset family: the graph comes from
+// the given preset, but locations follow the correlated synthesis around a
+// chosen query vertex.
+func CorrelatedDataset(base *dataset.Dataset, q graph.VertexID, sign CorrelationSign, seed int64) (*dataset.Dataset, error) {
+	rng := rand.New(rand.NewSource(seed))
+	pts, located := CorrelatedLocations(base.G, q, sign, rng)
+	return dataset.New(
+		fmt.Sprintf("%s-%s", base.Name, sign),
+		base.G.ScaleWeights(base.Norms.Social), // undo normalization: New re-normalizes
+		pts, located,
+	)
+}
+
+// SampledDataset builds a Fig. 14b scalability point: a forest-fire sample
+// of target users from the base dataset, keeping original locations.
+func SampledDataset(base *dataset.Dataset, target int, seed int64) (*dataset.Dataset, error) {
+	rng := rand.New(rand.NewSource(seed))
+	raw := base.G.ScaleWeights(base.Norms.Social)
+	sub, oldIDs, err := ForestFireSample(raw, target, 0.4, rng)
+	if err != nil {
+		return nil, err
+	}
+	// Recover raw coordinates before re-normalizing in dataset.New.
+	rawPts := make([]spatial.Point, len(base.Pts))
+	for i, p := range base.Pts {
+		rawPts[i] = spatial.Point{X: p.X * base.Norms.Spatial, Y: p.Y * base.Norms.Spatial}
+	}
+	pts, located := SampleLocations(rawPts, base.Located, oldIDs)
+	return dataset.New(fmt.Sprintf("%s-%dk", base.Name, target/1000), sub, pts, located)
+}

@@ -1,0 +1,105 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ssrq/internal/graph"
+	"ssrq/internal/spatial"
+)
+
+// ForestFireSample extracts a structure-preserving sample of target vertices
+// from g using the Forest Fire Sampling of Leskovec & Faloutsos [45], the
+// technique the paper uses to derive the 0.6M/1.2M/1.8M Foursquare subsets
+// of Fig. 14b: repeatedly ignite a random seed and burn outward, each
+// neighbor catching fire with probability p; the induced subgraph over
+// burned vertices is returned together with a mapping old→new vertex IDs.
+func ForestFireSample(g *graph.Graph, target int, p float64, rng *rand.Rand) (*graph.Graph, []graph.VertexID, error) {
+	n := g.NumVertices()
+	if target < 1 || target > n {
+		return nil, nil, fmt.Errorf("gen: sample target %d out of [1,%d]", target, n)
+	}
+	if p <= 0 || p >= 1 {
+		return nil, nil, fmt.Errorf("gen: burn probability %v out of (0,1)", p)
+	}
+	burned := make([]bool, n)
+	var order []graph.VertexID
+	var queue []graph.VertexID
+	for len(order) < target {
+		// Ignite a fresh unburned seed.
+		seed := graph.VertexID(rng.Intn(n))
+		for burned[seed] {
+			seed = graph.VertexID(rng.Intn(n))
+		}
+		burned[seed] = true
+		order = append(order, seed)
+		queue = append(queue[:0], seed)
+		for len(queue) > 0 && len(order) < target {
+			v := queue[0]
+			queue = queue[1:]
+			nbrs, _ := g.Neighbors(v)
+			for _, u := range nbrs {
+				if burned[u] || len(order) >= target {
+					continue
+				}
+				if rng.Float64() < p {
+					burned[u] = true
+					order = append(order, u)
+					queue = append(queue, u)
+				}
+			}
+		}
+	}
+
+	// Induced subgraph with compacted IDs (sorted by old ID for
+	// deterministic numbering).
+	newID := make([]int32, n)
+	for i := range newID {
+		newID[i] = -1
+	}
+	// order may be in burn order; renumber by ascending old ID.
+	cnt := int32(0)
+	for v := 0; v < n; v++ {
+		if burned[v] {
+			newID[v] = cnt
+			cnt++
+		}
+	}
+	b := graph.NewBuilder(int(cnt))
+	for v := 0; v < n; v++ {
+		if newID[v] < 0 {
+			continue
+		}
+		nbrs, ws := g.Neighbors(graph.VertexID(v))
+		for i, u := range nbrs {
+			if u > graph.VertexID(v) && newID[u] >= 0 {
+				if err := b.AddEdge(newID[v], newID[u], ws[i]); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+	}
+	sub, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	oldIDs := make([]graph.VertexID, cnt)
+	for v := 0; v < n; v++ {
+		if newID[v] >= 0 {
+			oldIDs[newID[v]] = graph.VertexID(v)
+		}
+	}
+	return sub, oldIDs, nil
+}
+
+// SampleLocations projects per-user data (locations, located flags) of the
+// original graph onto a sample produced by ForestFireSample.
+func SampleLocations(pts []spatial.Point, located []bool, oldIDs []graph.VertexID) ([]spatial.Point, []bool) {
+	sp := make([]spatial.Point, len(oldIDs))
+	sl := make([]bool, len(oldIDs))
+	for i, old := range oldIDs {
+		sp[i] = pts[old]
+		sl[i] = located[old]
+	}
+	return sp, sl
+}

@@ -1,0 +1,153 @@
+package graph
+
+import "ssrq/internal/pqueue"
+
+// Heuristic estimates a lower bound on the remaining distance from a vertex
+// to a fixed (implicit) goal. All heuristics used in this repository are
+// landmark-derived and therefore consistent, so A* settles exact distances.
+type Heuristic func(VertexID) float64
+
+// ZeroHeuristic makes A* behave exactly like Dijkstra.
+func ZeroHeuristic(VertexID) float64 { return 0 }
+
+// AStarPool is reusable storage for repeated A* searches over the same
+// graph-size domain. GraphDist-style workloads start hundreds of short
+// reverse searches per query; epoch-stamped arrays avoid an O(n)
+// allocation+clear per search. One search may be active per pool at a time.
+type AStarPool struct {
+	heap    *pqueue.IndexedHeap
+	dist    []float64 // g-values, valid when mark == epoch
+	parent  []VertexID
+	mark    []uint32
+	settled []uint32 // epoch when settled
+	epoch   uint32
+}
+
+// NewAStarPool returns a pool for graphs with n vertices.
+func NewAStarPool(n int) *AStarPool {
+	return &AStarPool{
+		heap:    pqueue.NewIndexedHeap(n),
+		dist:    make([]float64, n),
+		parent:  make([]VertexID, n),
+		mark:    make([]uint32, n),
+		settled: make([]uint32, n),
+	}
+}
+
+// AStarSearch is a pausable A* expansion bound to a pool. Pop and Expand are
+// split so callers (Algorithm 3's reverse search) can decide not to expand a
+// settled vertex.
+type AStarSearch struct {
+	g    *Graph
+	p    *AStarPool
+	h    Heuristic
+	pops int
+	done bool
+}
+
+// NewSearch begins an A* expansion from source with heuristic h,
+// invalidating any previous search on this pool.
+func (p *AStarPool) NewSearch(g *Graph, source VertexID, h Heuristic) *AStarSearch {
+	p.epoch++
+	if p.epoch == 0 { // uint32 wrap: flush stale marks
+		for i := range p.mark {
+			p.mark[i], p.settled[i] = 0, 0
+		}
+		p.epoch = 1
+	}
+	p.heap.Reset()
+	s := &AStarSearch{g: g, p: p, h: h}
+	p.dist[source] = 0
+	p.parent[source] = -1
+	p.mark[source] = p.epoch
+	p.heap.PushOrDecrease(source, h(source))
+	return s
+}
+
+// Pop settles and returns the vertex with the smallest f = g + h key without
+// expanding it. dist is the exact g-value. ok is false when the frontier is
+// exhausted.
+func (s *AStarSearch) Pop() (v VertexID, dist float64, ok bool) {
+	if s.done {
+		return 0, 0, false
+	}
+	v, _, ok = s.p.heap.PopMin()
+	if !ok {
+		s.done = true
+		return 0, 0, false
+	}
+	s.p.settled[v] = s.p.epoch
+	s.pops++
+	return v, s.p.dist[v], true
+}
+
+// Expand relaxes the edges of a vertex previously returned by Pop.
+func (s *AStarSearch) Expand(v VertexID) {
+	dv := s.p.dist[v]
+	nbrs, ws := s.g.Neighbors(v)
+	for i, u := range nbrs {
+		if s.p.settled[u] == s.p.epoch {
+			continue
+		}
+		nd := dv + ws[i]
+		if s.p.mark[u] != s.p.epoch || nd < s.p.dist[u] {
+			s.p.dist[u] = nd
+			s.p.parent[u] = v
+			s.p.mark[u] = s.p.epoch
+			s.p.heap.PushOrDecrease(u, nd+s.h(u))
+		}
+	}
+}
+
+// Next is Pop followed by Expand.
+func (s *AStarSearch) Next() (v VertexID, dist float64, ok bool) {
+	v, dist, ok = s.Pop()
+	if ok {
+		s.Expand(v)
+	}
+	return v, dist, ok
+}
+
+// HeadKey returns the smallest f-key currently queued; ok is false when the
+// frontier is empty. It lower-bounds the total length of any s-t path not
+// yet discovered through this search's frontier.
+func (s *AStarSearch) HeadKey() (float64, bool) {
+	_, key, ok := s.p.heap.PeekMin()
+	return key, ok
+}
+
+// Settled reports whether v has been settled by this search.
+func (s *AStarSearch) Settled(v VertexID) bool { return s.p.settled[v] == s.p.epoch }
+
+// SettledDist returns the exact distance of a settled vertex.
+func (s *AStarSearch) SettledDist(v VertexID) (float64, bool) {
+	if !s.Settled(v) {
+		return Infinity, false
+	}
+	return s.p.dist[v], true
+}
+
+// Discovered reports whether v has a (possibly tentative) label.
+func (s *AStarSearch) Discovered(v VertexID) bool { return s.p.mark[v] == s.p.epoch }
+
+// LabelDist returns the tentative g-value of a discovered vertex.
+func (s *AStarSearch) LabelDist(v VertexID) (float64, bool) {
+	if !s.Discovered(v) {
+		return Infinity, false
+	}
+	return s.p.dist[v], true
+}
+
+// ParentOf returns the search-tree parent of a discovered vertex.
+func (s *AStarSearch) ParentOf(v VertexID) VertexID {
+	if !s.Discovered(v) {
+		return -1
+	}
+	return s.p.parent[v]
+}
+
+// Pops returns how many vertices this search settled (pop-ratio metric).
+func (s *AStarSearch) Pops() int { return s.pops }
+
+// Exhausted reports whether the frontier has emptied.
+func (s *AStarSearch) Exhausted() bool { return s.done }

@@ -1,0 +1,89 @@
+package graph
+
+import "ssrq/internal/pqueue"
+
+// ShortestPaths holds a full single-source shortest-path tree.
+type ShortestPaths struct {
+	Source VertexID
+	Dist   []float64 // Infinity for unreachable vertices
+	Parent []VertexID
+	Hops   []int32 // edge count along the shortest-path tree; -1 if unreachable
+}
+
+// Dijkstra computes shortest-path distances from source to every vertex.
+func (g *Graph) Dijkstra(source VertexID) *ShortestPaths {
+	n := g.NumVertices()
+	sp := &ShortestPaths{
+		Source: source,
+		Dist:   make([]float64, n),
+		Parent: make([]VertexID, n),
+		Hops:   make([]int32, n),
+	}
+	for i := range sp.Dist {
+		sp.Dist[i] = Infinity
+		sp.Parent[i] = -1
+		sp.Hops[i] = -1
+	}
+	h := pqueue.NewIndexedHeap(n)
+	sp.Dist[source] = 0
+	sp.Hops[source] = 0
+	h.PushOrDecrease(source, 0)
+	for {
+		v, dv, ok := h.PopMin()
+		if !ok {
+			break
+		}
+		if dv > sp.Dist[v] { // stale entry (cannot happen with decrease-key, kept defensively)
+			continue
+		}
+		nbrs, ws := g.Neighbors(v)
+		for i, u := range nbrs {
+			if nd := dv + ws[i]; nd < sp.Dist[u] {
+				sp.Dist[u] = nd
+				sp.Parent[u] = v
+				sp.Hops[u] = sp.Hops[v] + 1
+				h.PushOrDecrease(u, nd)
+			}
+		}
+	}
+	return sp
+}
+
+// DistancesFrom is Dijkstra returning only the distance slice.
+func (g *Graph) DistancesFrom(source VertexID) []float64 {
+	return g.Dijkstra(source).Dist
+}
+
+// DijkstraTo computes the shortest-path distance between two vertices,
+// stopping as soon as target is settled. Returns Infinity when unreachable.
+func (g *Graph) DijkstraTo(source, target VertexID) float64 {
+	if source == target {
+		return 0
+	}
+	it := NewDijkstraIterator(g, source)
+	for {
+		v, d, ok := it.Next()
+		if !ok {
+			return Infinity
+		}
+		if v == target {
+			return d
+		}
+	}
+}
+
+// PathTo reconstructs the vertex sequence from the tree source to v, or nil
+// if v is unreachable.
+func (sp *ShortestPaths) PathTo(v VertexID) []VertexID {
+	if sp.Dist[v] == Infinity {
+		return nil
+	}
+	var rev []VertexID
+	for x := v; x != -1; x = sp.Parent[x] {
+		rev = append(rev, x)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}

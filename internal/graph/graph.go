@@ -1,0 +1,198 @@
+// Package graph implements the weighted undirected social-graph substrate of
+// the SSRQ reproduction: a compact CSR adjacency representation plus the
+// shortest-path machinery every SSRQ algorithm builds on — full and
+// incremental (pausable) Dijkstra, A* with pluggable heuristics, and
+// bidirectional searches.
+//
+// Vertices are dense int32 IDs in [0, N). Edge weights are positive float64
+// "friendship strengths" (smaller = stronger, per the paper §3). The graph is
+// immutable after Build, which keeps query paths allocation-light and makes
+// concurrent read-only use safe.
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// VertexID identifies a vertex (== a user) in the social graph.
+type VertexID = int32
+
+// Infinity is the distance reported for unreachable vertices.
+var Infinity = math.Inf(1)
+
+// Graph is an immutable weighted undirected graph in CSR form.
+type Graph struct {
+	offsets []int32 // len n+1; adjacency of v is targets[offsets[v]:offsets[v+1]]
+	targets []VertexID
+	weights []float64
+	numEdge int // number of undirected edges
+}
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return len(g.offsets) - 1 }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int { return g.numEdge }
+
+// Degree returns the number of neighbors of v.
+func (g *Graph) Degree(v VertexID) int {
+	return int(g.offsets[v+1] - g.offsets[v])
+}
+
+// MaxDegree returns the maximum vertex degree (0 for an empty graph).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.Degree(VertexID(v)); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// AvgDegree returns the average vertex degree.
+func (g *Graph) AvgDegree() float64 {
+	if g.NumVertices() == 0 {
+		return 0
+	}
+	return 2 * float64(g.numEdge) / float64(g.NumVertices())
+}
+
+// Neighbors returns the adjacency of v as parallel target/weight slices. The
+// returned slices alias the graph's internal storage and must not be
+// modified.
+func (g *Graph) Neighbors(v VertexID) ([]VertexID, []float64) {
+	lo, hi := g.offsets[v], g.offsets[v+1]
+	return g.targets[lo:hi], g.weights[lo:hi]
+}
+
+// EdgeWeight returns the weight of edge (u,v) and whether it exists.
+// Adjacency lists are sorted by target, so this is a binary search.
+func (g *Graph) EdgeWeight(u, v VertexID) (float64, bool) {
+	lo, hi := int(g.offsets[u]), int(g.offsets[u+1])
+	i := lo + sort.Search(hi-lo, func(i int) bool { return g.targets[lo+i] >= v })
+	if i < hi && g.targets[i] == v {
+		return g.weights[i], true
+	}
+	return 0, false
+}
+
+// ScaleWeights returns a graph with identical topology and every edge weight
+// multiplied by factor (> 0). Adjacency storage is shared except weights.
+// Used by dataset normalization.
+func (g *Graph) ScaleWeights(factor float64) *Graph {
+	scaled := &Graph{
+		offsets: g.offsets,
+		targets: g.targets,
+		weights: make([]float64, len(g.weights)),
+		numEdge: g.numEdge,
+	}
+	for i, w := range g.weights {
+		scaled.weights[i] = w * factor
+	}
+	return scaled
+}
+
+// Builder accumulates undirected edges and produces an immutable Graph.
+// Duplicate edges are merged keeping the minimum weight; self-loops and
+// non-positive weights are rejected.
+type Builder struct {
+	n     int
+	us    []VertexID
+	vs    []VertexID
+	ws    []float64
+	built bool
+}
+
+// NewBuilder returns a builder for a graph with n vertices.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n}
+}
+
+// NumVertices returns the vertex count the builder was created with.
+func (b *Builder) NumVertices() int { return b.n }
+
+// AddEdge records the undirected edge (u,v) with weight w.
+func (b *Builder) AddEdge(u, v VertexID, w float64) error {
+	if u < 0 || int(u) >= b.n || v < 0 || int(v) >= b.n {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n)
+	}
+	if u == v {
+		return fmt.Errorf("graph: self-loop on vertex %d", u)
+	}
+	if !(w > 0) || math.IsInf(w, 1) || math.IsNaN(w) {
+		return fmt.Errorf("graph: edge (%d,%d) weight %v must be positive and finite", u, v, w)
+	}
+	b.us = append(b.us, u)
+	b.vs = append(b.vs, v)
+	b.ws = append(b.ws, w)
+	return nil
+}
+
+// HasEdges reports whether any edges were added.
+func (b *Builder) HasEdges() bool { return len(b.us) > 0 }
+
+// Build finalizes the graph. The builder must not be reused afterwards.
+func (b *Builder) Build() (*Graph, error) {
+	if b.built {
+		return nil, fmt.Errorf("graph: Build called twice")
+	}
+	b.built = true
+
+	type half struct {
+		from, to VertexID
+		w        float64
+	}
+	halves := make([]half, 0, 2*len(b.us))
+	for i := range b.us {
+		halves = append(halves,
+			half{b.us[i], b.vs[i], b.ws[i]},
+			half{b.vs[i], b.us[i], b.ws[i]})
+	}
+	sort.Slice(halves, func(i, j int) bool {
+		if halves[i].from != halves[j].from {
+			return halves[i].from < halves[j].from
+		}
+		if halves[i].to != halves[j].to {
+			return halves[i].to < halves[j].to
+		}
+		return halves[i].w < halves[j].w
+	})
+
+	// Deduplicate keeping the smallest weight (it sorts first).
+	dedup := halves[:0]
+	for _, h := range halves {
+		if n := len(dedup); n > 0 && dedup[n-1].from == h.from && dedup[n-1].to == h.to {
+			continue
+		}
+		dedup = append(dedup, h)
+	}
+
+	g := &Graph{
+		offsets: make([]int32, b.n+1),
+		targets: make([]VertexID, len(dedup)),
+		weights: make([]float64, len(dedup)),
+		numEdge: len(dedup) / 2,
+	}
+	for i, h := range dedup {
+		g.offsets[h.from+1]++
+		g.targets[i] = h.to
+		g.weights[i] = h.w
+	}
+	for v := 0; v < b.n; v++ {
+		g.offsets[v+1] += g.offsets[v]
+	}
+	return g, nil
+}
+
+// MustBuild is Build that panics on error; intended for generators and tests
+// that construct edges known to be valid.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

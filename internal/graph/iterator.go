@@ -1,0 +1,124 @@
+package graph
+
+import "ssrq/internal/pqueue"
+
+// DijkstraIterator is a pausable Dijkstra expansion from a fixed source.
+// Each Next call settles and returns the next-closest vertex, which makes the
+// iterator the "sorted access" stream over the social domain that SFA, TSA
+// and the forward search of AIS's GraphDist submodule rely on (paper §4, §5.2).
+//
+// The iterator retains its heap and settled state between calls — this *is*
+// the paper's forward-heap caching when the iterator is shared across
+// multiple target evaluations.
+type DijkstraIterator struct {
+	g       *Graph
+	heap    *pqueue.IndexedHeap
+	dist    []float64
+	settled []bool
+	parent  []VertexID
+	hops    []int32
+	lastKey float64 // distance of the most recently settled vertex (β in §5.3)
+	pops    int
+	done    bool
+}
+
+// NewDijkstraIterator starts an expansion at source. The source itself is the
+// first vertex returned by Next (with distance 0).
+func NewDijkstraIterator(g *Graph, source VertexID) *DijkstraIterator {
+	n := g.NumVertices()
+	it := &DijkstraIterator{
+		g:       g,
+		heap:    pqueue.NewIndexedHeap(n),
+		dist:    make([]float64, n),
+		settled: make([]bool, n),
+		parent:  make([]VertexID, n),
+		hops:    make([]int32, n),
+	}
+	for i := range it.dist {
+		it.dist[i] = Infinity
+		it.parent[i] = -1
+		it.hops[i] = -1
+	}
+	it.dist[source] = 0
+	it.hops[source] = 0
+	it.heap.PushOrDecrease(source, 0)
+	return it
+}
+
+// Next settles the next-closest unsettled vertex and relaxes its edges.
+// ok is false once the connected component of the source is exhausted.
+func (it *DijkstraIterator) Next() (v VertexID, dist float64, ok bool) {
+	if it.done {
+		return 0, 0, false
+	}
+	v, dist, ok = it.heap.PopMin()
+	if !ok {
+		it.done = true
+		return 0, 0, false
+	}
+	it.settled[v] = true
+	it.lastKey = dist
+	it.pops++
+	nbrs, ws := it.g.Neighbors(v)
+	for i, u := range nbrs {
+		if it.settled[u] {
+			continue
+		}
+		if nd := dist + ws[i]; nd < it.dist[u] {
+			it.dist[u] = nd
+			it.parent[u] = v
+			it.hops[u] = it.hops[v] + 1
+			it.heap.PushOrDecrease(u, nd)
+		}
+	}
+	return v, dist, true
+}
+
+// Exhausted reports whether the expansion has settled its entire component.
+func (it *DijkstraIterator) Exhausted() bool { return it.done }
+
+// Settled reports whether v has been settled (popped); once settled,
+// SettledDist(v) is the exact shortest-path distance.
+func (it *DijkstraIterator) Settled(v VertexID) bool { return it.settled[v] }
+
+// SettledDist returns the exact distance to v if it is settled.
+func (it *DijkstraIterator) SettledDist(v VertexID) (float64, bool) {
+	if !it.settled[v] {
+		return Infinity, false
+	}
+	return it.dist[v], true
+}
+
+// TentativeDist returns the current (possibly not final) label of v;
+// Infinity if undiscovered.
+func (it *DijkstraIterator) TentativeDist(v VertexID) float64 { return it.dist[v] }
+
+// LastKey returns the distance of the most recently settled vertex. It lower
+// bounds the distance of every vertex not yet settled (the β of §5.3); it is
+// 0 before the first Next call.
+func (it *DijkstraIterator) LastKey() float64 { return it.lastKey }
+
+// HeadKey returns the tentative distance of the next vertex to be settled —
+// a (tighter than LastKey) lower bound on every unsettled vertex. ok is
+// false when the frontier is exhausted.
+func (it *DijkstraIterator) HeadKey() (float64, bool) {
+	_, key, ok := it.heap.PeekMin()
+	return key, ok
+}
+
+// HopsOf returns the number of edges on the shortest path to a settled
+// vertex, or -1 if v is not settled.
+func (it *DijkstraIterator) HopsOf(v VertexID) int32 {
+	if !it.settled[v] {
+		return -1
+	}
+	return it.hops[v]
+}
+
+// ParentOf returns the shortest-path-tree parent of a discovered vertex
+// (-1 for the source or undiscovered vertices).
+func (it *DijkstraIterator) ParentOf(v VertexID) VertexID { return it.parent[v] }
+
+// Pops returns the number of vertices settled so far (instrumentation for
+// the paper's pop-ratio metric).
+func (it *DijkstraIterator) Pops() int { return it.pops }

@@ -1,0 +1,226 @@
+// Package httpapi serves SSRQ over HTTP — the service layer of the
+// reproduction's "company/friend recommendation" motivating applications
+// (§1). Queries run concurrently against the shared engine; location
+// updates are serialized through a write lock, matching the engine's
+// concurrency contract (reads are lock-free, updates exclusive).
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"ssrq"
+)
+
+// Server is an http.Handler exposing one engine.
+type Server struct {
+	eng *ssrq.Engine
+	mux *http.ServeMux
+	// mu serializes location updates against queries: updates take the
+	// write side, queries the read side.
+	mu sync.RWMutex
+}
+
+// New builds the handler.
+func New(eng *ssrq.Engine) *Server {
+	s := &Server{eng: eng, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /query", s.handleQuery)
+	s.mux.HandleFunc("GET /user/{id}", s.handleUser)
+	s.mux.HandleFunc("POST /move", s.handleMove)
+	s.mux.HandleFunc("POST /unlocate", s.handleUnlocate)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+var algoByName = map[string]ssrq.Algorithm{
+	"SFA": ssrq.SFA, "SPA": ssrq.SPA, "TSA": ssrq.TSA, "TSA-QC": ssrq.TSAQC,
+	"AIS-BID": ssrq.AISBID, "AIS-": ssrq.AISMinus, "AIS": ssrq.AIS,
+	"AIS-CACHE": ssrq.AISCache, "BRUTE": ssrq.BruteForce,
+}
+
+// queryResponse is the wire form of a ranked result.
+type queryResponse struct {
+	Query   int32        `json:"query"`
+	K       int          `json:"k"`
+	Alpha   float64      `json:"alpha"`
+	Algo    string       `json:"algo"`
+	Entries []queryEntry `json:"entries"`
+	Stats   queryStats   `json:"stats"`
+}
+
+type queryEntry struct {
+	ID      int32   `json:"id"`
+	F       float64 `json:"f"`
+	Social  float64 `json:"social"`
+	Spatial float64 `json:"spatial"`
+}
+
+type queryStats struct {
+	SocialPops    int  `json:"social_pops"`
+	SpatialPops   int  `json:"spatial_pops"`
+	IndexUserPops int  `json:"index_user_pops"`
+	DistCalls     int  `json:"dist_calls"`
+	FellBack      bool `json:"fell_back,omitempty"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	q, err := intParam(r, "q", -1)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	k, err := intParam(r, "k", 10)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	alpha := 0.3
+	if raw := r.URL.Query().Get("alpha"); raw != "" {
+		alpha, err = strconv.ParseFloat(raw, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad alpha: %w", err))
+			return
+		}
+	}
+	algo := ssrq.AIS
+	if raw := r.URL.Query().Get("algo"); raw != "" {
+		var ok bool
+		algo, ok = algoByName[strings.ToUpper(raw)]
+		if !ok {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("unknown algorithm %q", raw))
+			return
+		}
+	}
+
+	s.mu.RLock()
+	res, err := s.eng.TopKWith(algo, ssrq.UserID(q), k, alpha)
+	s.mu.RUnlock()
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	resp := queryResponse{
+		Query: int32(q), K: k, Alpha: alpha, Algo: fmt.Sprint(algo),
+		Entries: make([]queryEntry, len(res.Entries)),
+		Stats: queryStats{
+			SocialPops:    res.Stats.SocialPops,
+			SpatialPops:   res.Stats.SpatialPops,
+			IndexUserPops: res.Stats.IndexUserPops,
+			DistCalls:     res.Stats.GraphDistCalls,
+			FellBack:      res.Stats.FellBack,
+		},
+	}
+	for i, e := range res.Entries {
+		resp.Entries[i] = queryEntry{ID: e.ID, F: e.F, Social: e.P, Spatial: e.D}
+	}
+	writeJSON(w, resp)
+}
+
+type userResponse struct {
+	ID      int32    `json:"id"`
+	Located bool     `json:"located"`
+	X       *float64 `json:"x,omitempty"`
+	Y       *float64 `json:"y,omitempty"`
+}
+
+func (s *Server) handleUser(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil || id < 0 || id >= s.eng.Dataset().NumUsers() {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown user %q", r.PathValue("id")))
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	resp := userResponse{ID: int32(id)}
+	if p, ok := s.eng.Dataset().Location(ssrq.UserID(id)); ok {
+		resp.Located = true
+		resp.X, resp.Y = &p.X, &p.Y
+	}
+	writeJSON(w, resp)
+}
+
+type moveRequest struct {
+	ID int32   `json:"id"`
+	X  float64 `json:"x"`
+	Y  float64 `json:"y"`
+}
+
+func (s *Server) handleMove(w http.ResponseWriter, r *http.Request) {
+	var req moveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad body: %w", err))
+		return
+	}
+	if req.ID < 0 || int(req.ID) >= s.eng.Dataset().NumUsers() {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown user %d", req.ID))
+		return
+	}
+	s.mu.Lock()
+	s.eng.MoveUser(req.ID, ssrq.Point{X: req.X, Y: req.Y})
+	s.mu.Unlock()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+type unlocateRequest struct {
+	ID int32 `json:"id"`
+}
+
+func (s *Server) handleUnlocate(w http.ResponseWriter, r *http.Request) {
+	var req unlocateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad body: %w", err))
+		return
+	}
+	if req.ID < 0 || int(req.ID) >= s.eng.Dataset().NumUsers() {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown user %d", req.ID))
+		return
+	}
+	s.mu.Lock()
+	s.eng.RemoveUserLocation(req.ID)
+	s.mu.Unlock()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	st := s.eng.Dataset().Stats()
+	s.mu.RUnlock()
+	writeJSON(w, st)
+}
+
+func intParam(r *http.Request, name string, def int) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		if def >= 0 {
+			return def, nil
+		}
+		return 0, fmt.Errorf("missing required parameter %q", name)
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s: %w", name, err)
+	}
+	return v, nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

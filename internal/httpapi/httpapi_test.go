@@ -1,0 +1,211 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"ssrq"
+)
+
+func mkServer(t *testing.T) (*Server, *ssrq.Dataset, ssrq.UserID) {
+	t.Helper()
+	ds, err := ssrq.Synthesize("twitter", 400, 9) // all users located
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := ssrq.NewEngine(ds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(eng), ds, 0
+}
+
+func do(t *testing.T, s *Server, method, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req := httptest.NewRequest(method, path, &buf)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestHealthz(t *testing.T) {
+	s, _, _ := mkServer(t)
+	rec := do(t, s, "GET", "/healthz", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz = %d", rec.Code)
+	}
+}
+
+func TestQueryHappyPath(t *testing.T) {
+	s, _, q := mkServer(t)
+	rec := do(t, s, "GET", fmt.Sprintf("/query?q=%d&k=5&alpha=0.3", q), nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("query = %d: %s", rec.Code, rec.Body)
+	}
+	var resp queryResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Entries) != 5 {
+		t.Fatalf("entries = %d", len(resp.Entries))
+	}
+	for i := 1; i < len(resp.Entries); i++ {
+		if resp.Entries[i].F < resp.Entries[i-1].F {
+			t.Fatal("entries unsorted")
+		}
+	}
+	if resp.Stats.IndexUserPops == 0 {
+		t.Fatal("stats missing")
+	}
+}
+
+func TestQueryAlgoSelection(t *testing.T) {
+	s, _, q := mkServer(t)
+	for _, algo := range []string{"SFA", "TSA", "AIS", "brute"} {
+		rec := do(t, s, "GET", fmt.Sprintf("/query?q=%d&k=3&algo=%s", q, algo), nil)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("algo %s = %d: %s", algo, rec.Code, rec.Body)
+		}
+	}
+	if rec := do(t, s, "GET", fmt.Sprintf("/query?q=%d&algo=QUANTUM", q), nil); rec.Code != http.StatusBadRequest {
+		t.Fatalf("unknown algo = %d", rec.Code)
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	s, _, _ := mkServer(t)
+	cases := []struct {
+		path string
+		want int
+	}{
+		{"/query", http.StatusBadRequest},                // missing q
+		{"/query?q=abc", http.StatusBadRequest},          // bad q
+		{"/query?q=0&k=frog", http.StatusBadRequest},     // bad k
+		{"/query?q=0&alpha=nope", http.StatusBadRequest}, // bad alpha
+		{"/query?q=0&alpha=1.5", http.StatusUnprocessableEntity},
+		{"/query?q=999999", http.StatusUnprocessableEntity}, // out of range
+	}
+	for _, c := range cases {
+		if rec := do(t, s, "GET", c.path, nil); rec.Code != c.want {
+			t.Errorf("%s = %d, want %d", c.path, rec.Code, c.want)
+		}
+	}
+}
+
+func TestUserEndpoint(t *testing.T) {
+	s, ds, _ := mkServer(t)
+	rec := do(t, s, "GET", "/user/3", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("user = %d", rec.Code)
+	}
+	var resp userResponse
+	_ = json.Unmarshal(rec.Body.Bytes(), &resp)
+	if !resp.Located || resp.X == nil {
+		t.Fatalf("user response %+v", resp)
+	}
+	want, _ := ds.Location(3)
+	if *resp.X != want.X || *resp.Y != want.Y {
+		t.Fatal("location mismatch")
+	}
+	if rec := do(t, s, "GET", "/user/77777", nil); rec.Code != http.StatusNotFound {
+		t.Fatalf("bogus user = %d", rec.Code)
+	}
+	if rec := do(t, s, "GET", "/user/xyz", nil); rec.Code != http.StatusNotFound {
+		t.Fatalf("non-numeric user = %d", rec.Code)
+	}
+}
+
+func TestMoveAndUnlocate(t *testing.T) {
+	s, ds, q := mkServer(t)
+	target, _ := ds.Location(q)
+	// Move user 42 onto the query user.
+	rec := do(t, s, "POST", "/move", moveRequest{ID: 42, X: target.X, Y: target.Y})
+	if rec.Code != http.StatusNoContent {
+		t.Fatalf("move = %d: %s", rec.Code, rec.Body)
+	}
+	var resp queryResponse
+	recQ := do(t, s, "GET", fmt.Sprintf("/query?q=%d&k=1&alpha=0.05", q), nil)
+	_ = json.Unmarshal(recQ.Body.Bytes(), &resp)
+	// With a heavily spatial alpha the teleported user should rank first
+	// unless it is socially unreachable; at minimum the query must succeed.
+	if recQ.Code != http.StatusOK {
+		t.Fatalf("query after move = %d", recQ.Code)
+	}
+
+	rec = do(t, s, "POST", "/unlocate", unlocateRequest{ID: 42})
+	if rec.Code != http.StatusNoContent {
+		t.Fatalf("unlocate = %d", rec.Code)
+	}
+	recU := do(t, s, "GET", "/user/42", nil)
+	var u userResponse
+	_ = json.Unmarshal(recU.Body.Bytes(), &u)
+	if u.Located {
+		t.Fatal("user still located after unlocate")
+	}
+
+	// Validation.
+	if rec := do(t, s, "POST", "/move", moveRequest{ID: 999999}); rec.Code != http.StatusNotFound {
+		t.Fatalf("move bogus = %d", rec.Code)
+	}
+	req := httptest.NewRequest("POST", "/move", bytes.NewBufferString("{not json"))
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("garbage body = %d", w.Code)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	s, ds, _ := mkServer(t)
+	rec := do(t, s, "GET", "/stats", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats = %d", rec.Code)
+	}
+	var st ssrq.DatasetStats
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.NumVertices != ds.NumUsers() {
+		t.Fatalf("stats users = %d", st.NumVertices)
+	}
+}
+
+func TestConcurrentQueriesAndMoves(t *testing.T) {
+	s, ds, q := mkServer(t)
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i%4 == 0 {
+				p, _ := ds.Location(ssrq.UserID(i + 1))
+				rec := do(t, s, "POST", "/move", moveRequest{ID: int32(i + 1), X: p.X + 0.01, Y: p.Y})
+				if rec.Code != http.StatusNoContent {
+					errs <- fmt.Sprintf("move %d: %d", i, rec.Code)
+				}
+				return
+			}
+			rec := do(t, s, "GET", fmt.Sprintf("/query?q=%d&k=5", q), nil)
+			if rec.Code != http.StatusOK {
+				errs <- fmt.Sprintf("query %d: %d", i, rec.Code)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}

@@ -1,0 +1,243 @@
+// Package landmark implements the landmark (ALT) machinery of the paper:
+// selection of M landmark vertices, pre-computed distance tables from every
+// landmark to every vertex, and triangle-inequality lower/upper bounds on
+// pairwise graph distances (§2.3, §5.1).
+//
+// The AIS index aggregates these per-vertex tables into per-cell social
+// summaries; the TSA landmark variant prunes candidates with the pairwise
+// lower bound; GraphDist's reverse A* uses the bound as its heuristic.
+package landmark
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ssrq/internal/graph"
+)
+
+// Strategy selects which vertices become landmarks.
+type Strategy int
+
+const (
+	// Farthest implements the selection of Goldberg & Harrelson [25]: start
+	// from the vertex farthest from a random seed, then repeatedly add the
+	// vertex maximizing the minimum distance to the chosen set. This is the
+	// strategy the paper uses.
+	Farthest Strategy = iota
+	// HighestDegree picks the M highest-degree vertices (hub landmarks).
+	HighestDegree
+	// Random picks M distinct vertices uniformly.
+	Random
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Farthest:
+		return "farthest"
+	case HighestDegree:
+		return "degree"
+	case Random:
+		return "random"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Set holds M landmarks and their full distance tables. Tables are indexed
+// [landmark][vertex]; unreachable vertices hold +Inf. A vertex-major copy
+// (M contiguous floats per vertex) backs the hot-path bound computations —
+// LowerBound and the A* heuristics run once per heap operation, so cache
+// locality matters. Set is immutable after Select and safe for concurrent
+// reads.
+type Set struct {
+	vertices []graph.VertexID
+	tables   [][]float64
+	byVertex []float64 // len n*M; vector of vertex v at [v*M : v*M+M]
+	m        int
+}
+
+// Select chooses m landmarks on g using the given strategy and computes
+// their distance tables. seed drives the randomized strategies.
+func Select(g *graph.Graph, m int, strategy Strategy, seed int64) (*Set, error) {
+	n := g.NumVertices()
+	if m <= 0 {
+		return nil, fmt.Errorf("landmark: m = %d must be positive", m)
+	}
+	if m > n {
+		return nil, fmt.Errorf("landmark: m = %d exceeds %d vertices", m, n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	s := &Set{}
+	switch strategy {
+	case Random:
+		perm := rng.Perm(n)
+		for _, v := range perm[:m] {
+			s.add(g, graph.VertexID(v))
+		}
+	case HighestDegree:
+		type dv struct {
+			deg int
+			v   graph.VertexID
+		}
+		best := make([]dv, n)
+		for v := 0; v < n; v++ {
+			best[v] = dv{g.Degree(graph.VertexID(v)), graph.VertexID(v)}
+		}
+		// Selection of top-m by degree, ties by lower ID, without a full sort.
+		for i := 0; i < m; i++ {
+			top := i
+			for j := i + 1; j < n; j++ {
+				if best[j].deg > best[top].deg || (best[j].deg == best[top].deg && best[j].v < best[top].v) {
+					top = j
+				}
+			}
+			best[i], best[top] = best[top], best[i]
+			s.add(g, best[i].v)
+		}
+	case Farthest:
+		seedV := graph.VertexID(rng.Intn(n))
+		first := farthestFrom(g, g.DistancesFrom(seedV), seedV)
+		s.add(g, first)
+		minDist := append([]float64(nil), s.tables[0]...)
+		for len(s.vertices) < m {
+			next := argmaxDist(minDist, s.vertices)
+			s.add(g, next)
+			t := s.tables[len(s.tables)-1]
+			for v := range minDist {
+				if t[v] < minDist[v] {
+					minDist[v] = t[v]
+				}
+			}
+		}
+	default:
+		return nil, fmt.Errorf("landmark: unknown strategy %v", strategy)
+	}
+	s.m = len(s.vertices)
+	s.byVertex = make([]float64, n*s.m)
+	for v := 0; v < n; v++ {
+		for j, t := range s.tables {
+			s.byVertex[v*s.m+j] = t[v]
+		}
+	}
+	return s, nil
+}
+
+func (s *Set) add(g *graph.Graph, v graph.VertexID) {
+	s.vertices = append(s.vertices, v)
+	s.tables = append(s.tables, g.DistancesFrom(v))
+}
+
+// farthestFrom returns the vertex with the largest finite distance in dist,
+// falling back to the seed when everything else is unreachable.
+func farthestFrom(g *graph.Graph, dist []float64, seed graph.VertexID) graph.VertexID {
+	best, bestD := seed, -1.0
+	for v, d := range dist {
+		if d != graph.Infinity && d > bestD {
+			best, bestD = graph.VertexID(v), d
+		}
+	}
+	return best
+}
+
+// argmaxDist picks the vertex maximizing minDist, preferring unreachable
+// (+Inf) vertices so that each disconnected component eventually receives a
+// landmark. Ties break by lower vertex ID; chosen landmarks are skipped.
+func argmaxDist(minDist []float64, chosen []graph.VertexID) graph.VertexID {
+	isChosen := make(map[graph.VertexID]bool, len(chosen))
+	for _, c := range chosen {
+		isChosen[c] = true
+	}
+	best, bestD := graph.VertexID(-1), math.Inf(-1)
+	for v, d := range minDist {
+		if isChosen[graph.VertexID(v)] {
+			continue
+		}
+		if d > bestD {
+			best, bestD = graph.VertexID(v), d
+		}
+	}
+	return best
+}
+
+// M returns the number of landmarks.
+func (s *Set) M() int { return len(s.vertices) }
+
+// Vertices returns the landmark vertex IDs (do not modify).
+func (s *Set) Vertices() []graph.VertexID { return s.vertices }
+
+// Dist returns the distance between the j-th landmark and vertex v
+// (the paper's m_vj), +Inf when unreachable.
+func (s *Set) Dist(j int, v graph.VertexID) float64 { return s.tables[j][v] }
+
+// Table returns the full distance table of the j-th landmark (do not modify).
+func (s *Set) Table(j int) []float64 { return s.tables[j] }
+
+// VertexVector returns the landmark-distance vector of v as a fresh slice.
+func (s *Set) VertexVector(v graph.VertexID) []float64 {
+	vec := make([]float64, len(s.tables))
+	for j := range s.tables {
+		vec[j] = s.tables[j][v]
+	}
+	return vec
+}
+
+// LowerBound returns the tightest triangle-inequality lower bound on the
+// graph distance p(u, v): max_j |m_uj − m_vj|. When some landmark reaches
+// exactly one of the two vertices they provably lie in different components
+// and the bound is +Inf.
+func (s *Set) LowerBound(u, v graph.VertexID) float64 {
+	if u == v {
+		return 0
+	}
+	return boundVecs(s.byVertex[int(u)*s.m:int(u)*s.m+s.m], s.byVertex[int(v)*s.m:int(v)*s.m+s.m])
+}
+
+// boundVecs computes max_j |a_j − b_j| with the component-mismatch rule.
+func boundVecs(a, b []float64) float64 {
+	best := 0.0
+	for j := range a {
+		da, db := a[j], b[j]
+		aInf, bInf := math.IsInf(da, 1), math.IsInf(db, 1)
+		if aInf || bInf {
+			if aInf != bInf {
+				return graph.Infinity
+			}
+			continue // both unreachable from this landmark: no information
+		}
+		d := da - db
+		if d < 0 {
+			d = -d
+		}
+		if d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// UpperBound returns min_j (m_uj + m_vj), an upper bound on p(u, v) via the
+// best landmark detour; +Inf when no landmark reaches both.
+func (s *Set) UpperBound(u, v graph.VertexID) float64 {
+	if u == v {
+		return 0
+	}
+	best := graph.Infinity
+	for _, t := range s.tables {
+		if d := t[u] + t[v]; d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// HeuristicTo returns a consistent A* heuristic estimating the distance from
+// any vertex to the fixed target (used by GraphDist's reverse search).
+func (s *Set) HeuristicTo(target graph.VertexID) graph.Heuristic {
+	// Snapshot the target's landmark vector once.
+	tv := s.VertexVector(target)
+	byVertex, m := s.byVertex, s.m
+	return func(v graph.VertexID) float64 {
+		return boundVecs(byVertex[int(v)*m:int(v)*m+m], tv)
+	}
+}

@@ -1,0 +1,154 @@
+package pqueue
+
+// IndexedHeap is a dense binary min-heap keyed by float64 priorities over
+// integer item IDs in [0, n). It supports DecreaseKey in O(log n) via a
+// position table, which makes it the right queue for Dijkstra and A* over
+// graphs with contiguous vertex IDs.
+//
+// Ties are broken by ascending item ID so traversal order is deterministic.
+// The zero value is not usable; construct with NewIndexedHeap.
+type IndexedHeap struct {
+	ids  []int32   // heap array of item ids
+	keys []float64 // key per item id (indexed by id, not heap slot)
+	pos  []int32   // heap slot per item id; -1 when absent
+}
+
+// NewIndexedHeap returns an indexed heap for item IDs in [0, n).
+func NewIndexedHeap(n int) *IndexedHeap {
+	h := &IndexedHeap{
+		ids:  make([]int32, 0, 64),
+		keys: make([]float64, n),
+		pos:  make([]int32, n),
+	}
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+	return h
+}
+
+// Len reports the number of queued items.
+func (h *IndexedHeap) Len() int { return len(h.ids) }
+
+// Reset empties the heap, keeping capacity. It runs in O(queued items).
+func (h *IndexedHeap) Reset() {
+	for _, id := range h.ids {
+		h.pos[id] = -1
+	}
+	h.ids = h.ids[:0]
+}
+
+// Contains reports whether the item is currently queued.
+func (h *IndexedHeap) Contains(id int32) bool { return h.pos[id] >= 0 }
+
+// Key returns the current key of a queued item. It must only be called when
+// Contains(id) is true.
+func (h *IndexedHeap) Key(id int32) float64 { return h.keys[id] }
+
+// PushOrDecrease inserts the item with the given key, or lowers its key if it
+// is already queued with a larger one. It reports whether the heap changed.
+func (h *IndexedHeap) PushOrDecrease(id int32, key float64) bool {
+	if p := h.pos[id]; p >= 0 {
+		if key >= h.keys[id] {
+			return false
+		}
+		h.keys[id] = key
+		h.up(int(p))
+		return true
+	}
+	h.keys[id] = key
+	h.pos[id] = int32(len(h.ids))
+	h.ids = append(h.ids, id)
+	h.up(len(h.ids) - 1)
+	return true
+}
+
+// PushOrUpdate inserts the item or sets its key regardless of direction
+// (CH's lazy priority re-evaluation needs key increases too).
+func (h *IndexedHeap) PushOrUpdate(id int32, key float64) {
+	if p := h.pos[id]; p >= 0 {
+		old := h.keys[id]
+		h.keys[id] = key
+		if key < old {
+			h.up(int(p))
+		} else if key > old {
+			h.down(int(p))
+		}
+		return
+	}
+	h.keys[id] = key
+	h.pos[id] = int32(len(h.ids))
+	h.ids = append(h.ids, id)
+	h.up(len(h.ids) - 1)
+}
+
+// PopMin removes and returns the item with the smallest key. ok is false when
+// the heap is empty.
+func (h *IndexedHeap) PopMin() (id int32, key float64, ok bool) {
+	if len(h.ids) == 0 {
+		return 0, 0, false
+	}
+	id = h.ids[0]
+	key = h.keys[id]
+	last := len(h.ids) - 1
+	h.ids[0] = h.ids[last]
+	h.pos[h.ids[0]] = 0
+	h.ids = h.ids[:last]
+	h.pos[id] = -1
+	if last > 0 {
+		h.down(0)
+	}
+	return id, key, true
+}
+
+// PeekMin returns the smallest-key item without removing it.
+func (h *IndexedHeap) PeekMin() (id int32, key float64, ok bool) {
+	if len(h.ids) == 0 {
+		return 0, 0, false
+	}
+	return h.ids[0], h.keys[h.ids[0]], true
+}
+
+func (h *IndexedHeap) less(i, j int) bool {
+	a, b := h.ids[i], h.ids[j]
+	ka, kb := h.keys[a], h.keys[b]
+	if ka != kb {
+		return ka < kb
+	}
+	return a < b
+}
+
+func (h *IndexedHeap) swap(i, j int) {
+	h.ids[i], h.ids[j] = h.ids[j], h.ids[i]
+	h.pos[h.ids[i]] = int32(i)
+	h.pos[h.ids[j]] = int32(j)
+}
+
+func (h *IndexedHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *IndexedHeap) down(i int) {
+	n := len(h.ids)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		smallest := left
+		if right := left + 1; right < n && h.less(right, left) {
+			smallest = right
+		}
+		if !h.less(smallest, i) {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}

@@ -1,0 +1,223 @@
+package pqueue
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestHeapEmpty(t *testing.T) {
+	var h Heap[string]
+	if h.Len() != 0 {
+		t.Fatalf("zero heap Len = %d, want 0", h.Len())
+	}
+	if _, ok := h.Pop(); ok {
+		t.Fatal("Pop on empty heap reported ok")
+	}
+	if _, ok := h.PeekKey(); ok {
+		t.Fatal("PeekKey on empty heap reported ok")
+	}
+}
+
+func TestHeapOrdering(t *testing.T) {
+	h := NewHeap[int](8)
+	keys := []float64{5, 3, 8, 1, 9, 2, 7, 4, 6, 0}
+	for i, k := range keys {
+		h.Push(k, int64(i), i)
+	}
+	prev := -1.0
+	for h.Len() > 0 {
+		e, ok := h.Pop()
+		if !ok {
+			t.Fatal("Pop failed with non-empty heap")
+		}
+		if e.Key < prev {
+			t.Fatalf("pop order violated: %v after %v", e.Key, prev)
+		}
+		prev = e.Key
+	}
+}
+
+func TestHeapTieBreakByTie(t *testing.T) {
+	h := NewHeap[int](8)
+	// All same key; ties must come out in ascending Tie order.
+	ties := []int64{4, 1, 3, 0, 2}
+	for _, tie := range ties {
+		h.Push(1.0, tie, int(tie))
+	}
+	for want := int64(0); want < 5; want++ {
+		e, _ := h.Pop()
+		if e.Tie != want {
+			t.Fatalf("tie order: got %d, want %d", e.Tie, want)
+		}
+	}
+}
+
+func TestHeapPeekMatchesPop(t *testing.T) {
+	h := NewHeap[int](4)
+	h.Push(2, 0, 20)
+	h.Push(1, 1, 10)
+	if k, ok := h.PeekKey(); !ok || k != 1 {
+		t.Fatalf("PeekKey = %v,%v want 1,true", k, ok)
+	}
+	if e := h.Peek(); e.Value != 10 {
+		t.Fatalf("Peek value = %d, want 10", e.Value)
+	}
+	e, _ := h.Pop()
+	if e.Value != 10 {
+		t.Fatalf("Pop value = %d, want 10", e.Value)
+	}
+}
+
+func TestHeapReset(t *testing.T) {
+	h := NewHeap[int](4)
+	h.Push(1, 0, 1)
+	h.Push(2, 1, 2)
+	h.Reset()
+	if h.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", h.Len())
+	}
+	h.Push(3, 2, 3)
+	e, ok := h.Pop()
+	if !ok || e.Value != 3 {
+		t.Fatalf("heap unusable after Reset: %v %v", e, ok)
+	}
+}
+
+func TestHeapSortsRandomSequences(t *testing.T) {
+	property := func(keys []float64) bool {
+		h := NewHeap[int](len(keys))
+		for i, k := range keys {
+			h.Push(k, int64(i), i)
+		}
+		sorted := append([]float64(nil), keys...)
+		sort.Float64s(sorted)
+		for _, want := range sorted {
+			e, ok := h.Pop()
+			if !ok || e.Key != want {
+				return false
+			}
+		}
+		return h.Len() == 0
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexedHeapBasic(t *testing.T) {
+	h := NewIndexedHeap(10)
+	if h.Len() != 0 {
+		t.Fatalf("new heap Len = %d", h.Len())
+	}
+	if _, _, ok := h.PopMin(); ok {
+		t.Fatal("PopMin on empty heap reported ok")
+	}
+	h.PushOrDecrease(3, 5.0)
+	h.PushOrDecrease(7, 2.0)
+	h.PushOrDecrease(1, 9.0)
+	if !h.Contains(3) || h.Contains(0) {
+		t.Fatal("Contains wrong")
+	}
+	id, key, ok := h.PopMin()
+	if !ok || id != 7 || key != 2.0 {
+		t.Fatalf("PopMin = %d,%v want 7,2", id, key)
+	}
+	if h.Contains(7) {
+		t.Fatal("popped item still Contains")
+	}
+}
+
+func TestIndexedHeapDecreaseKey(t *testing.T) {
+	h := NewIndexedHeap(10)
+	h.PushOrDecrease(0, 10)
+	h.PushOrDecrease(1, 20)
+	if changed := h.PushOrDecrease(1, 25); changed {
+		t.Fatal("increasing key reported a change")
+	}
+	if changed := h.PushOrDecrease(1, 5); !changed {
+		t.Fatal("decrease not applied")
+	}
+	id, key, _ := h.PopMin()
+	if id != 1 || key != 5 {
+		t.Fatalf("after decrease PopMin = %d,%v; want 1,5", id, key)
+	}
+}
+
+func TestIndexedHeapTieBreakByID(t *testing.T) {
+	h := NewIndexedHeap(5)
+	for _, id := range []int32{4, 2, 0, 3, 1} {
+		h.PushOrDecrease(id, 7.5)
+	}
+	for want := int32(0); want < 5; want++ {
+		id, _, ok := h.PopMin()
+		if !ok || id != want {
+			t.Fatalf("tie order: got %d, want %d", id, want)
+		}
+	}
+}
+
+func TestIndexedHeapReset(t *testing.T) {
+	h := NewIndexedHeap(5)
+	h.PushOrDecrease(1, 1)
+	h.PushOrDecrease(2, 2)
+	h.Reset()
+	if h.Len() != 0 || h.Contains(1) || h.Contains(2) {
+		t.Fatal("Reset left state behind")
+	}
+	h.PushOrDecrease(3, 3)
+	id, key, ok := h.PopMin()
+	if !ok || id != 3 || key != 3 {
+		t.Fatalf("heap unusable after Reset: %d %v %v", id, key, ok)
+	}
+}
+
+func TestIndexedHeapMatchesReferenceSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		h := NewIndexedHeap(n)
+		keys := make([]float64, n)
+		for i := range keys {
+			keys[i] = float64(rng.Intn(20)) // few distinct keys to stress ties
+			h.PushOrDecrease(int32(i), keys[i])
+		}
+		// Random decreases.
+		for j := 0; j < n/2; j++ {
+			id := int32(rng.Intn(n))
+			nk := keys[id] - rng.Float64()*5
+			if h.PushOrDecrease(id, nk) {
+				keys[id] = nk
+			}
+		}
+		type pair struct {
+			id  int32
+			key float64
+		}
+		want := make([]pair, n)
+		for i := range want {
+			want[i] = pair{int32(i), keys[i]}
+		}
+		sort.Slice(want, func(i, j int) bool {
+			if want[i].key != want[j].key {
+				return want[i].key < want[j].key
+			}
+			return want[i].id < want[j].id
+		})
+		for i, w := range want {
+			id, key, ok := h.PopMin()
+			if !ok || id != w.id || key != w.key {
+				t.Fatalf("trial %d pos %d: got (%d,%v), want (%d,%v)", trial, i, id, key, w.id, w.key)
+			}
+		}
+	}
+}
+
+func TestIndexedHeapKeyAccessor(t *testing.T) {
+	h := NewIndexedHeap(3)
+	h.PushOrDecrease(2, 1.25)
+	if got := h.Key(2); got != 1.25 {
+		t.Fatalf("Key = %v, want 1.25", got)
+	}
+}

@@ -1,0 +1,142 @@
+// Package proximity implements the alternative social-proximity measures
+// the paper surveys in §2.1 before settling on weighted shortest-path
+// distance: common-neighbor counting [10], Adamic–Adar weighting, and
+// unweighted hop distance. They are not used by the SSRQ algorithms (which
+// follow the paper's choice), but let downstream users compare ranking
+// semantics — e.g. re-scoring an SSRQ result by common friends.
+package proximity
+
+import (
+	"math"
+
+	"ssrq/internal/graph"
+)
+
+// CommonNeighbors returns |N(u) ∩ N(v)|: the number of shared friends —
+// the measure of [10] and the link-prediction baseline of [16], [17].
+// Adjacency lists are sorted, so this is a linear merge.
+func CommonNeighbors(g *graph.Graph, u, v graph.VertexID) int {
+	nu, _ := g.Neighbors(u)
+	nv, _ := g.Neighbors(v)
+	count, i, j := 0, 0, 0
+	for i < len(nu) && j < len(nv) {
+		switch {
+		case nu[i] == nv[j]:
+			count++
+			i++
+			j++
+		case nu[i] < nv[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return count
+}
+
+// AdamicAdar returns Σ_{w ∈ N(u)∩N(v)} 1/log(deg(w)): common neighbors
+// weighted down when they are promiscuous hubs.
+func AdamicAdar(g *graph.Graph, u, v graph.VertexID) float64 {
+	nu, _ := g.Neighbors(u)
+	nv, _ := g.Neighbors(v)
+	sum, i, j := 0.0, 0, 0
+	for i < len(nu) && j < len(nv) {
+		switch {
+		case nu[i] == nv[j]:
+			if d := g.Degree(nu[i]); d > 1 {
+				sum += 1 / math.Log(float64(d))
+			}
+			i++
+			j++
+		case nu[i] < nv[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return sum
+}
+
+// HopDistance returns the unweighted shortest-path hop count between u and
+// v via BFS, or -1 when unreachable. This is the "number of hops" notion of
+// Fig. 7a.
+func HopDistance(g *graph.Graph, u, v graph.VertexID) int {
+	if u == v {
+		return 0
+	}
+	n := g.NumVertices()
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[u] = 0
+	queue := []graph.VertexID{u}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		nbrs, _ := g.Neighbors(x)
+		for _, y := range nbrs {
+			if dist[y] >= 0 {
+				continue
+			}
+			dist[y] = dist[x] + 1
+			if y == v {
+				return int(dist[y])
+			}
+			queue = append(queue, y)
+		}
+	}
+	return -1
+}
+
+// TopCommonNeighbors returns the k users sharing the most friends with u
+// (ties by ascending ID) — a §2.1-style friend recommender for comparison
+// with SSRQ. Only 2-hop neighbors can share a friend, so the scan is local.
+func TopCommonNeighbors(g *graph.Graph, u graph.VertexID, k int) []Scored {
+	counts := make(map[graph.VertexID]int)
+	nu, _ := g.Neighbors(u)
+	direct := make(map[graph.VertexID]bool, len(nu))
+	for _, w := range nu {
+		direct[w] = true
+	}
+	for _, w := range nu {
+		nw, _ := g.Neighbors(w)
+		for _, x := range nw {
+			if x != u && !direct[x] {
+				counts[x]++
+			}
+		}
+	}
+	best := make([]Scored, 0, len(counts))
+	for v, c := range counts {
+		best = append(best, Scored{ID: v, Score: float64(c)})
+	}
+	sortScored(best)
+	if len(best) > k {
+		best = best[:k]
+	}
+	return best
+}
+
+// Scored is a user with a proximity score (higher = closer).
+type Scored struct {
+	ID    graph.VertexID
+	Score float64
+}
+
+// sortScored orders by descending score, ties by ascending ID (insertion
+// sort — candidate sets are 2-hop neighborhoods).
+func sortScored(s []Scored) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && less(s[j], s[j-1]); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func less(a, b Scored) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.ID < b.ID
+}

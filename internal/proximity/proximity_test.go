@@ -1,0 +1,148 @@
+package proximity
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ssrq/internal/graph"
+)
+
+// K4 plus a pendant: vertices 0-3 fully connected, 4 attached to 3.
+func k4Pendant(t *testing.T) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(5)
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			_ = b.AddEdge(graph.VertexID(i), graph.VertexID(j), 1)
+		}
+	}
+	_ = b.AddEdge(3, 4, 1)
+	return b.MustBuild()
+}
+
+func TestCommonNeighbors(t *testing.T) {
+	g := k4Pendant(t)
+	if got := CommonNeighbors(g, 0, 1); got != 2 { // share 2 and 3
+		t.Fatalf("CN(0,1) = %d, want 2", got)
+	}
+	if got := CommonNeighbors(g, 0, 4); got != 1 { // share 3
+		t.Fatalf("CN(0,4) = %d, want 1", got)
+	}
+	if got := CommonNeighbors(g, 1, 4); got != 1 {
+		t.Fatalf("CN(1,4) = %d, want 1", got)
+	}
+}
+
+func TestCommonNeighborsSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	b := graph.NewBuilder(50)
+	for v := 1; v < 50; v++ {
+		_ = b.AddEdge(graph.VertexID(rng.Intn(v)), graph.VertexID(v), 1)
+	}
+	for i := 0; i < 100; i++ {
+		u, v := rng.Intn(50), rng.Intn(50)
+		if u != v {
+			_ = b.AddEdge(graph.VertexID(u), graph.VertexID(v), 1)
+		}
+	}
+	g := b.MustBuild()
+	for i := 0; i < 50; i++ {
+		u := graph.VertexID(rng.Intn(50))
+		v := graph.VertexID(rng.Intn(50))
+		if CommonNeighbors(g, u, v) != CommonNeighbors(g, v, u) {
+			t.Fatalf("CN not symmetric for (%d,%d)", u, v)
+		}
+		if math.Abs(AdamicAdar(g, u, v)-AdamicAdar(g, v, u)) > 1e-12 {
+			t.Fatalf("AA not symmetric for (%d,%d)", u, v)
+		}
+	}
+}
+
+func TestAdamicAdarWeighting(t *testing.T) {
+	// u and v share two neighbors: a hub (degree 5) and a quiet one
+	// (degree 2). The quiet one must contribute more.
+	b := graph.NewBuilder(8)
+	_ = b.AddEdge(0, 2, 1) // hub 2
+	_ = b.AddEdge(1, 2, 1)
+	_ = b.AddEdge(2, 4, 1)
+	_ = b.AddEdge(2, 5, 1)
+	_ = b.AddEdge(2, 6, 1)
+	_ = b.AddEdge(0, 3, 1) // quiet 3
+	_ = b.AddEdge(1, 3, 1)
+	g := b.MustBuild()
+	aa := AdamicAdar(g, 0, 1)
+	want := 1/math.Log(5) + 1/math.Log(2)
+	if math.Abs(aa-want) > 1e-12 {
+		t.Fatalf("AA = %v, want %v", aa, want)
+	}
+}
+
+func TestHopDistance(t *testing.T) {
+	g := k4Pendant(t)
+	cases := []struct {
+		u, v graph.VertexID
+		want int
+	}{
+		{0, 0, 0}, {0, 1, 1}, {0, 4, 2}, {4, 0, 2},
+	}
+	for _, c := range cases {
+		if got := HopDistance(g, c.u, c.v); got != c.want {
+			t.Fatalf("hops(%d,%d) = %d, want %d", c.u, c.v, got, c.want)
+		}
+	}
+	// Disconnected.
+	b := graph.NewBuilder(3)
+	_ = b.AddEdge(0, 1, 1)
+	g2 := b.MustBuild()
+	if got := HopDistance(g2, 0, 2); got != -1 {
+		t.Fatalf("disconnected hops = %d, want -1", got)
+	}
+}
+
+func TestTopCommonNeighbors(t *testing.T) {
+	// 0's friends: 1, 2. Vertex 3 is friends with both 1 and 2 (2 shared);
+	// vertex 4 only with 1 (1 shared). 3 must rank first, and direct
+	// friends must be excluded.
+	b := graph.NewBuilder(5)
+	_ = b.AddEdge(0, 1, 1)
+	_ = b.AddEdge(0, 2, 1)
+	_ = b.AddEdge(1, 3, 1)
+	_ = b.AddEdge(2, 3, 1)
+	_ = b.AddEdge(1, 4, 1)
+	g := b.MustBuild()
+	top := TopCommonNeighbors(g, 0, 5)
+	if len(top) != 2 || top[0].ID != 3 || top[0].Score != 2 || top[1].ID != 4 {
+		t.Fatalf("TopCommonNeighbors = %+v", top)
+	}
+	for _, s := range top {
+		if s.ID == 1 || s.ID == 2 || s.ID == 0 {
+			t.Fatal("direct friend or self recommended")
+		}
+	}
+	if got := TopCommonNeighbors(g, 0, 1); len(got) != 1 || got[0].ID != 3 {
+		t.Fatalf("k=1: %+v", got)
+	}
+}
+
+func TestHopDistanceMatchesDijkstraOnUnitWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	b := graph.NewBuilder(60)
+	for v := 1; v < 60; v++ {
+		_ = b.AddEdge(graph.VertexID(rng.Intn(v)), graph.VertexID(v), 1)
+	}
+	for i := 0; i < 80; i++ {
+		u, v := rng.Intn(60), rng.Intn(60)
+		if u != v {
+			_ = b.AddEdge(graph.VertexID(u), graph.VertexID(v), 1)
+		}
+	}
+	g := b.MustBuild()
+	dist := g.DistancesFrom(0)
+	for v := 0; v < 60; v++ {
+		hops := HopDistance(g, 0, graph.VertexID(v))
+		if math.Abs(float64(hops)-dist[v]) > 1e-9 {
+			t.Fatalf("hops(0,%d) = %d but unit-weight dist = %v", v, hops, dist[v])
+		}
+	}
+}

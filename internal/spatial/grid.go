@@ -1,0 +1,144 @@
+package spatial
+
+import "fmt"
+
+// Grid is a dynamic multi-level regular grid over user locations. Leaf cells
+// hold user IDs; every level keeps per-cell occupancy counts so searches can
+// skip empty subtrees. Users without a known location (the paper treats them
+// as infinitely far away) are simply absent from the grid.
+//
+// Reads are safe concurrently; Move/SetLocated/RemoveLocation require
+// external synchronization.
+type Grid struct {
+	layout     *Layout
+	pts        []Point
+	located    []bool
+	leaves     [][]int32 // leaf cell index -> member user IDs
+	counts     [][]int32 // [level][cell] -> located users underneath
+	bucketOf   []int32   // user -> leaf cell index, -1 when unlocated
+	numLocated int
+}
+
+// NewGrid indexes the users whose located flag is set. pts and located are
+// referenced, not copied: Move and friends update pts/located in place so a
+// dataset and all its indexes share one source of truth.
+func NewGrid(layout *Layout, pts []Point, located []bool) (*Grid, error) {
+	if len(pts) != len(located) {
+		return nil, fmt.Errorf("spatial: %d points but %d located flags", len(pts), len(located))
+	}
+	g := &Grid{
+		layout:   layout,
+		pts:      pts,
+		located:  located,
+		leaves:   make([][]int32, layout.NumCells(layout.LeafLevel())),
+		bucketOf: make([]int32, len(pts)),
+	}
+	for l := 0; l < layout.Levels; l++ {
+		g.counts = append(g.counts, make([]int32, layout.NumCells(l)))
+	}
+	for id := range pts {
+		g.bucketOf[id] = -1
+		if located[id] {
+			g.insert(int32(id))
+		}
+	}
+	return g, nil
+}
+
+// Layout returns the grid geometry.
+func (g *Grid) Layout() *Layout { return g.layout }
+
+// NumLocated returns how many users currently have an indexed location.
+func (g *Grid) NumLocated() int { return g.numLocated }
+
+// Point returns the current location of a user (meaningless when not
+// located).
+func (g *Grid) Point(id int32) Point { return g.pts[id] }
+
+// Located reports whether the user has a known location.
+func (g *Grid) Located(id int32) bool { return g.located[id] }
+
+// CellUsers returns the members of a leaf cell (do not modify).
+func (g *Grid) CellUsers(leafIdx int32) []int32 { return g.leaves[leafIdx] }
+
+// LeafOf returns the leaf cell currently holding the user, or -1 when the
+// user has no location. Index layers that maintain per-cell aggregates (the
+// AIS social summaries) use this to find the old bucket before a move.
+func (g *Grid) LeafOf(id int32) int32 { return g.bucketOf[id] }
+
+// CountAt returns the number of located users under a cell.
+func (g *Grid) CountAt(level int, idx int32) int32 { return g.counts[level][idx] }
+
+func (g *Grid) insert(id int32) {
+	leaf := g.layout.CellIndex(g.layout.LeafLevel(), g.pts[id])
+	g.leaves[leaf] = append(g.leaves[leaf], id)
+	g.bucketOf[id] = leaf
+	g.adjustCounts(leaf, +1)
+	g.numLocated++
+}
+
+func (g *Grid) remove(id int32) {
+	leaf := g.bucketOf[id]
+	bucket := g.leaves[leaf]
+	for i, u := range bucket {
+		if u == id {
+			bucket[i] = bucket[len(bucket)-1]
+			g.leaves[leaf] = bucket[:len(bucket)-1]
+			break
+		}
+	}
+	g.bucketOf[id] = -1
+	g.adjustCounts(leaf, -1)
+	g.numLocated--
+}
+
+// adjustCounts propagates an occupancy delta from a leaf up every level.
+func (g *Grid) adjustCounts(leaf int32, delta int32) {
+	idx := leaf
+	for l := g.layout.LeafLevel(); ; l-- {
+		g.counts[l][idx] += delta
+		if l == 0 {
+			break
+		}
+		idx = g.layout.ParentIndex(l, idx)
+	}
+}
+
+// Move relocates a user. Updates are handled as the paper describes: a
+// deletion from the old cell and an insertion into the new one, skipping
+// index maintenance when the user stays within the same leaf cell.
+func (g *Grid) Move(id int32, to Point) {
+	if !g.located[id] {
+		g.SetLocated(id, to)
+		return
+	}
+	oldLeaf := g.bucketOf[id]
+	newLeaf := g.layout.CellIndex(g.layout.LeafLevel(), to)
+	g.pts[id] = to
+	if oldLeaf == newLeaf {
+		return
+	}
+	g.remove(id)
+	g.located[id] = true
+	g.insert(id)
+}
+
+// SetLocated gives a previously unlocated user a location.
+func (g *Grid) SetLocated(id int32, p Point) {
+	if g.located[id] {
+		g.Move(id, p)
+		return
+	}
+	g.pts[id] = p
+	g.located[id] = true
+	g.insert(id)
+}
+
+// RemoveLocation drops a user's location (he/she becomes "infinitely far").
+func (g *Grid) RemoveLocation(id int32) {
+	if !g.located[id] {
+		return
+	}
+	g.remove(id)
+	g.located[id] = false
+}

@@ -1,0 +1,118 @@
+package spatial
+
+import "ssrq/internal/pqueue"
+
+// NNIterator streams users in ascending Euclidean distance from a query
+// point using best-first branch-and-bound over the grid hierarchy: cells are
+// queued by MinDist to the query, users by their exact distance. This is the
+// incremental NN search SPA and TSA consume (paper §4.1).
+//
+// The iterator observes the grid at pop time; interleaving location updates
+// with iteration is not supported.
+type NNIterator struct {
+	g        *Grid
+	q        Point
+	heap     *pqueue.Heap[nnItem]
+	childBuf []int32
+	userPops int
+	cellPops int
+}
+
+type nnItem struct {
+	level int16 // -1 for a user entry
+	idx   int32 // cell index, or user ID for user entries
+}
+
+const userLevel = int16(-1)
+
+// nnTie makes heap order deterministic: equal-key users pop before cells,
+// users order by ID, cells by (level, index).
+func nnTie(level int16, idx int32) int64 {
+	if level == userLevel {
+		return int64(idx)
+	}
+	return (int64(level)+1)<<40 | int64(idx)
+}
+
+// NewNN starts an incremental nearest-neighbor search at q.
+func (g *Grid) NewNN(q Point) *NNIterator {
+	it := &NNIterator{
+		g:    g,
+		q:    q,
+		heap: pqueue.NewHeap[nnItem](64),
+	}
+	top := 0
+	for idx := int32(0); idx < int32(g.layout.NumCells(top)); idx++ {
+		if g.counts[top][idx] == 0 {
+			continue
+		}
+		r := g.layout.CellRect(top, idx)
+		it.heap.Push(r.MinDist(q), nnTie(int16(top), idx), nnItem{int16(top), idx})
+	}
+	return it
+}
+
+// Next returns the next-closest located user and the exact distance.
+// ok is false once all located users have been reported.
+func (it *NNIterator) Next() (id int32, dist float64, ok bool) {
+	for {
+		e, ok := it.heap.Pop()
+		if !ok {
+			return 0, 0, false
+		}
+		item := e.Value
+		if item.level == userLevel {
+			it.userPops++
+			return item.idx, e.Key, true
+		}
+		it.cellPops++
+		level := int(item.level)
+		if level == it.g.layout.LeafLevel() {
+			for _, u := range it.g.leaves[item.idx] {
+				d := it.g.pts[u].Dist(it.q)
+				it.heap.Push(d, nnTie(userLevel, u), nnItem{userLevel, u})
+			}
+			continue
+		}
+		it.childBuf = it.g.layout.ChildIndices(level, item.idx, it.childBuf[:0])
+		for _, c := range it.childBuf {
+			if it.g.counts[level+1][c] == 0 {
+				continue
+			}
+			r := it.g.layout.CellRect(level+1, c)
+			it.heap.Push(r.MinDist(it.q), nnTie(int16(level+1), c), nnItem{int16(level + 1), c})
+		}
+	}
+}
+
+// UserPops returns how many users the iterator has reported (the spatial
+// contribution to the paper's pop-ratio metric).
+func (it *NNIterator) UserPops() int { return it.userPops }
+
+// CellPops returns how many grid cells were expanded.
+func (it *NNIterator) CellPops() int { return it.cellPops }
+
+// Neighbor is one kNN result.
+type Neighbor struct {
+	ID   int32
+	Dist float64
+}
+
+// KNN returns the k nearest located users to q, optionally skipping IDs for
+// which skip returns true (e.g. the query user). Fewer than k results are
+// returned when the grid runs out of users.
+func (g *Grid) KNN(q Point, k int, skip func(int32) bool) []Neighbor {
+	it := g.NewNN(q)
+	out := make([]Neighbor, 0, k)
+	for len(out) < k {
+		id, d, ok := it.Next()
+		if !ok {
+			break
+		}
+		if skip != nil && skip(id) {
+			continue
+		}
+		out = append(out, Neighbor{id, d})
+	}
+	return out
+}

@@ -1,0 +1,331 @@
+// Package ssrq is a Go implementation of the Social and Spatial Ranking
+// Query from Mouratidis, Li, Tang and Mamoulis, "Joint Search by Social and
+// Spatial Proximity" (IEEE TKDE 27(3), 2015).
+//
+// Given a query user, SSRQ returns the k users minimizing
+//
+//	f(u_q, u) = α·p(v_q, v) + (1−α)·d(u_q, u)
+//
+// where p is normalized shortest-path distance in the weighted social graph
+// and d is normalized Euclidean distance between current locations. The
+// package bundles every processing algorithm from the paper — the SFA/SPA
+// baselines, the twofold search TSA (round-robin and Quick-Combine), and the
+// flagship Aggregate Index Search with social summaries, computation sharing
+// and delayed evaluation — plus the substrates they need (multi-level grid,
+// landmark/ALT machinery, contraction hierarchies) and synthetic geo-social
+// dataset generators standing in for the paper's Gowalla/Foursquare/Twitter
+// snapshots.
+//
+// Quick start:
+//
+//	ds, _ := ssrq.Synthesize("gowalla", 10000, 42)
+//	eng, _ := ssrq.NewEngine(ds, nil)
+//	res, _ := eng.TopK(queryUser, 10, 0.3)
+//	for _, e := range res.Entries {
+//	    fmt.Println(e.ID, e.F)
+//	}
+package ssrq
+
+import (
+	"fmt"
+
+	"ssrq/internal/core"
+	"ssrq/internal/dataset"
+	"ssrq/internal/gen"
+	"ssrq/internal/graph"
+	"ssrq/internal/landmark"
+	"ssrq/internal/spatial"
+)
+
+// UserID identifies a user; users are dense integers in [0, NumUsers).
+type UserID = int32
+
+// Point is a location in 2-D Euclidean space.
+type Point = spatial.Point
+
+// Edge is an undirected friendship. Weight is the connection strength —
+// smaller means stronger (§3 of the paper); it must be positive, or zero to
+// request the paper's degree-product weighting for the whole graph.
+type Edge struct {
+	U, V   UserID
+	Weight float64
+}
+
+// Algorithm selects the query processing method.
+type Algorithm = core.Algorithm
+
+// The full algorithm suite. AIS is the paper's best method and the default.
+const (
+	SFA           = core.SFA
+	SPA           = core.SPA
+	TSA           = core.TSA
+	TSAQC         = core.TSAQC
+	TSANoLandmark = core.TSANoLandmark
+	AISBID        = core.AISBID
+	AISMinus      = core.AISMinus
+	AIS           = core.AIS
+	AISCache      = core.AISCache
+	SFACH         = core.SFACH
+	SPACH         = core.SPACH
+	TSACH         = core.TSACH
+	BruteForce    = core.BruteForce
+)
+
+// Result is a completed query: entries sorted by ascending ranking value,
+// plus execution statistics (pop counts per search structure).
+type Result = core.Result
+
+// Entry is one recommended user: the ranking value F and its normalized
+// social (P) and spatial (D) components.
+type Entry = core.Entry
+
+// Stats instruments one query execution.
+type Stats = core.Stats
+
+// DatasetStats summarizes a dataset (the paper's Table 2).
+type DatasetStats = dataset.Stats
+
+// Norms are the per-domain normalization constants; raw distance =
+// normalized distance × constant.
+type Norms = dataset.Norms
+
+// Dataset is a geo-social dataset: a weighted social graph plus current
+// user locations (possibly unknown for some users).
+type Dataset struct {
+	ds *dataset.Dataset
+}
+
+// NewDataset builds a dataset from raw parts. locations maps users to raw
+// coordinates; users absent from the map are treated as "infinitely far
+// away" exactly as the paper prescribes. If every edge carries Weight 0 the
+// paper's §6 degree-product weights are derived automatically.
+func NewDataset(name string, numUsers int, edges []Edge, locations map[UserID]Point) (*Dataset, error) {
+	if numUsers <= 0 {
+		return nil, fmt.Errorf("ssrq: numUsers must be positive")
+	}
+	allZero := true
+	for _, e := range edges {
+		if e.Weight != 0 {
+			allZero = false
+			break
+		}
+	}
+	b := graph.NewBuilder(numUsers)
+	if allZero && len(edges) > 0 {
+		deg := make([]int, numUsers)
+		maxDeg := 1
+		for _, e := range edges {
+			if e.U < 0 || int(e.U) >= numUsers || e.V < 0 || int(e.V) >= numUsers {
+				return nil, fmt.Errorf("ssrq: edge (%d,%d) out of range", e.U, e.V)
+			}
+			deg[e.U]++
+			deg[e.V]++
+		}
+		for _, d := range deg {
+			if d > maxDeg {
+				maxDeg = d
+			}
+		}
+		denom := float64(maxDeg) * float64(maxDeg)
+		for _, e := range edges {
+			w := float64(deg[e.U]) * float64(deg[e.V]) / denom
+			if w <= 0 {
+				w = 1e-9
+			}
+			if err := b.AddEdge(e.U, e.V, w); err != nil {
+				return nil, fmt.Errorf("ssrq: %w", err)
+			}
+		}
+	} else {
+		for _, e := range edges {
+			if err := b.AddEdge(e.U, e.V, e.Weight); err != nil {
+				return nil, fmt.Errorf("ssrq: %w", err)
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("ssrq: %w", err)
+	}
+	pts := make([]spatial.Point, numUsers)
+	located := make([]bool, numUsers)
+	for id, p := range locations {
+		if id < 0 || int(id) >= numUsers {
+			return nil, fmt.Errorf("ssrq: located user %d out of range", id)
+		}
+		pts[id] = p
+		located[id] = true
+	}
+	ds, err := dataset.New(name, g, pts, located)
+	if err != nil {
+		return nil, fmt.Errorf("ssrq: %w", err)
+	}
+	return &Dataset{ds: ds}, nil
+}
+
+// Synthesize generates a paper-substitute dataset: preset is "gowalla",
+// "foursquare" or "twitter" (matching Table 2's degree and located-fraction
+// profiles; see DESIGN.md for the substitution rationale).
+func Synthesize(preset string, n int, seed int64) (*Dataset, error) {
+	var p gen.Preset
+	switch preset {
+	case "gowalla":
+		p = gen.GowallaPreset
+	case "foursquare":
+		p = gen.FoursquarePreset
+	case "twitter":
+		p = gen.TwitterPreset
+	default:
+		return nil, fmt.Errorf("ssrq: unknown preset %q (gowalla|foursquare|twitter)", preset)
+	}
+	ds, err := p.Dataset(n, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{ds: ds}, nil
+}
+
+// LoadDataset reads a dataset saved with Save.
+func LoadDataset(path string) (*Dataset, error) {
+	ds, err := dataset.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{ds: ds}, nil
+}
+
+// Save writes the dataset to path (gob encoding, raw coordinates).
+func (d *Dataset) Save(path string) error { return d.ds.SaveFile(path) }
+
+// NumUsers returns the number of users.
+func (d *Dataset) NumUsers() int { return d.ds.NumUsers() }
+
+// Located reports whether the user's location is known.
+func (d *Dataset) Located(id UserID) bool { return d.ds.Located[id] }
+
+// Location returns the user's current raw coordinates; ok is false when
+// unknown.
+func (d *Dataset) Location(id UserID) (Point, bool) {
+	if !d.ds.Located[id] {
+		return Point{}, false
+	}
+	p := d.ds.Pts[id]
+	return Point{X: p.X * d.ds.Norms.Spatial, Y: p.Y * d.ds.Norms.Spatial}, true
+}
+
+// Stats returns Table 2-style statistics.
+func (d *Dataset) Stats() DatasetStats { return d.ds.Stats() }
+
+// Norms returns the normalization constants.
+func (d *Dataset) Norms() Norms { return d.ds.Norms }
+
+// Options configure an Engine (the paper's system parameters, Table 3).
+// The zero value of every field selects the paper's default.
+type Options struct {
+	// GridS is the grid partitioning granularity s (default 10).
+	GridS int
+	// GridLevels is the number of stored grid levels (default 2).
+	GridLevels int
+	// NumLandmarks is M (default 8).
+	NumLandmarks int
+	// LandmarkStrategy: 0 = farthest (paper), 1 = highest-degree, 2 = random.
+	LandmarkStrategy int
+	// Seed drives randomized preprocessing.
+	Seed int64
+	// BuildCH additionally builds a contraction hierarchy, enabling the
+	// SFACH/SPACH/TSACH comparison variants. Expensive on large graphs.
+	BuildCH bool
+	// CacheT is the §5.4 pre-computed list length for AISCache (default 1000).
+	CacheT int
+}
+
+// Engine answers SSRQ queries over one dataset. Concurrent queries are
+// safe; location updates must not race with queries.
+type Engine struct {
+	eng *core.Engine
+	d   *Dataset
+}
+
+// NewEngine builds all indexes (grid, social summaries, landmark tables,
+// optionally a contraction hierarchy). opts may be nil for paper defaults.
+func NewEngine(d *Dataset, opts *Options) (*Engine, error) {
+	if d == nil {
+		return nil, fmt.Errorf("ssrq: nil dataset")
+	}
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	eng, err := core.NewEngine(d.ds, core.Options{
+		GridS:            o.GridS,
+		GridLevels:       o.GridLevels,
+		NumLandmarks:     o.NumLandmarks,
+		LandmarkStrategy: landmark.Strategy(o.LandmarkStrategy),
+		Seed:             o.Seed,
+		BuildCH:          o.BuildCH,
+		CacheT:           o.CacheT,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{eng: eng, d: d}, nil
+}
+
+// Dataset returns the engine's dataset.
+func (e *Engine) Dataset() *Dataset { return e.d }
+
+// TopK answers an SSRQ with the paper's best algorithm (AIS): the k users
+// minimizing f = α·p + (1−α)·d. alpha must lie strictly in (0, 1).
+func (e *Engine) TopK(q UserID, k int, alpha float64) (*Result, error) {
+	return e.eng.Query(core.AIS, q, core.Params{K: k, Alpha: alpha})
+}
+
+// TopKWith answers an SSRQ with a specific algorithm.
+func (e *Engine) TopKWith(algo Algorithm, q UserID, k int, alpha float64) (*Result, error) {
+	return e.eng.Query(algo, q, core.Params{K: k, Alpha: alpha})
+}
+
+// MoveUser updates a user's current location (raw coordinates), maintaining
+// the spatial grid and the AIS social summaries incrementally (§5.1).
+func (e *Engine) MoveUser(id UserID, to Point) {
+	norm := e.d.ds.Norms.Spatial
+	e.eng.MoveUser(id, Point{X: to.X / norm, Y: to.Y / norm})
+}
+
+// RemoveUserLocation marks the user's whereabouts unknown; he/she becomes
+// "infinitely far away" and leaves all spatial structures.
+func (e *Engine) RemoveUserLocation(id UserID) { e.eng.RemoveUserLocation(id) }
+
+// Precompute materializes §5.4 social-distance lists for the given query
+// users so AISCache answers without a cold build.
+func (e *Engine) Precompute(users []UserID) { e.eng.Precompute(users) }
+
+// SpatialKNN returns the k spatially-nearest located users to q (a pure
+// one-domain query, for comparison with SSRQ — cf. Fig. 7b).
+func (e *Engine) SpatialKNN(q UserID, k int) ([]Entry, error) {
+	if !e.d.ds.Located[q] {
+		return nil, fmt.Errorf("ssrq: user %d has no known location", q)
+	}
+	nbrs := e.eng.Grid().KNN(e.d.ds.Pts[q], k, func(id int32) bool { return id == int32(q) })
+	out := make([]Entry, len(nbrs))
+	for i, nb := range nbrs {
+		out[i] = Entry{ID: nb.ID, F: nb.Dist, D: nb.Dist}
+	}
+	return out, nil
+}
+
+// SocialKNN returns the k socially-closest users to q (pure one-domain).
+func (e *Engine) SocialKNN(q UserID, k int) []Entry {
+	it := graph.NewDijkstraIterator(e.d.ds.G, q)
+	var out []Entry
+	for len(out) < k {
+		v, p, ok := it.Next()
+		if !ok {
+			break
+		}
+		if v != q {
+			out = append(out, Entry{ID: v, F: p, P: p})
+		}
+	}
+	return out
+}

@@ -1,0 +1,232 @@
+package ssrq
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+func TestNewDatasetExplicitWeights(t *testing.T) {
+	edges := []Edge{{0, 1, 0.5}, {1, 2, 0.25}, {2, 3, 0.75}}
+	locs := map[UserID]Point{0: {X: 0, Y: 0}, 1: {X: 10, Y: 0}, 2: {X: 0, Y: 10}, 3: {X: 10, Y: 10}}
+	ds, err := NewDataset("tiny", 4, edges, locs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumUsers() != 4 {
+		t.Fatalf("NumUsers = %d", ds.NumUsers())
+	}
+	st := ds.Stats()
+	if st.NumEdges != 3 || st.NumLocated != 4 {
+		t.Fatalf("stats %+v", st)
+	}
+	if p, ok := ds.Location(1); !ok || math.Abs(p.X-10) > 1e-9 {
+		t.Fatalf("Location(1) = %v, %v", p, ok)
+	}
+}
+
+func TestNewDatasetDegreeProductWeights(t *testing.T) {
+	// All-zero weights trigger the paper's degree-product rule.
+	edges := []Edge{{0, 1, 0}, {0, 2, 0}, {1, 2, 0}}
+	ds, err := NewDataset("auto", 3, edges, map[UserID]Point{0: {}, 1: {X: 1}, 2: {Y: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Stats().NumEdges != 3 {
+		t.Fatal("edges lost")
+	}
+}
+
+func TestNewDatasetValidation(t *testing.T) {
+	if _, err := NewDataset("x", 0, nil, nil); err == nil {
+		t.Fatal("zero users accepted")
+	}
+	if _, err := NewDataset("x", 2, []Edge{{0, 5, 1}}, nil); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	if _, err := NewDataset("x", 2, []Edge{{0, 1, -1}}, nil); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if _, err := NewDataset("x", 2, nil, map[UserID]Point{5: {}}); err == nil {
+		t.Fatal("out-of-range location accepted")
+	}
+}
+
+func TestSynthesizePresets(t *testing.T) {
+	for _, preset := range []string{"gowalla", "foursquare", "twitter"} {
+		ds, err := Synthesize(preset, 400, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", preset, err)
+		}
+		if ds.NumUsers() != 400 {
+			t.Fatalf("%s: %d users", preset, ds.NumUsers())
+		}
+	}
+	if _, err := Synthesize("myspace", 400, 7); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+}
+
+func TestEngineTopKAgainstBruteForce(t *testing.T) {
+	ds, err := Synthesize("gowalla", 500, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(ds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q UserID = -1
+	for v := 0; v < ds.NumUsers(); v++ {
+		if ds.Located(UserID(v)) {
+			q = UserID(v)
+			break
+		}
+	}
+	res, err := eng.TopK(q, 10, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := eng.TopKWith(BruteForce, q, 10, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != len(want.Entries) {
+		t.Fatalf("sizes differ: %d vs %d", len(res.Entries), len(want.Entries))
+	}
+	for i := range res.Entries {
+		if math.Abs(res.Entries[i].F-want.Entries[i].F) > 1e-9 {
+			t.Fatalf("rank %d: f %v vs %v", i, res.Entries[i].F, want.Entries[i].F)
+		}
+	}
+}
+
+func TestEngineNilDataset(t *testing.T) {
+	if _, err := NewEngine(nil, nil); err == nil {
+		t.Fatal("nil dataset accepted")
+	}
+}
+
+func TestEngineOptionsRespected(t *testing.T) {
+	ds, _ := Synthesize("gowalla", 300, 3)
+	eng, err := NewEngine(ds, &Options{GridS: 5, GridLevels: 1, NumLandmarks: 3, BuildCH: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q UserID
+	for v := 0; v < ds.NumUsers(); v++ {
+		if ds.Located(UserID(v)) {
+			q = UserID(v)
+			break
+		}
+	}
+	if _, err := eng.TopKWith(SFACH, q, 5, 0.5); err != nil {
+		t.Fatalf("CH variant should work with BuildCH: %v", err)
+	}
+}
+
+func TestMoveUserRawCoordinates(t *testing.T) {
+	ds, _ := Synthesize("twitter", 300, 5) // all located
+	eng, _ := NewEngine(ds, nil)
+	q := UserID(0)
+	target, _ := ds.Location(q)
+	// Teleport user 42 onto the query user and verify it becomes the
+	// nearest spatial neighbor.
+	eng.MoveUser(42, target)
+	nbrs, err := eng.SpatialKNN(q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nbrs) != 1 || nbrs[0].ID != 42 {
+		t.Fatalf("nearest after move = %+v", nbrs)
+	}
+	eng.RemoveUserLocation(42)
+	nbrs, _ = eng.SpatialKNN(q, 1)
+	if len(nbrs) == 1 && nbrs[0].ID == 42 {
+		t.Fatal("removed user still indexed")
+	}
+}
+
+func TestKNNHelpers(t *testing.T) {
+	ds, _ := Synthesize("twitter", 300, 9)
+	eng, _ := NewEngine(ds, nil)
+	q := UserID(1)
+	sp, err := eng.SpatialKNN(q, 5)
+	if err != nil || len(sp) != 5 {
+		t.Fatalf("SpatialKNN: %v, %d", err, len(sp))
+	}
+	for i := 1; i < len(sp); i++ {
+		if sp[i].D < sp[i-1].D {
+			t.Fatal("spatial kNN unsorted")
+		}
+	}
+	so := eng.SocialKNN(q, 5)
+	if len(so) != 5 {
+		t.Fatalf("SocialKNN returned %d", len(so))
+	}
+	for i := 1; i < len(so); i++ {
+		if so[i].P < so[i-1].P {
+			t.Fatal("social kNN unsorted")
+		}
+	}
+}
+
+func TestDatasetSaveLoadRoundTrip(t *testing.T) {
+	ds, _ := Synthesize("gowalla", 200, 13)
+	path := filepath.Join(t.TempDir(), "ds.gob")
+	if err := ds.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	ds2, err := LoadDataset(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds2.NumUsers() != 200 || ds2.Stats().NumEdges != ds.Stats().NumEdges {
+		t.Fatal("round trip lost data")
+	}
+	// Same query must yield the same ranking on both copies.
+	e1, _ := NewEngine(ds, nil)
+	e2, _ := NewEngine(ds2, nil)
+	var q UserID = -1
+	for v := 0; v < ds.NumUsers(); v++ {
+		if ds.Located(UserID(v)) {
+			q = UserID(v)
+			break
+		}
+	}
+	r1, err := e1.TopK(q, 5, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e2.TopK(q, 5, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Entries {
+		if math.Abs(r1.Entries[i].F-r2.Entries[i].F) > 1e-9 {
+			t.Fatalf("rank %d drifted after round trip", i)
+		}
+	}
+}
+
+func TestPrecomputeThenAISCache(t *testing.T) {
+	ds, _ := Synthesize("gowalla", 400, 17)
+	eng, _ := NewEngine(ds, &Options{CacheT: 50})
+	var users []UserID
+	for v := 0; v < ds.NumUsers() && len(users) < 5; v++ {
+		if ds.Located(UserID(v)) {
+			users = append(users, UserID(v))
+		}
+	}
+	eng.Precompute(users)
+	for _, q := range users {
+		res, err := eng.TopKWith(AISCache, q, 5, 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := eng.TopKWith(BruteForce, q, 5, 0.3)
+		if len(res.Entries) != len(want.Entries) {
+			t.Fatal("AISCache size mismatch")
+		}
+	}
+}
