@@ -7,6 +7,7 @@ package ssrq
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -333,6 +334,86 @@ func BenchmarkAblationGridLevels(b *testing.B) {
 		be := getEngine(b, "gowalla", func(o *core.Options) { o.GridLevels = l; o.GridS = 6 })
 		b.Run(fmt.Sprintf("levels=%d", l), func(b *testing.B) {
 			benchQueries(b, be, core.AIS, exp.DefaultK, exp.DefaultAlpha)
+		})
+	}
+}
+
+// --- Concurrent serving (the batched/parallel query path) ---
+
+// BenchmarkBatchThroughput measures queries/sec through Engine.QueryBatch
+// at 1 worker versus GOMAXPROCS workers. On a multi-core host the second
+// series demonstrates the parallel speedup of the batched serving path; on
+// a single core the two coincide.
+func BenchmarkBatchThroughput(b *testing.B) {
+	be := getEngine(b, "gowalla", nil)
+	prm := core.Params{K: exp.DefaultK, Alpha: exp.DefaultAlpha}
+	const batchSize = 64
+	batch := make([]core.BatchQuery, batchSize)
+	for i := range batch {
+		batch[i] = core.BatchQuery{Algo: core.AIS, Q: be.users[i%len(be.users)], Params: prm}
+	}
+	workerCounts := []int{1}
+	if p := runtime.GOMAXPROCS(0); p > 1 {
+		workerCounts = append(workerCounts, p)
+	}
+	for _, workers := range workerCounts {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				outs := be.eng.QueryBatch(batch, workers)
+				for j := range outs {
+					if outs[j].Err != nil {
+						b.Fatal(outs[j].Err)
+					}
+				}
+			}
+			b.ReportMetric(float64(b.N*batchSize)/b.Elapsed().Seconds(), "queries/s")
+		})
+	}
+}
+
+// BenchmarkQueriesUnderConcurrentMovers measures query throughput while
+// background goroutines continuously relocate users — the live-updates
+// workload the engine's internal synchronization exists for.
+func BenchmarkQueriesUnderConcurrentMovers(b *testing.B) {
+	be := getEngine(b, "twitter", nil) // all users located
+	prm := core.Params{K: exp.DefaultK, Alpha: exp.DefaultAlpha}
+	n := be.ds.NumUsers()
+	for _, movers := range []int{0, 1, 2} {
+		movers := movers
+		b.Run(fmt.Sprintf("movers=%d", movers), func(b *testing.B) {
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			for m := 0; m < movers; m++ {
+				wg.Add(1)
+				go func(m int) {
+					defer wg.Done()
+					i := m
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+							id := int32(i % n)
+							p := be.ds.Pts[id]
+							be.eng.MoveUser(id, Point{X: 1 - p.X, Y: 1 - p.Y})
+							i += movers
+						}
+					}
+				}(m)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := be.users[i%len(be.users)]
+				if _, err := be.eng.Query(core.AIS, q, prm); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			close(stop)
+			wg.Wait()
 		})
 	}
 }

@@ -1,54 +1,69 @@
 // Command ssrq-bench regenerates every table and figure of the paper's
 // evaluation section (§6) on synthetic paper-substitute datasets and prints
-// the same rows/series the paper reports.
+// the same rows/series the paper reports. It also measures the batched
+// serving path (-exp throughput).
 //
 // Usage:
 //
 //	ssrq-bench -exp all -scale medium          # everything, default sizes
 //	ssrq-bench -exp fig8 -scale small -ch      # one figure, with CH variants
+//	ssrq-bench -exp throughput -parallel 8     # batched queries/sec, 8 workers
 //
 // Experiments: table2 fig7a fig7b fig8 fig9 fig10 fig11 fig12 fig13 fig14a
-// fig14b all. Scales: small | medium | large (see internal/exp).
+// fig14b throughput all. Scales: small | medium | large (see internal/exp).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"ssrq/internal/exp"
 )
 
-func main() {
+// run is the whole program minus process concerns; it returns the exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ssrq-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		expID   = flag.String("exp", "all", "experiment id (table2, fig7a..fig14b, all)")
-		scale   = flag.String("scale", "medium", "dataset scale: small|medium|large")
-		seed    = flag.Int64("seed", 42, "generator seed")
-		withCH  = flag.Bool("ch", false, "include the SFA-CH/SPA-CH/TSA-CH variants in fig8 (slow preprocessing)")
-		queries = flag.Int("queries", 0, "override the number of queries per measurement")
+		expID    = fs.String("exp", "all", "experiment id (table2, fig7a..fig14b, throughput, all)")
+		scale    = fs.String("scale", "medium", "dataset scale: small|medium|large")
+		seed     = fs.Int64("seed", 42, "generator seed")
+		withCH   = fs.Bool("ch", false, "include the SFA-CH/SPA-CH/TSA-CH variants in fig8 (slow preprocessing)")
+		queries  = fs.Int("queries", 0, "override the number of queries per measurement")
+		parallel = fs.Int("parallel", 0, "worker count for -exp throughput (0 = GOMAXPROCS)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	sc, err := exp.ScaleByName(*scale)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
 	if *queries > 0 {
 		sc.NumQueries = *queries
 	}
 
-	fmt.Printf("ssrq-bench: exp=%s scale=%s seed=%d queries=%d ch=%v\n",
+	fmt.Fprintf(stdout, "ssrq-bench: exp=%s scale=%s seed=%d queries=%d ch=%v\n",
 		*expID, sc.Name, *seed, sc.NumQueries, *withCH)
-	fmt.Printf("defaults (Table 3): k=%d alpha=%.1f s=%d M=%d levels=%d\n",
+	fmt.Fprintf(stdout, "defaults (Table 3): k=%d alpha=%.1f s=%d M=%d levels=%d\n",
 		exp.DefaultK, exp.DefaultAlpha, exp.DefaultS, exp.DefaultM, exp.DefaultLevels)
 
-	suite := exp.NewSuite(sc, *seed, os.Stdout)
+	suite := exp.NewSuite(sc, *seed, stdout)
+	suite.Parallel = *parallel
 	start := time.Now()
 	if err := suite.Run(*expID, *withCH); err != nil {
-		fmt.Fprintln(os.Stderr, "ssrq-bench:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "ssrq-bench:", err)
+		return 1
 	}
-	fmt.Printf("\ncompleted in %v (%d measurements)\n", time.Since(start).Round(time.Millisecond), len(suite.Measurements))
+	fmt.Fprintf(stdout, "\ncompleted in %v (%d measurements)\n", time.Since(start).Round(time.Millisecond), len(suite.Measurements))
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunThroughputSmoke(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-exp", "throughput", "-scale", "small", "-queries", "4", "-parallel", "2"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, stderr.String())
+	}
+	got := stdout.String()
+	for _, want := range []string{"Batched throughput", "queries/sec", "completed in"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-scale", "galactic"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("bad scale run = %d", code)
+	}
+	if code := run([]string{"-exp", "fig99", "-scale", "small"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("unknown experiment run = %d", code)
+	}
+	if code := run([]string{"-badflag"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("bad flag run = %d", code)
+	}
+}

@@ -9,33 +9,44 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"ssrq"
 )
 
-func main() {
+// run is the whole program minus process concerns; it returns the exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ssrq-datagen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		preset = flag.String("preset", "gowalla", "dataset preset: gowalla|foursquare|twitter")
-		n      = flag.Int("n", 10000, "number of users")
-		seed   = flag.Int64("seed", 42, "generator seed")
-		out    = flag.String("out", "", "output path (required)")
+		preset = fs.String("preset", "gowalla", "dataset preset: gowalla|foursquare|twitter")
+		n      = fs.Int("n", 10000, "number of users")
+		seed   = fs.Int64("seed", 42, "generator seed")
+		out    = fs.String("out", "", "output path (required)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	if *out == "" {
-		fmt.Fprintln(os.Stderr, "ssrq-datagen: -out is required")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "ssrq-datagen: -out is required")
+		return 2
 	}
 	ds, err := ssrq.Synthesize(*preset, *n, *seed)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ssrq-datagen:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "ssrq-datagen:", err)
+		return 1
 	}
 	if err := ds.Save(*out); err != nil {
-		fmt.Fprintln(os.Stderr, "ssrq-datagen:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "ssrq-datagen:", err)
+		return 1
 	}
 	st := ds.Stats()
-	fmt.Printf("wrote %s: %d users, %d edges, %d located (avg degree %.1f)\n",
+	fmt.Fprintf(stdout, "wrote %s: %d users, %d edges, %d located (avg degree %.1f)\n",
 		*out, st.NumVertices, st.NumEdges, st.NumLocated, st.AvgDegree)
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }

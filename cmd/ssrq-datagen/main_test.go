@@ -1,0 +1,42 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ssrq"
+)
+
+func TestRunWritesLoadableDataset(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "tiny.gob")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-preset", "twitter", "-n", "250", "-out", out}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "wrote") {
+		t.Fatalf("stdout: %s", stdout.String())
+	}
+	ds, err := ssrq.LoadDataset(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumUsers() != 250 {
+		t.Fatalf("loaded users = %d", ds.NumUsers())
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Fatalf("missing -out run = %d", code)
+	}
+	if code := run([]string{"-preset", "nope", "-out", filepath.Join(t.TempDir(), "x.gob")}, &stdout, &stderr); code != 1 {
+		t.Fatalf("bad preset run = %d", code)
+	}
+	if code := run([]string{"-badflag"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("bad flag run = %d", code)
+	}
+}

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -23,18 +24,24 @@ var algoByName = map[string]ssrq.Algorithm{
 	"AIS-CACHE": ssrq.AISCache, "BRUTE": ssrq.BruteForce,
 }
 
-func main() {
+// run is the whole program minus process concerns: it parses args, answers
+// the query, writes the report to stdout and returns the exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ssrq-query", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		data   = flag.String("data", "", "dataset file written by ssrq-datagen")
-		preset = flag.String("preset", "gowalla", "synthesize this preset when -data is not given")
-		n      = flag.Int("n", 5000, "synthetic dataset size when -data is not given")
-		seed   = flag.Int64("seed", 42, "seed for synthesis and preprocessing")
-		q      = flag.Int("q", -1, "query user (default: first located user)")
-		k      = flag.Int("k", 10, "result size")
-		alpha  = flag.Float64("alpha", 0.3, "social/spatial preference in (0,1)")
-		algo   = flag.String("algo", "AIS", "algorithm: "+strings.Join(algoNames(), "|"))
+		data   = fs.String("data", "", "dataset file written by ssrq-datagen")
+		preset = fs.String("preset", "gowalla", "synthesize this preset when -data is not given")
+		n      = fs.Int("n", 5000, "synthetic dataset size when -data is not given")
+		seed   = fs.Int64("seed", 42, "seed for synthesis and preprocessing")
+		q      = fs.Int("q", -1, "query user (default: first located user)")
+		k      = fs.Int("k", 10, "result size")
+		alpha  = fs.Float64("alpha", 0.3, "social/spatial preference in (0,1)")
+		algo   = fs.String("algo", "AIS", "algorithm: "+strings.Join(algoNames(), "|"))
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	var (
 		ds  *ssrq.Dataset
@@ -46,17 +53,17 @@ func main() {
 		ds, err = ssrq.Synthesize(*preset, *n, *seed)
 	}
 	if err != nil {
-		fatal(err)
+		return fail(stderr, err)
 	}
 
 	a, ok := algoByName[strings.ToUpper(*algo)]
 	if !ok {
-		fatal(fmt.Errorf("unknown algorithm %q (%s)", *algo, strings.Join(algoNames(), "|")))
+		return fail(stderr, fmt.Errorf("unknown algorithm %q (%s)", *algo, strings.Join(algoNames(), "|")))
 	}
 
 	eng, err := ssrq.NewEngine(ds, &ssrq.Options{Seed: *seed})
 	if err != nil {
-		fatal(err)
+		return fail(stderr, err)
 	}
 
 	query := ssrq.UserID(*q)
@@ -71,21 +78,26 @@ func main() {
 
 	res, err := eng.TopKWith(a, query, *k, *alpha)
 	if err != nil {
-		fatal(err)
+		return fail(stderr, err)
 	}
 
 	st := ds.Stats()
-	fmt.Printf("dataset %s: %d users, %d edges, %d located\n", st.Name, st.NumVertices, st.NumEdges, st.NumLocated)
-	fmt.Printf("query user %d, k=%d, alpha=%.2f, algorithm %v\n\n", query, *k, *alpha, a)
-	fmt.Printf("%4s  %8s  %10s  %10s  %10s\n", "rank", "user", "f", "social p", "spatial d")
+	fmt.Fprintf(stdout, "dataset %s: %d users, %d edges, %d located\n", st.Name, st.NumVertices, st.NumEdges, st.NumLocated)
+	fmt.Fprintf(stdout, "query user %d, k=%d, alpha=%.2f, algorithm %v\n\n", query, *k, *alpha, a)
+	fmt.Fprintf(stdout, "%4s  %8s  %10s  %10s  %10s\n", "rank", "user", "f", "social p", "spatial d")
 	for i, e := range res.Entries {
-		fmt.Printf("%4d  %8d  %10.6f  %10.6f  %10.6f\n", i+1, e.ID, e.F, e.P, e.D)
+		fmt.Fprintf(stdout, "%4d  %8d  %10.6f  %10.6f  %10.6f\n", i+1, e.ID, e.F, e.P, e.D)
 	}
 	s := res.Stats
-	fmt.Printf("\nstats: social pops=%d (reverse=%d) spatial pops=%d index pops=%d/%d "+
+	fmt.Fprintf(stdout, "\nstats: social pops=%d (reverse=%d) spatial pops=%d index pops=%d/%d "+
 		"dist calls=%d reinserts=%d pop ratio=%.4f\n",
 		s.SocialPops, s.ReversePops, s.SpatialPops, s.IndexUserPops, s.IndexCellPops,
 		s.GraphDistCalls, s.Reinserts, s.PopRatio(ds.NumUsers()))
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
 func algoNames() []string {
@@ -96,7 +108,7 @@ func algoNames() []string {
 	return names
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "ssrq-query:", err)
-	os.Exit(1)
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "ssrq-query:", err)
+	return 1
 }

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSmoke(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-preset", "twitter", "-n", "300", "-k", "5", "-algo", "TSA"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, errOut.String())
+	}
+	got := out.String()
+	for _, want := range []string{"dataset", "rank", "stats:", "algorithm TSA"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunBadArgs(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-algo", "QUANTUM", "-preset", "twitter", "-n", "200"}, &out, &errOut); code != 1 {
+		t.Fatalf("unknown algo run = %d", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown algorithm") {
+		t.Fatalf("stderr: %s", errOut.String())
+	}
+	if code := run([]string{"-nosuchflag"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad flag run = %d", code)
+	}
+	if code := run([]string{"-preset", "nope", "-n", "100"}, &out, &errOut); code != 1 {
+		t.Fatalf("bad preset run = %d", code)
+	}
+}

@@ -1,10 +1,12 @@
 // Command ssrq-server exposes SSRQ over HTTP: a minimal location-based
 // social search service backed by the AIS index, with live location updates
-// (the workload the paper's index maintenance targets, §5.1).
+// (the workload the paper's index maintenance targets, §5.1). The engine is
+// internally synchronized, so queries, batches and moves interleave freely.
 //
 // Endpoints:
 //
 //	GET  /query?q=<user>&k=<int>&alpha=<float>[&algo=AIS]   ranked result
+//	POST /batch  {"algo":"AIS","k":10,"alpha":0.3,"queries":[1,2,3]}
 //	GET  /user/<id>                                          location + degree
 //	POST /move   {"id":123,"x":1.5,"y":2.5}                  update location
 //	POST /unlocate {"id":123}                                drop location
@@ -14,12 +16,13 @@
 // Start with a saved dataset or a synthesized one:
 //
 //	ssrq-server -data fsq.gob -addr :8080
-//	ssrq-server -preset gowalla -n 20000
+//	ssrq-server -preset gowalla -n 20000 -parallel 8
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -28,39 +31,73 @@ import (
 	"ssrq/internal/httpapi"
 )
 
-func main() {
-	var (
-		data   = flag.String("data", "", "dataset file written by ssrq-datagen")
-		preset = flag.String("preset", "gowalla", "synthesize this preset when -data is not given")
-		n      = flag.Int("n", 10000, "synthetic dataset size when -data is not given")
-		seed   = flag.Int64("seed", 42, "seed for synthesis and preprocessing")
-		addr   = flag.String("addr", ":8080", "listen address")
-	)
-	flag.Parse()
+// serverConfig is the parsed command line.
+type serverConfig struct {
+	data     string
+	preset   string
+	n        int
+	seed     int64
+	addr     string
+	parallel int
+}
 
+// parseFlags parses the command line; separated from main so tests can
+// exercise flag handling without exiting the process.
+func parseFlags(args []string, stderr io.Writer) (*serverConfig, error) {
+	fs := flag.NewFlagSet("ssrq-server", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	cfg := &serverConfig{}
+	fs.StringVar(&cfg.data, "data", "", "dataset file written by ssrq-datagen")
+	fs.StringVar(&cfg.preset, "preset", "gowalla", "synthesize this preset when -data is not given")
+	fs.IntVar(&cfg.n, "n", 10000, "synthetic dataset size when -data is not given")
+	fs.Int64Var(&cfg.seed, "seed", 42, "seed for synthesis and preprocessing")
+	fs.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	fs.IntVar(&cfg.parallel, "parallel", 0, "default worker count for POST /batch (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
+
+// buildServer loads or synthesizes the dataset, builds the engine and wraps
+// it in the HTTP handler; separated from main so tests can drive the full
+// stack through httptest.
+func buildServer(cfg *serverConfig) (*httpapi.Server, *ssrq.Dataset, error) {
 	var (
 		ds  *ssrq.Dataset
 		err error
 	)
-	if *data != "" {
-		ds, err = ssrq.LoadDataset(*data)
+	if cfg.data != "" {
+		ds, err = ssrq.LoadDataset(cfg.data)
 	} else {
-		ds, err = ssrq.Synthesize(*preset, *n, *seed)
+		ds, err = ssrq.Synthesize(cfg.preset, cfg.n, cfg.seed)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ssrq-server:", err)
-		os.Exit(1)
+		return nil, nil, err
 	}
-	eng, err := ssrq.NewEngine(ds, &ssrq.Options{Seed: *seed})
+	eng, err := ssrq.NewEngine(ds, &ssrq.Options{Seed: cfg.seed})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ssrq-server:", err)
-		os.Exit(1)
+		return nil, nil, err
 	}
-
 	srv := httpapi.New(eng)
+	srv.SetParallel(cfg.parallel)
+	return srv, ds, nil
+}
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:], os.Stderr)
+	if err != nil {
+		os.Exit(2)
+	}
+	srv, ds, err := buildServer(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssrq-server:", err)
+		os.Exit(1)
+	}
 	st := ds.Stats()
-	log.Printf("ssrq-server: %s (%d users, %d edges) listening on %s", st.Name, st.NumVertices, st.NumEdges, *addr)
-	if err := http.ListenAndServe(*addr, srv); err != nil {
+	log.Printf("ssrq-server: %s (%d users, %d edges) listening on %s (batch parallelism %d)",
+		st.Name, st.NumVertices, st.NumEdges, cfg.addr, cfg.parallel)
+	if err := http.ListenAndServe(cfg.addr, srv); err != nil {
 		log.Fatal(err)
 	}
 }

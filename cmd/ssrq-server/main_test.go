@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestParseFlags(t *testing.T) {
+	cfg, err := parseFlags([]string{"-preset", "twitter", "-n", "500", "-parallel", "4", "-addr", ":0"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.preset != "twitter" || cfg.n != 500 || cfg.parallel != 4 || cfg.addr != ":0" {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	if _, err := parseFlags([]string{"-bogus"}, io.Discard); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestBuildServerAndServe(t *testing.T) {
+	cfg, err := parseFlags([]string{"-preset", "twitter", "-n", "400", "-parallel", "2"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, ds, err := buildServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumUsers() != 400 {
+		t.Fatalf("users = %d", ds.NumUsers())
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", err, resp)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(ts.URL + "/query?q=0&k=3")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: %v %v", err, resp)
+	}
+	resp.Body.Close()
+
+	body := bytes.NewBufferString(`{"algo":"AIS","k":3,"alpha":0.3,"queries":[0,1,2]}`)
+	resp, err = http.Post(ts.URL+"/batch", "application/json", body)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: %v %v", err, resp)
+	}
+	var batch struct {
+		Results []struct {
+			Query   int32  `json:"query"`
+			Error   string `json:"error"`
+			Entries []struct {
+				ID int32   `json:"id"`
+				F  float64 `json:"f"`
+			} `json:"entries"`
+		} `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&batch); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(batch.Results) != 3 {
+		t.Fatalf("batch results = %d", len(batch.Results))
+	}
+	for i, r := range batch.Results {
+		if r.Error != "" {
+			t.Fatalf("batch item %d: %s", i, r.Error)
+		}
+		if len(r.Entries) != 3 {
+			t.Fatalf("batch item %d entries = %d", i, len(r.Entries))
+		}
+	}
+}
+
+func TestBuildServerBadDataset(t *testing.T) {
+	cfg, err := parseFlags([]string{"-data", "/nonexistent/path.gob"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := buildServer(cfg); err == nil {
+		t.Fatal("missing dataset file accepted")
+	}
+}

@@ -1,0 +1,3 @@
+module ssrq
+
+go 1.24

@@ -22,8 +22,12 @@ import (
 	"ssrq/internal/spatial"
 )
 
-// Index is the AIS aggregate index. Reads are safe concurrently; Move and
-// friends require external synchronization.
+// Index is the AIS aggregate index. Move, SetLocated and RemoveLocation are
+// safe to call concurrently with readers that hold the grid's read lock:
+// each mutation takes the underlying grid's write lock for the whole
+// compound update (membership change plus summary maintenance), so readers
+// never observe new membership paired with stale summaries. Readers bracket
+// a logical operation with Grid().RLock/RUnlock.
 type Index struct {
 	grid *spatial.Grid
 	lm   *landmark.Set
@@ -232,7 +236,10 @@ func (ix *Index) onRemove(leaf int32, id int32) {
 }
 
 // Move relocates a user, maintaining grid membership and social summaries.
+// Safe concurrently with readers holding the read lock.
 func (ix *Index) Move(id int32, to spatial.Point) {
+	ix.grid.Lock()
+	defer ix.grid.Unlock()
 	oldLeaf := ix.grid.LeafOf(id)
 	ix.grid.Move(id, to)
 	newLeaf := ix.grid.LeafOf(id)
@@ -247,8 +254,11 @@ func (ix *Index) Move(id int32, to spatial.Point) {
 	}
 }
 
-// SetLocated indexes a previously unlocated user.
+// SetLocated indexes a previously unlocated user. Safe concurrently with
+// readers holding the read lock.
 func (ix *Index) SetLocated(id int32, p spatial.Point) {
+	ix.grid.Lock()
+	defer ix.grid.Unlock()
 	oldLeaf := ix.grid.LeafOf(id)
 	ix.grid.SetLocated(id, p)
 	newLeaf := ix.grid.LeafOf(id)
@@ -261,8 +271,11 @@ func (ix *Index) SetLocated(id int32, p spatial.Point) {
 	ix.onInsert(newLeaf, id)
 }
 
-// RemoveLocation unindexes a user.
+// RemoveLocation unindexes a user. Safe concurrently with readers holding
+// the read lock.
 func (ix *Index) RemoveLocation(id int32) {
+	ix.grid.Lock()
+	defer ix.grid.Unlock()
 	leaf := ix.grid.LeafOf(id)
 	if leaf < 0 {
 		return

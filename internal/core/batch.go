@@ -1,0 +1,68 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ssrq/internal/graph"
+)
+
+// BatchQuery is one query of a batch: an algorithm, a query user and the
+// ranking parameters.
+type BatchQuery struct {
+	Algo   Algorithm
+	Q      graph.VertexID
+	Params Params
+}
+
+// BatchResult pairs one batch query's result with its error; exactly one of
+// the two fields is set.
+type BatchResult struct {
+	Result *Result
+	Err    error
+}
+
+// QueryBatch answers a batch of queries on a pool of workers and returns the
+// outcomes in input order. workers <= 0 selects GOMAXPROCS. Each query runs
+// through the ordinary Query path — per-query scratch comes from the
+// engine's sync.Pool, and the spatial read lock is taken per query rather
+// than per batch, so location updates can interleave between the queries of
+// a batch instead of stalling behind it. A failed query records its error
+// in its slot without affecting the rest of the batch.
+func (e *Engine) QueryBatch(queries []BatchQuery, workers int) []BatchResult {
+	out := make([]BatchResult, len(queries))
+	if len(queries) == 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	if workers == 1 {
+		for i, bq := range queries {
+			out[i].Result, out[i].Err = e.Query(bq.Algo, bq.Q, bq.Params)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(queries) {
+					return
+				}
+				bq := queries[i]
+				out[i].Result, out[i].Err = e.Query(bq.Algo, bq.Q, bq.Params)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
 
 	"ssrq/internal/dataset"
 	"ssrq/internal/graph"
+	"ssrq/internal/landmark"
 	"ssrq/internal/spatial"
 )
 
@@ -214,6 +216,59 @@ func TestAllAlgorithmsMatchBruteForce(t *testing.T) {
 				sameRanking(t, algo.String(), got, want)
 			}
 		}
+	}
+}
+
+// TestRandomizedEquivalenceProperty is the property-style sweep: across
+// random seeds, dataset shapes, engine options (grid granularity/levels,
+// landmark count and strategy, forward-search throttle, cache size) and
+// query parameters (k, α), every Algorithm variant must return the same
+// f-score ranking as BruteForce. CH variants join whenever the trial builds
+// a hierarchy. This is the contract the serving layer leans on: algorithm
+// choice is a performance knob, never a correctness one.
+func TestRandomizedEquivalenceProperty(t *testing.T) {
+	trials := 10
+	if testing.Short() {
+		trials = 3
+	}
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("seed=%d", trial), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(1000 + trial)))
+			n := 25 + rng.Intn(100)
+			buildCH := trial%3 == 0
+			ds := mkDataset(t, rng, n, 0.25*rng.Float64(), trial%4 == 3)
+			e := mkEngine(t, ds, Options{
+				GridS:            2 + rng.Intn(6),
+				GridLevels:       1 + rng.Intn(3),
+				NumLandmarks:     2 + rng.Intn(10),
+				LandmarkStrategy: landmark.Strategy(rng.Intn(3)),
+				FwdEvery:         1 + rng.Intn(4),
+				CacheT:           2 + rng.Intn(50),
+				BuildCH:          buildCH,
+				Seed:             int64(trial),
+			})
+			algos := allNonCHAlgorithms
+			if buildCH {
+				algos = append(append([]Algorithm{}, algos...), SFACH, SPACH, TSACH)
+			}
+			users := locatedUsers(ds)
+			for probe := 0; probe < 5; probe++ {
+				q := users[rng.Intn(len(users))]
+				prm := Params{K: 1 + rng.Intn(15), Alpha: 0.02 + 0.96*rng.Float64()}
+				want, err := e.Query(BruteForce, q, prm)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, algo := range algos {
+					got, err := e.Query(algo, q, prm)
+					if err != nil {
+						t.Fatalf("%v (q=%d k=%d α=%.3f): %v", algo, q, prm.K, prm.Alpha, err)
+					}
+					sameRanking(t, fmt.Sprintf("%v (q=%d k=%d α=%.3f)", algo, q, prm.K, prm.Alpha), got, want)
+				}
+			}
+		})
 	}
 }
 

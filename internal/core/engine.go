@@ -113,9 +113,11 @@ func (o *Options) setDefaults() {
 	}
 }
 
-// Engine binds a dataset to its indexes and answers SSRQ queries. Queries
-// may run concurrently; location updates require external synchronization
-// with queries.
+// Engine binds a dataset to its indexes and answers SSRQ queries. The
+// engine is safe for concurrent use: queries hold the spatial state's read
+// lock for their whole execution, and MoveUser/RemoveUserLocation take the
+// write lock, so queries and location updates interleave freely, each query
+// observing one consistent snapshot.
 type Engine struct {
 	ds        *dataset.Dataset
 	lm        *landmark.Set
@@ -201,17 +203,24 @@ func (e *Engine) AggIndex() *aggindex.Index { return e.agg }
 func (e *Engine) Options() Options { return e.opts }
 
 // MoveUser relocates a user (normalized coordinates), maintaining both the
-// plain grid and the AIS summaries. Not safe concurrently with queries.
+// plain grid and the AIS summaries. Safe concurrently with queries: the
+// update runs under the write lock.
 func (e *Engine) MoveUser(id int32, to spatial.Point) { e.agg.Move(id, to) }
 
-// RemoveUserLocation drops a user's location.
+// RemoveUserLocation drops a user's location. Safe concurrently with
+// queries.
 func (e *Engine) RemoveUserLocation(id int32) { e.agg.RemoveLocation(id) }
 
-// Query answers an SSRQ for query user q.
+// Query answers an SSRQ for query user q. Safe for concurrent use; each
+// query executes against one consistent snapshot of the spatial state
+// (queries share the read side of the engine's lock, location updates take
+// the write side).
 func (e *Engine) Query(algo Algorithm, q graph.VertexID, prm Params) (*Result, error) {
 	if err := prm.Validate(); err != nil {
 		return nil, err
 	}
+	e.grid.RLock()
+	defer e.grid.RUnlock()
 	if q < 0 || int(q) >= e.ds.NumUsers() {
 		return nil, fmt.Errorf("core: query user %d out of range [0,%d)", q, e.ds.NumUsers())
 	}

@@ -16,6 +16,9 @@ type Suite struct {
 	Scale Scale
 	Seed  int64
 	Out   io.Writer
+	// Parallel is the worker count for the "throughput" experiment
+	// (0 = GOMAXPROCS).
+	Parallel int
 
 	datasets map[string]*dataset.Dataset
 	engines  map[string]*core.Engine
@@ -120,7 +123,7 @@ func (s *Suite) RunAll(withCH bool) error {
 }
 
 // Run executes a single experiment by id ("table2", "fig7a", … "fig14b",
-// "all").
+// "throughput", "all").
 func (s *Suite) Run(id string, withCH bool) error {
 	switch id {
 	case "all":
@@ -147,6 +150,8 @@ func (s *Suite) Run(id string, withCH bool) error {
 		return s.RunFig14a()
 	case "fig14b":
 		return s.RunFig14b()
+	case "throughput":
+		return s.RunThroughput()
 	case "diag":
 		return s.RunDiagnostics()
 	default:

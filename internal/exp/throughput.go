@@ -1,0 +1,71 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"ssrq/internal/core"
+)
+
+// RunThroughput measures the batched serving path: the same AIS workload
+// pushed through Engine.QueryBatch at 1 worker and at s.Parallel workers
+// (default GOMAXPROCS), reporting queries/sec and the parallel speedup.
+// This is not a paper figure — it exercises the concurrent serving layer
+// the paper's motivating applications (§1) need.
+func (s *Suite) RunThroughput() error {
+	workers := s.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	e, err := s.Engine("gowalla", DefaultS, false)
+	if err != nil {
+		return err
+	}
+	ds, err := s.Dataset("gowalla")
+	if err != nil {
+		return err
+	}
+	users := QueryUsers(ds, s.Scale.NumQueries, s.Seed)
+	prm := core.Params{K: DefaultK, Alpha: DefaultAlpha}
+	// Replicate the query set so the batch is large enough to amortize
+	// worker startup and scheduling.
+	const replicas = 4
+	batch := make([]core.BatchQuery, 0, replicas*len(users))
+	for r := 0; r < replicas; r++ {
+		for _, q := range users {
+			batch = append(batch, core.BatchQuery{Algo: core.AIS, Q: q, Params: prm})
+		}
+	}
+
+	tbl := &Table{
+		Title:   fmt.Sprintf("Batched throughput — AIS, k=%d, α=%.1f, %d queries", prm.K, prm.Alpha, len(batch)),
+		Columns: []string{"workers", "total (ms)", "queries/sec", "speedup"},
+	}
+	var base time.Duration
+	for _, w := range []int{1, workers} {
+		start := time.Now()
+		outs := e.QueryBatch(batch, w)
+		elapsed := time.Since(start)
+		for _, out := range outs {
+			if out.Err != nil {
+				return fmt.Errorf("exp: throughput batch: %w", out.Err)
+			}
+		}
+		if w == 1 {
+			base = elapsed
+		}
+		qps := float64(len(batch)) / elapsed.Seconds()
+		speedup := float64(base) / float64(elapsed)
+		tbl.AddRow(fmt.Sprint(w), ms(elapsed), fmt.Sprintf("%.0f", qps), f2(speedup))
+		s.record(Measurement{
+			Dataset: ds.Name, Algo: core.AIS, X: float64(w),
+			Runtime: elapsed / time.Duration(len(batch)), Queries: len(batch),
+		})
+		if w == 1 && workers == 1 {
+			break // avoid printing the same row twice on single-core hosts
+		}
+	}
+	tbl.Fprint(s.Out)
+	return nil
+}

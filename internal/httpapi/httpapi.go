@@ -1,17 +1,18 @@
 // Package httpapi serves SSRQ over HTTP — the service layer of the
 // reproduction's "company/friend recommendation" motivating applications
-// (§1). Queries run concurrently against the shared engine; location
-// updates are serialized through a write lock, matching the engine's
-// concurrency contract (reads are lock-free, updates exclusive).
+// (§1). The engine is internally synchronized (queries hold a shared read
+// lock for their duration, location updates the write lock), so handlers
+// call it directly with no server-side locking; /batch fans a request out
+// over the engine's worker-pool batch path.
 package httpapi
 
 import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
-	"sync"
 
 	"ssrq"
 )
@@ -20,15 +21,19 @@ import (
 type Server struct {
 	eng *ssrq.Engine
 	mux *http.ServeMux
-	// mu serializes location updates against queries: updates take the
-	// write side, queries the read side.
-	mu sync.RWMutex
+	// parallel is the default worker count for /batch; 0 = GOMAXPROCS.
+	parallel int
 }
+
+// maxBatch bounds one /batch request, keeping a single request from pinning
+// the worker pool indefinitely.
+const maxBatch = 10000
 
 // New builds the handler.
 func New(eng *ssrq.Engine) *Server {
 	s := &Server{eng: eng, mux: http.NewServeMux()}
 	s.mux.HandleFunc("GET /query", s.handleQuery)
+	s.mux.HandleFunc("POST /batch", s.handleBatch)
 	s.mux.HandleFunc("GET /user/{id}", s.handleUser)
 	s.mux.HandleFunc("POST /move", s.handleMove)
 	s.mux.HandleFunc("POST /unlocate", s.handleUnlocate)
@@ -39,6 +44,10 @@ func New(eng *ssrq.Engine) *Server {
 	})
 	return s
 }
+
+// SetParallel sets the default /batch worker count (0 = GOMAXPROCS). Call
+// before serving.
+func (s *Server) SetParallel(n int) { s.parallel = n }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -103,15 +112,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	s.mu.RLock()
 	res, err := s.eng.TopKWith(algo, ssrq.UserID(q), k, alpha)
-	s.mu.RUnlock()
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
+	writeJSON(w, toQueryResponse(int32(q), k, alpha, algo, res))
+}
+
+func toQueryResponse(q int32, k int, alpha float64, algo ssrq.Algorithm, res *ssrq.Result) queryResponse {
 	resp := queryResponse{
-		Query: int32(q), K: k, Alpha: alpha, Algo: fmt.Sprint(algo),
+		Query: q, K: k, Alpha: alpha, Algo: fmt.Sprint(algo),
 		Entries: make([]queryEntry, len(res.Entries)),
 		Stats: queryStats{
 			SocialPops:    res.Stats.SocialPops,
@@ -123,6 +134,82 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	for i, e := range res.Entries {
 		resp.Entries[i] = queryEntry{ID: e.ID, F: e.F, Social: e.P, Spatial: e.D}
+	}
+	return resp
+}
+
+// batchRequest asks for the same (algo, k, alpha) over many query users.
+// Parallel optionally overrides the server's worker count for this request.
+type batchRequest struct {
+	Algo     string  `json:"algo"`
+	K        int     `json:"k"`
+	Alpha    float64 `json:"alpha"`
+	Queries  []int32 `json:"queries"`
+	Parallel int     `json:"parallel,omitempty"`
+}
+
+// batchItem is one slot of a batch response: either a ranked result or an
+// error, in input order.
+type batchItem struct {
+	Query   int32        `json:"query"`
+	Error   string       `json:"error,omitempty"`
+	Entries []queryEntry `json:"entries,omitempty"`
+}
+
+type batchResponse struct {
+	K       int         `json:"k"`
+	Alpha   float64     `json:"alpha"`
+	Algo    string      `json:"algo"`
+	Results []batchItem `json:"results"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	req := batchRequest{K: 10, Alpha: 0.3, Algo: "AIS"}
+	// Bound the allocation, not just the parsed length: a maxBatch-sized
+	// request is well under 1 MiB of JSON.
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad body: %w", err))
+		return
+	}
+	if len(req.Queries) == 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("empty queries"))
+		return
+	}
+	if len(req.Queries) > maxBatch {
+		httpError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("batch of %d exceeds limit %d", len(req.Queries), maxBatch))
+		return
+	}
+	algo, ok := algoByName[strings.ToUpper(req.Algo)]
+	if !ok {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("unknown algorithm %q", req.Algo))
+		return
+	}
+	// A request may lower its own parallelism but never exceed the
+	// operator's configured cap (-parallel, GOMAXPROCS when unset).
+	limit := s.parallel
+	if limit <= 0 {
+		limit = runtime.GOMAXPROCS(0)
+	}
+	workers := limit
+	if req.Parallel > 0 && req.Parallel < limit {
+		workers = req.Parallel
+	}
+	outs := s.eng.TopKBatch(algo, req.Queries, req.K, req.Alpha, workers)
+	resp := batchResponse{
+		K: req.K, Alpha: req.Alpha, Algo: fmt.Sprint(algo),
+		Results: make([]batchItem, len(outs)),
+	}
+	for i, out := range outs {
+		item := batchItem{Query: req.Queries[i]}
+		if out.Err != nil {
+			item.Error = out.Err.Error()
+		} else {
+			item.Entries = make([]queryEntry, len(out.Result.Entries))
+			for j, e := range out.Result.Entries {
+				item.Entries[j] = queryEntry{ID: e.ID, F: e.F, Social: e.P, Spatial: e.D}
+			}
+		}
+		resp.Results[i] = item
 	}
 	writeJSON(w, resp)
 }
@@ -140,10 +227,8 @@ func (s *Server) handleUser(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, fmt.Errorf("unknown user %q", r.PathValue("id")))
 		return
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	resp := userResponse{ID: int32(id)}
-	if p, ok := s.eng.Dataset().Location(ssrq.UserID(id)); ok {
+	if p, ok := s.eng.UserLocation(ssrq.UserID(id)); ok {
 		resp.Located = true
 		resp.X, resp.Y = &p.X, &p.Y
 	}
@@ -166,9 +251,7 @@ func (s *Server) handleMove(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, fmt.Errorf("unknown user %d", req.ID))
 		return
 	}
-	s.mu.Lock()
 	s.eng.MoveUser(req.ID, ssrq.Point{X: req.X, Y: req.Y})
-	s.mu.Unlock()
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -186,17 +269,12 @@ func (s *Server) handleUnlocate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, fmt.Errorf("unknown user %d", req.ID))
 		return
 	}
-	s.mu.Lock()
 	s.eng.RemoveUserLocation(req.ID)
-	s.mu.Unlock()
 	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	s.mu.RLock()
-	st := s.eng.Dataset().Stats()
-	s.mu.RUnlock()
-	writeJSON(w, st)
+	writeJSON(w, s.eng.DatasetStats())
 }
 
 func intParam(r *http.Request, name string, def int) (int, error) {

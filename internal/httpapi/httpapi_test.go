@@ -209,3 +209,100 @@ func TestConcurrentQueriesAndMoves(t *testing.T) {
 		t.Error(e)
 	}
 }
+
+func TestBatchEndpoint(t *testing.T) {
+	s, _, _ := mkServer(t)
+	rec := do(t, s, "POST", "/batch", batchRequest{Algo: "AIS", K: 4, Alpha: 0.3, Queries: []int32{0, 1, 2, 3, 4}, Parallel: 2})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch = %d: %s", rec.Code, rec.Body)
+	}
+	var resp batchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 5 {
+		t.Fatalf("results = %d", len(resp.Results))
+	}
+	for i, r := range resp.Results {
+		if r.Error != "" {
+			t.Fatalf("slot %d: %s", i, r.Error)
+		}
+		if r.Query != int32(i) {
+			t.Fatalf("slot %d out of order: query %d", i, r.Query)
+		}
+		if len(r.Entries) != 4 {
+			t.Fatalf("slot %d entries = %d", i, len(r.Entries))
+		}
+	}
+	// Batch answers must match the single-query endpoint exactly.
+	var single queryResponse
+	recQ := do(t, s, "GET", "/query?q=2&k=4&alpha=0.3&algo=AIS", nil)
+	if err := json.Unmarshal(recQ.Body.Bytes(), &single); err != nil {
+		t.Fatal(err)
+	}
+	for j, e := range resp.Results[2].Entries {
+		if e != single.Entries[j] {
+			t.Fatalf("batch/single mismatch at rank %d: %+v vs %+v", j, e, single.Entries[j])
+		}
+	}
+}
+
+func TestBatchEndpointErrorSlots(t *testing.T) {
+	s, _, _ := mkServer(t)
+	rec := do(t, s, "POST", "/batch", batchRequest{Algo: "AIS", K: 3, Alpha: 0.5, Queries: []int32{0, 999999, 1}})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch = %d: %s", rec.Code, rec.Body)
+	}
+	var resp batchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Results[0].Error != "" || resp.Results[2].Error != "" {
+		t.Fatalf("valid slots errored: %+v", resp.Results)
+	}
+	if resp.Results[1].Error == "" || len(resp.Results[1].Entries) != 0 {
+		t.Fatalf("invalid slot did not error: %+v", resp.Results[1])
+	}
+}
+
+func TestBatchEndpointValidation(t *testing.T) {
+	s, _, _ := mkServer(t)
+	if rec := do(t, s, "POST", "/batch", batchRequest{Algo: "AIS", Queries: nil}); rec.Code != http.StatusBadRequest {
+		t.Fatalf("empty batch = %d", rec.Code)
+	}
+	if rec := do(t, s, "POST", "/batch", batchRequest{Algo: "QUANTUM", Queries: []int32{0}}); rec.Code != http.StatusBadRequest {
+		t.Fatalf("unknown algo = %d", rec.Code)
+	}
+	huge := batchRequest{Algo: "AIS", Queries: make([]int32, maxBatch+1)}
+	if rec := do(t, s, "POST", "/batch", huge); rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized batch = %d", rec.Code)
+	}
+	req := httptest.NewRequest("POST", "/batch", bytes.NewBufferString("{broken"))
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("garbage body = %d", w.Code)
+	}
+}
+
+// TestBatchDefaultsApplied checks the documented request defaults (AIS,
+// k=10, alpha=0.3) apply when fields are omitted.
+func TestBatchDefaultsApplied(t *testing.T) {
+	s, _, _ := mkServer(t)
+	req := httptest.NewRequest("POST", "/batch", bytes.NewBufferString(`{"queries":[0]}`))
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("defaults batch = %d: %s", w.Code, w.Body)
+	}
+	var resp batchResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Algo != "AIS" || resp.K != 10 || resp.Alpha != 0.3 {
+		t.Fatalf("defaults = %+v", resp)
+	}
+	if len(resp.Results[0].Entries) != 10 {
+		t.Fatalf("entries = %d", len(resp.Results[0].Entries))
+	}
+}

@@ -1,15 +1,29 @@
 package spatial
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Grid is a dynamic multi-level regular grid over user locations. Leaf cells
 // hold user IDs; every level keeps per-cell occupancy counts so searches can
 // skip empty subtrees. Users without a known location (the paper treats them
 // as infinitely far away) are simply absent from the grid.
 //
-// Reads are safe concurrently; Move/SetLocated/RemoveLocation require
-// external synchronization.
+// Concurrency: the grid carries the read-write lock that guards all mutable
+// spatial state — its own membership structures plus the pts/located slices
+// it shares with the dataset and any aggregate layers stacked on top (the
+// AIS social summaries). The lock is deliberately exposed (RLock/RUnlock/
+// Lock/Unlock) rather than taken inside each accessor: readers bracket a
+// whole logical operation (an entire query) with RLock/RUnlock so they see
+// one consistent snapshot, and writers bracket compound updates (grid move +
+// summary maintenance) with Lock/Unlock so intermediate states are never
+// visible. The mutating methods Move/SetLocated/RemoveLocation do NOT
+// self-lock — the caller holds the write lock, which is what lets aggindex
+// update membership and summaries atomically. Single-threaded use needs no
+// locking at all.
 type Grid struct {
+	mu         sync.RWMutex
 	layout     *Layout
 	pts        []Point
 	located    []bool
@@ -18,6 +32,21 @@ type Grid struct {
 	bucketOf   []int32   // user -> leaf cell index, -1 when unlocated
 	numLocated int
 }
+
+// RLock acquires the grid's read lock. Hold it for the duration of any
+// multi-step read (a whole query) that must observe a consistent snapshot
+// while writers may be active.
+func (g *Grid) RLock() { g.mu.RLock() }
+
+// RUnlock releases the read lock.
+func (g *Grid) RUnlock() { g.mu.RUnlock() }
+
+// Lock acquires the grid's write lock. Writers hold it across a compound
+// mutation (e.g. a grid move plus dependent aggregate maintenance).
+func (g *Grid) Lock() { g.mu.Lock() }
+
+// Unlock releases the write lock.
+func (g *Grid) Unlock() { g.mu.Unlock() }
 
 // NewGrid indexes the users whose located flag is set. pts and located are
 // referenced, not copied: Move and friends update pts/located in place so a
@@ -106,7 +135,9 @@ func (g *Grid) adjustCounts(leaf int32, delta int32) {
 
 // Move relocates a user. Updates are handled as the paper describes: a
 // deletion from the old cell and an insertion into the new one, skipping
-// index maintenance when the user stays within the same leaf cell.
+// index maintenance when the user stays within the same leaf cell. When the
+// grid is shared with concurrent readers the caller must hold the write
+// lock (see the Grid doc comment).
 func (g *Grid) Move(id int32, to Point) {
 	if !g.located[id] {
 		g.SetLocated(id, to)

@@ -239,8 +239,10 @@ type Options struct {
 	CacheT int
 }
 
-// Engine answers SSRQ queries over one dataset. Concurrent queries are
-// safe; location updates must not race with queries.
+// Engine answers SSRQ queries over one dataset. The engine is safe for
+// concurrent use: queries, batched queries and location updates may
+// interleave freely from any number of goroutines — every query observes
+// one consistent snapshot of the spatial state.
 type Engine struct {
 	eng *core.Engine
 	d   *Dataset
@@ -285,8 +287,56 @@ func (e *Engine) TopKWith(algo Algorithm, q UserID, k int, alpha float64) (*Resu
 	return e.eng.Query(algo, q, core.Params{K: k, Alpha: alpha})
 }
 
+// BatchQuery is one query of a batch (see TopKBatch / QueryBatch).
+type BatchQuery = core.BatchQuery
+
+// BatchResult pairs one batch query's result with its error.
+type BatchResult = core.BatchResult
+
+// Params are the ranking parameters of one query.
+type Params = core.Params
+
+// TopKBatch answers many SSRQs with the same algorithm and parameters on a
+// pool of workers (workers <= 0 selects GOMAXPROCS), returning outcomes in
+// input order. Batches run concurrently with each other and with location
+// updates.
+func (e *Engine) TopKBatch(algo Algorithm, qs []UserID, k int, alpha float64, workers int) []BatchResult {
+	batch := make([]BatchQuery, len(qs))
+	for i, q := range qs {
+		batch[i] = BatchQuery{Algo: algo, Q: q, Params: core.Params{K: k, Alpha: alpha}}
+	}
+	return e.eng.QueryBatch(batch, workers)
+}
+
+// QueryBatch answers a heterogeneous batch (per-item algorithm and
+// parameters) on a pool of workers.
+func (e *Engine) QueryBatch(queries []BatchQuery, workers int) []BatchResult {
+	return e.eng.QueryBatch(queries, workers)
+}
+
+// UserLocation returns a user's current raw coordinates under the engine's
+// read lock, so it is safe concurrently with MoveUser (unlike reading the
+// Dataset directly while movers are active). ok is false when the location
+// is unknown.
+func (e *Engine) UserLocation(id UserID) (Point, bool) {
+	g := e.eng.Grid()
+	g.RLock()
+	defer g.RUnlock()
+	return e.d.Location(id)
+}
+
+// DatasetStats returns Table 2-style statistics computed under the engine's
+// read lock (NumLocated varies as movers run).
+func (e *Engine) DatasetStats() DatasetStats {
+	g := e.eng.Grid()
+	g.RLock()
+	defer g.RUnlock()
+	return e.d.Stats()
+}
+
 // MoveUser updates a user's current location (raw coordinates), maintaining
-// the spatial grid and the AIS social summaries incrementally (§5.1).
+// the spatial grid and the AIS social summaries incrementally (§5.1). Safe
+// concurrently with queries and other updates.
 func (e *Engine) MoveUser(id UserID, to Point) {
 	norm := e.d.ds.Norms.Spatial
 	e.eng.MoveUser(id, Point{X: to.X / norm, Y: to.Y / norm})
@@ -301,12 +351,16 @@ func (e *Engine) RemoveUserLocation(id UserID) { e.eng.RemoveUserLocation(id) }
 func (e *Engine) Precompute(users []UserID) { e.eng.Precompute(users) }
 
 // SpatialKNN returns the k spatially-nearest located users to q (a pure
-// one-domain query, for comparison with SSRQ — cf. Fig. 7b).
+// one-domain query, for comparison with SSRQ — cf. Fig. 7b). Safe
+// concurrently with location updates.
 func (e *Engine) SpatialKNN(q UserID, k int) ([]Entry, error) {
+	g := e.eng.Grid()
+	g.RLock()
+	defer g.RUnlock()
 	if !e.d.ds.Located[q] {
 		return nil, fmt.Errorf("ssrq: user %d has no known location", q)
 	}
-	nbrs := e.eng.Grid().KNN(e.d.ds.Pts[q], k, func(id int32) bool { return id == int32(q) })
+	nbrs := g.KNN(e.d.ds.Pts[q], k, func(id int32) bool { return id == int32(q) })
 	out := make([]Entry, len(nbrs))
 	for i, nb := range nbrs {
 		out[i] = Entry{ID: nb.ID, F: nb.Dist, D: nb.Dist}
