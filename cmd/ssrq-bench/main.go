@@ -1,16 +1,20 @@
 // Command ssrq-bench regenerates every table and figure of the paper's
 // evaluation section (§6) on synthetic paper-substitute datasets and prints
-// the same rows/series the paper reports. It also measures the batched
-// serving path (-exp throughput).
+// the same rows/series the paper reports. It also measures the concurrent
+// serving layer: batched queries (-exp throughput) and query latency under
+// sustained location churn (-exp churn), both reporting p50/p95/p99.
 //
 // Usage:
 //
-//	ssrq-bench -exp all -scale medium          # everything, default sizes
-//	ssrq-bench -exp fig8 -scale small -ch      # one figure, with CH variants
-//	ssrq-bench -exp throughput -parallel 8     # batched queries/sec, 8 workers
+//	ssrq-bench -exp all -scale medium            # everything, default sizes
+//	ssrq-bench -exp fig8 -scale small -ch        # one figure, with CH variants
+//	ssrq-bench -exp throughput -parallel 8       # batched queries/sec, 8 workers
+//	ssrq-bench -exp churn -movers 0,2,8          # latency vs mover count
+//	ssrq-bench -exp churn -mrate 500             # throttle movers to 500 moves/s each
 //
 // Experiments: table2 fig7a fig7b fig8 fig9 fig10 fig11 fig12 fig13 fig14a
-// fig14b throughput all. Scales: small | medium | large (see internal/exp).
+// fig14b throughput churn all. Scales: small | medium | large (see
+// internal/exp).
 package main
 
 import (
@@ -18,10 +22,28 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"ssrq/internal/exp"
 )
+
+// parseMovers parses a comma-separated list of mover counts.
+func parseMovers(raw string) ([]int, error) {
+	if raw == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(raw, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad -movers entry %q", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
 
 // run is the whole program minus process concerns; it returns the exit code.
 func run(args []string, stdout, stderr io.Writer) int {
@@ -34,6 +56,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		withCH   = fs.Bool("ch", false, "include the SFA-CH/SPA-CH/TSA-CH variants in fig8 (slow preprocessing)")
 		queries  = fs.Int("queries", 0, "override the number of queries per measurement")
 		parallel = fs.Int("parallel", 0, "worker count for -exp throughput (0 = GOMAXPROCS)")
+		movers   = fs.String("movers", "", "comma-separated mover counts for -exp churn (default 0,1,4)")
+		mrate    = fs.Float64("mrate", 0, "moves/sec per mover for -exp churn (0 = unthrottled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -47,6 +71,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *queries > 0 {
 		sc.NumQueries = *queries
 	}
+	moverCounts, err := parseMovers(*movers)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
 
 	fmt.Fprintf(stdout, "ssrq-bench: exp=%s scale=%s seed=%d queries=%d ch=%v\n",
 		*expID, sc.Name, *seed, sc.NumQueries, *withCH)
@@ -55,6 +84,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	suite := exp.NewSuite(sc, *seed, stdout)
 	suite.Parallel = *parallel
+	suite.ChurnMovers = moverCounts
+	suite.ChurnRate = *mrate
 	start := time.Now()
 	if err := suite.Run(*expID, *withCH); err != nil {
 		fmt.Fprintln(stderr, "ssrq-bench:", err)

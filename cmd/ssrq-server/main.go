@@ -1,16 +1,18 @@
 // Command ssrq-server exposes SSRQ over HTTP: a minimal location-based
 // social search service backed by the AIS index, with live location updates
-// (the workload the paper's index maintenance targets, §5.1). The engine is
-// internally synchronized, so queries, batches and moves interleave freely.
+// (the workload the paper's index maintenance targets, §5.1). Queries are
+// lock-free against published epoch snapshots, so queries, batches and
+// moves interleave freely without blocking each other.
 //
 // Endpoints:
 //
 //	GET  /query?q=<user>&k=<int>&alpha=<float>[&algo=AIS]   ranked result
 //	POST /batch  {"algo":"AIS","k":10,"alpha":0.3,"queries":[1,2,3]}
 //	GET  /user/<id>                                          location + degree
-//	POST /move   {"id":123,"x":1.5,"y":2.5}                  update location
+//	POST /move   {"id":123,"x":1.5,"y":2.5}                  one update (sync epoch)
+//	POST /moves  {"moves":[...],"flush":false}               bulk updates (batching pipeline)
 //	POST /unlocate {"id":123}                                drop location
-//	GET  /stats                                              dataset statistics
+//	GET  /stats                                              dataset + epoch/update stats
 //	GET  /healthz                                            liveness
 //
 // Start with a saved dataset or a synthesized one:

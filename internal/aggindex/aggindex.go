@@ -11,93 +11,79 @@
 // deletion from the old cell (recomputing components the mover was
 // responsible for), insertion into the new one (widening m̌/m̂ as needed),
 // with changes propagating recursively to upper levels.
+//
+// Concurrency follows the epoch/snapshot model of the underlying grid, with
+// one addition: grid membership and social summaries are published together
+// as a single Snapshot through one atomic pointer, so a reader can never
+// pair new membership with stale summaries (which would break the Lemma 2
+// bounds). Writers apply batches of updates copy-on-write and defer the
+// upward summary propagation to the end of the batch, amortizing both the
+// array duplication and the propagateUp recomputation across all moves of
+// the batch before a single Publish installs the next epoch.
 package aggindex
 
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"ssrq/internal/graph"
 	"ssrq/internal/landmark"
 	"ssrq/internal/spatial"
 )
 
-// Index is the AIS aggregate index. Move, SetLocated and RemoveLocation are
-// safe to call concurrently with readers that hold the grid's read lock:
-// each mutation takes the underlying grid's write lock for the whole
-// compound update (membership change plus summary maintenance), so readers
-// never observe new membership paired with stale summaries. Readers bracket
-// a logical operation with Grid().RLock/RUnlock.
-type Index struct {
-	grid *spatial.Grid
-	lm   *landmark.Set
-	m    int
-	// Summaries, indexed [level][cell*m + j]. Empty cells hold
-	// (min=+Inf, max=-Inf), which makes them prune naturally.
-	minSum [][]float64
-	maxSum [][]float64
+// Op is one location update: a move/locate (Remove false) or a location
+// removal (Remove true, To ignored).
+type Op struct {
+	ID     int32
+	To     spatial.Point
+	Remove bool
 }
 
-// New builds the aggregate index over an existing grid and landmark set.
-func New(grid *spatial.Grid, lm *landmark.Set) (*Index, error) {
-	if grid == nil || lm == nil {
-		return nil, fmt.Errorf("aggindex: nil grid or landmark set")
-	}
-	ix := &Index{grid: grid, lm: lm, m: lm.M()}
-	layout := grid.Layout()
-	for l := 0; l < layout.Levels; l++ {
-		size := layout.NumCells(l) * ix.m
-		mins := make([]float64, size)
-		maxs := make([]float64, size)
-		for i := range mins {
-			mins[i] = math.Inf(1)
-			maxs[i] = math.Inf(-1)
-		}
-		ix.minSum = append(ix.minSum, mins)
-		ix.maxSum = append(ix.maxSum, maxs)
-	}
-	// Leaf summaries from members, then parents from children.
-	leafLevel := layout.LeafLevel()
-	for idx := int32(0); idx < int32(layout.NumCells(leafLevel)); idx++ {
-		ix.recomputeLeaf(idx)
-	}
-	for l := leafLevel - 1; l >= 0; l-- {
-		for idx := int32(0); idx < int32(layout.NumCells(l)); idx++ {
-			ix.recomputeFromChildren(l, idx)
-		}
-	}
-	return ix, nil
+// Snapshot is one immutable epoch of the aggregate index: a grid snapshot
+// plus the min/max landmark summaries that were current when that grid state
+// was published. Readers load it once (no lock) and evaluate membership,
+// occupancy and Lemma-2 bounds against a single consistent version.
+type Snapshot struct {
+	g           *spatial.Snapshot
+	minSum      [][]float64 // [level][cell*m + j]
+	maxSum      [][]float64
+	m           int
+	epoch       uint64
+	publishedAt time.Time
 }
 
-// Grid returns the underlying spatial grid.
-func (ix *Index) Grid() *spatial.Grid { return ix.grid }
+// Grid returns the spatial snapshot this epoch pairs the summaries with.
+func (s *Snapshot) Grid() *spatial.Snapshot { return s.g }
 
-// Landmarks returns the landmark set the summaries are built on.
-func (ix *Index) Landmarks() *landmark.Set { return ix.lm }
+// Epoch returns the index epoch (0 at construction, +1 per published batch).
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
 
-// Layout returns the grid geometry.
-func (ix *Index) Layout() *spatial.Layout { return ix.grid.Layout() }
+// PublishedAt returns when this epoch was installed.
+func (s *Snapshot) PublishedAt() time.Time { return s.publishedAt }
 
 // MinSummary returns m̌[j] for the cell, the minimum graph distance between
 // any member user and landmark j (+Inf for an empty cell).
-func (ix *Index) MinSummary(level int, idx int32, j int) float64 {
-	return ix.minSum[level][int(idx)*ix.m+j]
+func (s *Snapshot) MinSummary(level int, idx int32, j int) float64 {
+	return s.minSum[level][int(idx)*s.m+j]
 }
 
 // MaxSummary returns m̂[j] for the cell (−Inf for an empty cell).
-func (ix *Index) MaxSummary(level int, idx int32, j int) float64 {
-	return ix.maxSum[level][int(idx)*ix.m+j]
+func (s *Snapshot) MaxSummary(level int, idx int32, j int) float64 {
+	return s.maxSum[level][int(idx)*s.m+j]
 }
 
 // SocialLowerBound evaluates Lemma 2: a lower bound on the graph distance
 // between the query vertex (whose landmark vector is qvec) and every user in
 // the cell. Empty cells return +Inf.
-func (ix *Index) SocialLowerBound(level int, idx int32, qvec []float64) float64 {
-	base := int(idx) * ix.m
-	mins := ix.minSum[level]
-	maxs := ix.maxSum[level]
+func (s *Snapshot) SocialLowerBound(level int, idx int32, qvec []float64) float64 {
+	base := int(idx) * s.m
+	mins := s.minSum[level]
+	maxs := s.maxSum[level]
 	best := 0.0
-	for j := 0; j < ix.m; j++ {
+	for j := 0; j < s.m; j++ {
 		mq := qvec[j]
 		lo, hi := mins[base+j], maxs[base+j]
 		switch {
@@ -127,11 +113,197 @@ func (ix *Index) SocialLowerBound(level int, idx int32, qvec []float64) float64 
 	return best
 }
 
+// Index is the AIS aggregate index. Readers call Snapshot() and work
+// lock-free against the returned epoch. Mutations (Apply, or the Move/
+// SetLocated/RemoveLocation single-op conveniences) serialize on an internal
+// writer mutex, build the next epoch copy-on-write, and publish grid and
+// summaries atomically as one Snapshot; they never block readers.
+type Index struct {
+	grid *spatial.Grid
+	lm   *landmark.Set
+	m    int
+
+	mu        sync.Mutex // writer side: guards everything below and grid mutation
+	published atomic.Pointer[Snapshot]
+
+	// Working summaries for the epoch under construction. A level whose
+	// sumStamp differs from epoch is still shared with the published
+	// snapshot and must be duplicated before its first write of the batch.
+	minSum   [][]float64
+	maxSum   [][]float64
+	sumStamp []uint64
+	epoch    uint64
+
+	// dirtyLeaves collects leaves whose summaries changed during the current
+	// batch; upward propagation runs once over them before Publish.
+	dirtyLeaves map[int32]struct{}
+}
+
+// New builds the aggregate index over an existing grid and landmark set.
+// The grid must not be mutated behind the index's back afterwards: the index
+// becomes the grid's single writer.
+func New(grid *spatial.Grid, lm *landmark.Set) (*Index, error) {
+	if grid == nil || lm == nil {
+		return nil, fmt.Errorf("aggindex: nil grid or landmark set")
+	}
+	ix := &Index{
+		grid:        grid,
+		lm:          lm,
+		m:           lm.M(),
+		dirtyLeaves: make(map[int32]struct{}),
+	}
+	layout := grid.Layout()
+	ix.sumStamp = make([]uint64, layout.Levels)
+	for l := 0; l < layout.Levels; l++ {
+		size := layout.NumCells(l) * ix.m
+		mins := make([]float64, size)
+		maxs := make([]float64, size)
+		for i := range mins {
+			mins[i] = math.Inf(1)
+			maxs[i] = math.Inf(-1)
+		}
+		ix.minSum = append(ix.minSum, mins)
+		ix.maxSum = append(ix.maxSum, maxs)
+	}
+	// Leaf summaries from members, then parents from children. Construction
+	// runs at epoch 0 with all stamps already 0, so writes go in place.
+	leafLevel := layout.LeafLevel()
+	for idx := int32(0); idx < int32(layout.NumCells(leafLevel)); idx++ {
+		ix.recomputeLeaf(idx)
+	}
+	for l := leafLevel - 1; l >= 0; l-- {
+		for idx := int32(0); idx < int32(layout.NumCells(l)); idx++ {
+			ix.recomputeFromChildren(l, idx)
+		}
+	}
+	ix.publishLocked()
+	return ix, nil
+}
+
+// Snapshot returns the most recently published epoch; immutable and safe
+// for unlimited concurrent readers.
+func (ix *Index) Snapshot() *Snapshot { return ix.published.Load() }
+
+// Grid returns the underlying spatial grid (writer-side handle).
+func (ix *Index) Grid() *spatial.Grid { return ix.grid }
+
+// Landmarks returns the landmark set the summaries are built on.
+func (ix *Index) Landmarks() *landmark.Set { return ix.lm }
+
+// Layout returns the grid geometry.
+func (ix *Index) Layout() *spatial.Layout { return ix.grid.Layout() }
+
+// MinSummary returns the working-state m̌[j] (writer-side view; readers use
+// Snapshot().MinSummary).
+func (ix *Index) MinSummary(level int, idx int32, j int) float64 {
+	return ix.minSum[level][int(idx)*ix.m+j]
+}
+
+// MaxSummary returns the working-state m̂[j] (writer-side view).
+func (ix *Index) MaxSummary(level int, idx int32, j int) float64 {
+	return ix.maxSum[level][int(idx)*ix.m+j]
+}
+
+// SocialLowerBound evaluates Lemma 2 against the working state (writer-side
+// view; readers use Snapshot().SocialLowerBound).
+func (ix *Index) SocialLowerBound(level int, idx int32, qvec []float64) float64 {
+	s := Snapshot{minSum: ix.minSum, maxSum: ix.maxSum, m: ix.m}
+	return s.SocialLowerBound(level, idx, qvec)
+}
+
+// writableSums duplicates one level's summary arrays on first write per
+// epoch, so the published snapshot keeps its own copies.
+func (ix *Index) writableSums(level int) (mins, maxs []float64) {
+	if ix.sumStamp[level] != ix.epoch {
+		ix.minSum[level] = append([]float64(nil), ix.minSum[level]...)
+		ix.maxSum[level] = append([]float64(nil), ix.maxSum[level]...)
+		ix.sumStamp[level] = ix.epoch
+	}
+	return ix.minSum[level], ix.maxSum[level]
+}
+
+// publishLocked installs the working state as the next epoch. Caller holds
+// mu (or is the constructor).
+func (ix *Index) publishLocked() {
+	s := &Snapshot{
+		g:           ix.grid.Publish(),
+		minSum:      append([][]float64(nil), ix.minSum...),
+		maxSum:      append([][]float64(nil), ix.maxSum...),
+		m:           ix.m,
+		epoch:       ix.epoch,
+		publishedAt: time.Now(),
+	}
+	ix.published.Store(s)
+	ix.epoch++
+}
+
+// Apply executes a batch of location updates as one epoch: every op mutates
+// the working copy (grid membership, coordinates and leaf-level summaries),
+// upward summary propagation runs once over the leaves the batch touched,
+// and a single Publish makes the whole batch visible atomically. Safe
+// concurrently with readers; concurrent Apply calls serialize.
+func (ix *Index) Apply(ops []Op) {
+	if len(ops) == 0 {
+		return
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	for _, op := range ops {
+		ix.applyOne(op)
+	}
+	ix.propagateDirty()
+	ix.publishLocked()
+}
+
+// applyOne performs one op's membership change and leaf-level summary
+// maintenance, deferring upward propagation to the end of the batch.
+func (ix *Index) applyOne(op Op) {
+	if op.Remove {
+		leaf := ix.grid.LeafOf(op.ID)
+		if leaf < 0 {
+			return
+		}
+		ix.grid.RemoveLocation(op.ID)
+		ix.onRemove(leaf, op.ID)
+		return
+	}
+	oldLeaf := ix.grid.LeafOf(op.ID)
+	ix.grid.Move(op.ID, op.To)
+	newLeaf := ix.grid.LeafOf(op.ID)
+	if oldLeaf == newLeaf {
+		return // intra-cell move: coordinates updated, summaries unaffected
+	}
+	if oldLeaf >= 0 {
+		ix.onRemove(oldLeaf, op.ID)
+	}
+	if newLeaf >= 0 {
+		ix.onInsert(newLeaf, op.ID)
+	}
+}
+
+// Move relocates a user, maintaining grid membership and social summaries
+// (single-op batch). Safe concurrently with readers.
+func (ix *Index) Move(id int32, to spatial.Point) {
+	ix.Apply([]Op{{ID: id, To: to}})
+}
+
+// SetLocated indexes a previously unlocated user. Safe concurrently with
+// readers. (Move on an unlocated user is equivalent.)
+func (ix *Index) SetLocated(id int32, p spatial.Point) {
+	ix.Apply([]Op{{ID: id, To: p}})
+}
+
+// RemoveLocation unindexes a user. Safe concurrently with readers.
+func (ix *Index) RemoveLocation(id int32) {
+	ix.Apply([]Op{{ID: id, Remove: true}})
+}
+
 // recomputeLeaf rebuilds the summary of a leaf cell from its members.
 func (ix *Index) recomputeLeaf(idx int32) bool {
 	base := int(idx) * ix.m
 	leaf := ix.grid.Layout().LeafLevel()
 	changed := false
+	var mins, maxs []float64
 	for j := 0; j < ix.m; j++ {
 		lo, hi := math.Inf(1), math.Inf(-1)
 		for _, u := range ix.grid.CellUsers(idx) {
@@ -144,8 +316,11 @@ func (ix *Index) recomputeLeaf(idx int32) bool {
 			}
 		}
 		if ix.minSum[leaf][base+j] != lo || ix.maxSum[leaf][base+j] != hi {
-			ix.minSum[leaf][base+j] = lo
-			ix.maxSum[leaf][base+j] = hi
+			if mins == nil {
+				mins, maxs = ix.writableSums(leaf)
+			}
+			mins[base+j] = lo
+			maxs[base+j] = hi
 			changed = true
 		}
 	}
@@ -159,6 +334,7 @@ func (ix *Index) recomputeFromChildren(level int, idx int32) bool {
 	kids := layout.ChildIndices(level, idx, nil)
 	base := int(idx) * ix.m
 	changed := false
+	var mins, maxs []float64
 	for j := 0; j < ix.m; j++ {
 		lo, hi := math.Inf(1), math.Inf(-1)
 		for _, c := range kids {
@@ -171,25 +347,45 @@ func (ix *Index) recomputeFromChildren(level int, idx int32) bool {
 			}
 		}
 		if ix.minSum[level][base+j] != lo || ix.maxSum[level][base+j] != hi {
-			ix.minSum[level][base+j] = lo
-			ix.maxSum[level][base+j] = hi
+			if mins == nil {
+				mins, maxs = ix.writableSums(level)
+			}
+			mins[base+j] = lo
+			maxs[base+j] = hi
 			changed = true
 		}
 	}
 	return changed
 }
 
-// propagateUp recomputes ancestors of a leaf until summaries stop changing.
-func (ix *Index) propagateUp(leaf int32) {
-	layout := ix.grid.Layout()
-	idx := leaf
-	for l := layout.LeafLevel(); l > 0; l-- {
-		parent := layout.ParentIndex(l, idx)
-		if !ix.recomputeFromChildren(l-1, parent) {
-			return
-		}
-		idx = parent
+// propagateDirty recomputes ancestors of every leaf the batch touched,
+// level by level with per-cell deduplication, stopping each chain as soon as
+// a recomputation reports no change. Running this once per batch instead of
+// once per move is what amortizes propagateUp across the batch.
+func (ix *Index) propagateDirty() {
+	if len(ix.dirtyLeaves) == 0 {
+		return
 	}
+	layout := ix.grid.Layout()
+	cur := ix.dirtyLeaves
+	for l := layout.LeafLevel(); l > 0 && len(cur) > 0; l-- {
+		seen := make(map[int32]bool, len(cur))
+		for idx := range cur {
+			parent := layout.ParentIndex(l, idx)
+			if _, done := seen[parent]; done {
+				continue
+			}
+			seen[parent] = ix.recomputeFromChildren(l-1, parent)
+		}
+		next := make(map[int32]struct{}, len(seen))
+		for parent, changed := range seen {
+			if changed {
+				next[parent] = struct{}{}
+			}
+		}
+		cur = next
+	}
+	clear(ix.dirtyLeaves)
 }
 
 // onInsert widens summaries for a user that joined a leaf cell. Widening is
@@ -198,19 +394,26 @@ func (ix *Index) onInsert(leaf int32, id int32) {
 	base := int(leaf) * ix.m
 	l := ix.grid.Layout().LeafLevel()
 	changed := false
+	var mins, maxs []float64
 	for j := 0; j < ix.m; j++ {
 		d := ix.lm.Dist(j, id)
 		if d < ix.minSum[l][base+j] {
-			ix.minSum[l][base+j] = d
+			if mins == nil {
+				mins, maxs = ix.writableSums(l)
+			}
+			mins[base+j] = d
 			changed = true
 		}
 		if d > ix.maxSum[l][base+j] {
-			ix.maxSum[l][base+j] = d
+			if mins == nil {
+				mins, maxs = ix.writableSums(l)
+			}
+			maxs[base+j] = d
 			changed = true
 		}
 	}
 	if changed {
-		ix.propagateUp(leaf)
+		ix.dirtyLeaves[leaf] = struct{}{}
 	}
 }
 
@@ -231,55 +434,6 @@ func (ix *Index) onRemove(leaf int32, id int32) {
 		return
 	}
 	if ix.recomputeLeaf(leaf) {
-		ix.propagateUp(leaf)
+		ix.dirtyLeaves[leaf] = struct{}{}
 	}
-}
-
-// Move relocates a user, maintaining grid membership and social summaries.
-// Safe concurrently with readers holding the read lock.
-func (ix *Index) Move(id int32, to spatial.Point) {
-	ix.grid.Lock()
-	defer ix.grid.Unlock()
-	oldLeaf := ix.grid.LeafOf(id)
-	ix.grid.Move(id, to)
-	newLeaf := ix.grid.LeafOf(id)
-	if oldLeaf == newLeaf {
-		return // intra-cell move: coordinates updated, summaries unaffected
-	}
-	if oldLeaf >= 0 {
-		ix.onRemove(oldLeaf, id)
-	}
-	if newLeaf >= 0 {
-		ix.onInsert(newLeaf, id)
-	}
-}
-
-// SetLocated indexes a previously unlocated user. Safe concurrently with
-// readers holding the read lock.
-func (ix *Index) SetLocated(id int32, p spatial.Point) {
-	ix.grid.Lock()
-	defer ix.grid.Unlock()
-	oldLeaf := ix.grid.LeafOf(id)
-	ix.grid.SetLocated(id, p)
-	newLeaf := ix.grid.LeafOf(id)
-	if oldLeaf == newLeaf {
-		return
-	}
-	if oldLeaf >= 0 {
-		ix.onRemove(oldLeaf, id)
-	}
-	ix.onInsert(newLeaf, id)
-}
-
-// RemoveLocation unindexes a user. Safe concurrently with readers holding
-// the read lock.
-func (ix *Index) RemoveLocation(id int32) {
-	ix.grid.Lock()
-	defer ix.grid.Unlock()
-	leaf := ix.grid.LeafOf(id)
-	if leaf < 0 {
-		return
-	}
-	ix.grid.RemoveLocation(id)
-	ix.onRemove(leaf, id)
 }

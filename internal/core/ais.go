@@ -1,6 +1,7 @@
 package core
 
 import (
+	"ssrq/internal/aggindex"
 	"ssrq/internal/graph"
 	"ssrq/internal/pqueue"
 )
@@ -37,11 +38,14 @@ func aisTie(level int16, idx int32) int64 {
 // MINF (Theorem 1). Cells expand to children, leaves to users keyed by their
 // individual landmark bound, and users are evaluated exactly — through the
 // shared GraphDist submodule (with optional delayed evaluation) or, for
-// AIS-BID, a fresh bidirectional search each time.
-func (e *Engine) runAIS(q graph.VertexID, prm Params, st *Stats, cfg aisConfig) []Entry {
-	qpt := e.ds.Pts[q]
+// AIS-BID, a fresh bidirectional search each time. Membership, occupancy
+// and summaries all come from the query's snapshot sn, so the Lemma-2
+// bounds are always evaluated against the membership they were built for.
+func (e *Engine) runAIS(sn *aggindex.Snapshot, q graph.VertexID, prm Params, st *Stats, cfg aisConfig) []Entry {
+	g := sn.Grid()
+	qpt := g.Point(q)
 	qvec := e.lm.VertexVector(q)
-	layout := e.agg.Layout()
+	layout := g.Layout()
 	alpha := prm.Alpha
 
 	pools := e.getPools()
@@ -66,10 +70,10 @@ func (e *Engine) runAIS(q graph.VertexID, prm Params, st *Stats, cfg aisConfig) 
 	var childBuf []int32
 
 	pushCell := func(level int, idx int32) {
-		if e.grid.CountAt(level, idx) == 0 {
+		if g.CountAt(level, idx) == 0 {
 			return
 		}
-		pLow := e.agg.SocialLowerBound(level, idx, qvec)
+		pLow := sn.SocialLowerBound(level, idx, qvec)
 		dLow := layout.CellRect(level, idx).MinDist(qpt)
 		if key := combine(alpha, pLow, dLow); finite(key) {
 			h.Push(key, aisTie(int16(level), idx), aisItem{int16(level), idx})
@@ -95,12 +99,12 @@ func (e *Engine) runAIS(q graph.VertexID, prm Params, st *Stats, cfg aisConfig) 
 		case item.Value.level != aisUser:
 			// Leaf cell: enqueue members by their individual landmark bound.
 			st.IndexCellPops++
-			for _, u := range e.grid.CellUsers(item.Value.idx) {
+			for _, u := range g.CellUsers(item.Value.idx) {
 				if u == q {
 					continue
 				}
 				pLow := e.lm.LowerBound(q, u)
-				d := e.ds.Pts[u].Dist(qpt)
+				d := g.Point(u).Dist(qpt)
 				if key := combine(alpha, pLow, d); finite(key) {
 					h.Push(key, aisTie(aisUser, u), aisItem{aisUser, u})
 				}
@@ -108,7 +112,7 @@ func (e *Engine) runAIS(q graph.VertexID, prm Params, st *Stats, cfg aisConfig) 
 		default:
 			u := item.Value.idx
 			st.IndexUserPops++
-			d := e.ds.Pts[u].Dist(qpt)
+			d := g.Point(u).Dist(qpt)
 			if cfg.delayed {
 				// §5.3: if the shared forward search has advanced past this
 				// user's landmark bound, push it back with the tighter

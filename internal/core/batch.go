@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ssrq/internal/graph"
 )
@@ -17,19 +18,21 @@ type BatchQuery struct {
 }
 
 // BatchResult pairs one batch query's result with its error; exactly one of
-// the two fields is set.
+// the two is set. Elapsed is the wall-clock time of this query alone, so
+// batch callers can derive latency percentiles, not just throughput.
 type BatchResult struct {
-	Result *Result
-	Err    error
+	Result  *Result
+	Err     error
+	Elapsed time.Duration
 }
 
 // QueryBatch answers a batch of queries on a pool of workers and returns the
 // outcomes in input order. workers <= 0 selects GOMAXPROCS. Each query runs
 // through the ordinary Query path — per-query scratch comes from the
-// engine's sync.Pool, and the spatial read lock is taken per query rather
-// than per batch, so location updates can interleave between the queries of
-// a batch instead of stalling behind it. A failed query records its error
-// in its slot without affecting the rest of the batch.
+// engine's sync.Pool, and each query loads its own snapshot epoch, so
+// location updates published mid-batch become visible to the batch's later
+// queries without ever blocking any of them. A failed query records its
+// error in its slot without affecting the rest of the batch.
 func (e *Engine) QueryBatch(queries []BatchQuery, workers int) []BatchResult {
 	out := make([]BatchResult, len(queries))
 	if len(queries) == 0 {
@@ -43,7 +46,9 @@ func (e *Engine) QueryBatch(queries []BatchQuery, workers int) []BatchResult {
 	}
 	if workers == 1 {
 		for i, bq := range queries {
+			start := time.Now()
 			out[i].Result, out[i].Err = e.Query(bq.Algo, bq.Q, bq.Params)
+			out[i].Elapsed = time.Since(start)
 		}
 		return out
 	}
@@ -59,7 +64,9 @@ func (e *Engine) QueryBatch(queries []BatchQuery, workers int) []BatchResult {
 					return
 				}
 				bq := queries[i]
+				start := time.Now()
 				out[i].Result, out[i].Err = e.Query(bq.Algo, bq.Q, bq.Params)
+				out[i].Elapsed = time.Since(start)
 			}
 		}()
 	}

@@ -1,11 +1,16 @@
 package core
 
-import "ssrq/internal/graph"
+import (
+	"ssrq/internal/aggindex"
+	"ssrq/internal/graph"
+)
 
 // runBrute is the exhaustive reference: one full Dijkstra from the query
-// vertex, then a linear scan scoring every user. Used for cross-validation
-// and as an honest lower bound on what indexing must beat.
-func (e *Engine) runBrute(q graph.VertexID, prm Params, st *Stats) []Entry {
+// vertex, then a linear scan scoring every user against the snapshot's
+// locations. Used for cross-validation and as an honest lower bound on what
+// indexing must beat.
+func (e *Engine) runBrute(sn *aggindex.Snapshot, q graph.VertexID, prm Params, st *Stats) []Entry {
+	g := sn.Grid()
 	sp := e.ds.G.Dijkstra(q)
 	st.SocialPops += e.ds.NumUsers()
 	r := newTopK(prm.K)
@@ -15,7 +20,7 @@ func (e *Engine) runBrute(q graph.VertexID, prm Params, st *Stats) []Entry {
 			continue
 		}
 		p := sp.Dist[v]
-		d := e.ds.EuclideanDist(q, id)
+		d := g.EuclideanDist(q, id)
 		r.Consider(Entry{ID: id, F: combine(prm.Alpha, p, d), P: p, D: d})
 	}
 	return r.Sorted()

@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 
+	"ssrq/internal/aggindex"
 	"ssrq/internal/graph"
 )
 
@@ -90,12 +91,14 @@ func (e *Engine) ResetCache(t int) {
 // runAISCache answers with the pre-computed list exactly like SFA would —
 // list entries arrive in ascending social distance, so θ = α·p applies — and
 // falls back to full AIS when the list is exhausted inconclusively (§5.4).
-func (e *Engine) runAISCache(q graph.VertexID, prm Params, st *Stats) []Entry {
+// Spatial distances come from the query's snapshot.
+func (e *Engine) runAISCache(sn *aggindex.Snapshot, q graph.VertexID, prm Params, st *Stats) []Entry {
+	g := sn.Grid()
 	list, complete := e.cache.get(e.ds.G, q)
 	r := newTopK(prm.K)
 	for _, cn := range list {
 		st.CacheHits++
-		d := e.ds.EuclideanDist(q, cn.V)
+		d := g.EuclideanDist(q, cn.V)
 		r.Consider(Entry{ID: cn.V, F: combine(prm.Alpha, cn.P, d), P: cn.P, D: d})
 		if theta := prm.Alpha * cn.P; theta >= r.Fk() {
 			return r.Sorted()
@@ -106,5 +109,5 @@ func (e *Engine) runAISCache(q graph.VertexID, prm Params, st *Stats) []Entry {
 		return r.Sorted()
 	}
 	st.FellBack = true
-	return e.runAIS(q, prm, st, aisConfig{sharing: true, delayed: true})
+	return e.runAIS(sn, q, prm, st, aisConfig{sharing: true, delayed: true})
 }

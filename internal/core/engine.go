@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"ssrq/internal/aggindex"
 	"ssrq/internal/ch"
@@ -90,6 +91,12 @@ type Options struct {
 	// pop per FwdEvery reverse pops (default 1 = Algorithm 3's strict
 	// alternation). See the graphdist ablation benchmark.
 	FwdEvery int
+	// UpdateQueueCap bounds the asynchronous update queue fed by
+	// MoveUserAsync; a full queue applies backpressure (default 4096).
+	UpdateQueueCap int
+	// UpdateMaxBatch caps how many queued updates the updater coalesces
+	// into one published epoch (default 256).
+	UpdateMaxBatch int
 }
 
 func (o *Options) setDefaults() {
@@ -111,13 +118,27 @@ func (o *Options) setDefaults() {
 	if o.FwdEvery == 0 {
 		o.FwdEvery = 1
 	}
+	if o.UpdateQueueCap == 0 {
+		o.UpdateQueueCap = 4096
+	}
+	if o.UpdateMaxBatch == 0 {
+		o.UpdateMaxBatch = 256
+	}
 }
 
+// Update is one location update routed through the engine: a move (Remove
+// false) or a location removal (Remove true). Coordinates are normalized.
+type Update = aggindex.Op
+
 // Engine binds a dataset to its indexes and answers SSRQ queries. The
-// engine is safe for concurrent use: queries hold the spatial state's read
-// lock for their whole execution, and MoveUser/RemoveUserLocation take the
-// write lock, so queries and location updates interleave freely, each query
-// observing one consistent snapshot.
+// engine is safe for concurrent use and queries are lock-free: Query loads
+// the current index epoch (grid membership, coordinates and AIS summaries
+// published atomically as one immutable snapshot) with a single atomic
+// pointer read and runs entirely against it, so location updates never block
+// queries and every query observes one consistent version of the world.
+// Updates go through the synchronous MoveUser/ApplyUpdates (one published
+// epoch per call) or the asynchronous MoveUserAsync pipeline, which
+// coalesces queued moves into batched epochs (see Updater).
 type Engine struct {
 	ds        *dataset.Dataset
 	lm        *landmark.Set
@@ -128,6 +149,9 @@ type Engine struct {
 	opts      Options
 
 	pools sync.Pool // *queryPools, reused across queries
+
+	upOnce  sync.Once
+	updater atomic.Pointer[Updater]
 }
 
 // queryPools are the per-query A* scratch structures.
@@ -193,78 +217,125 @@ func (e *Engine) Dataset() *dataset.Dataset { return e.ds }
 // Landmarks returns the engine's landmark set.
 func (e *Engine) Landmarks() *landmark.Set { return e.lm }
 
-// Grid returns the spatial grid index.
+// Grid returns the spatial grid index (writer-side handle; concurrent
+// readers should use Snapshot).
 func (e *Engine) Grid() *spatial.Grid { return e.grid }
 
 // AggIndex returns the AIS aggregate index.
 func (e *Engine) AggIndex() *aggindex.Index { return e.agg }
 
+// Snapshot returns the current index epoch: grid membership, coordinates
+// and AIS summaries as one immutable, lock-free view.
+func (e *Engine) Snapshot() *aggindex.Snapshot { return e.agg.Snapshot() }
+
 // Options returns the options the engine was built with (defaults filled).
 func (e *Engine) Options() Options { return e.opts }
 
+// validateUpdate rejects out-of-range users and non-finite coordinates
+// before they can reach the index (a NaN point would silently corrupt grid
+// membership via CellIndex clamping).
+func (e *Engine) validateUpdate(u Update) error {
+	if u.ID < 0 || int(u.ID) >= e.ds.NumUsers() {
+		return fmt.Errorf("core: user %d out of range [0,%d)", u.ID, e.ds.NumUsers())
+	}
+	if !u.Remove && !u.To.IsFinite() {
+		return fmt.Errorf("core: non-finite coordinates (%v, %v) for user %d", u.To.X, u.To.Y, u.ID)
+	}
+	return nil
+}
+
 // MoveUser relocates a user (normalized coordinates), maintaining both the
-// plain grid and the AIS summaries. Safe concurrently with queries: the
-// update runs under the write lock.
-func (e *Engine) MoveUser(id int32, to spatial.Point) { e.agg.Move(id, to) }
+// plain grid and the AIS summaries, and publishes the change as one epoch
+// before returning (read-your-writes). Never blocks queries. For sustained
+// churn prefer MoveUserAsync or ApplyUpdates, which amortize the per-epoch
+// copy-on-write cost across a batch.
+func (e *Engine) MoveUser(id int32, to spatial.Point) error {
+	u := Update{ID: id, To: to}
+	if err := e.validateUpdate(u); err != nil {
+		return err
+	}
+	e.agg.Apply([]Update{u})
+	return nil
+}
 
-// RemoveUserLocation drops a user's location. Safe concurrently with
-// queries.
-func (e *Engine) RemoveUserLocation(id int32) { e.agg.RemoveLocation(id) }
+// RemoveUserLocation drops a user's location and publishes the change as
+// one epoch. Never blocks queries.
+func (e *Engine) RemoveUserLocation(id int32) error {
+	u := Update{ID: id, Remove: true}
+	if err := e.validateUpdate(u); err != nil {
+		return err
+	}
+	e.agg.Apply([]Update{u})
+	return nil
+}
 
-// Query answers an SSRQ for query user q. Safe for concurrent use; each
-// query executes against one consistent snapshot of the spatial state
-// (queries share the read side of the engine's lock, location updates take
-// the write side).
+// ApplyUpdates validates and applies a batch of updates as a single
+// published epoch (the cheapest way to ingest bulk location data). On a
+// validation error nothing is applied.
+func (e *Engine) ApplyUpdates(ops []Update) error {
+	for _, u := range ops {
+		if err := e.validateUpdate(u); err != nil {
+			return err
+		}
+	}
+	e.agg.Apply(ops)
+	return nil
+}
+
+// Query answers an SSRQ for query user q. Lock-free and safe for unlimited
+// concurrency: the query loads the published index epoch once and executes
+// entirely against that snapshot, so concurrent location updates neither
+// block it nor bleed into its view.
 func (e *Engine) Query(algo Algorithm, q graph.VertexID, prm Params) (*Result, error) {
 	if err := prm.Validate(); err != nil {
 		return nil, err
 	}
-	e.grid.RLock()
-	defer e.grid.RUnlock()
-	if q < 0 || int(q) >= e.ds.NumUsers() {
-		return nil, fmt.Errorf("core: query user %d out of range [0,%d)", q, e.ds.NumUsers())
+	sn := e.agg.Snapshot()
+	g := sn.Grid()
+	if q < 0 || int(q) >= g.NumUsers() {
+		return nil, fmt.Errorf("core: query user %d out of range [0,%d)", q, g.NumUsers())
 	}
-	if !e.ds.Located[q] {
+	if !g.Located(q) {
 		return nil, fmt.Errorf("core: query user %d has no known location", q)
 	}
 	res := &Result{Query: q, Params: prm}
 	st := &res.Stats
 	switch algo {
 	case SFA:
-		res.Entries = e.runSFA(q, prm, st, false)
+		res.Entries = e.runSFA(sn, q, prm, st, false)
 	case SFACH:
 		if e.hierarchy == nil {
 			return nil, fmt.Errorf("core: %v requires Options.BuildCH", algo)
 		}
-		res.Entries = e.runSFA(q, prm, st, true)
+		res.Entries = e.runSFA(sn, q, prm, st, true)
 	case SPA:
-		res.Entries = e.runSPA(q, prm, st, false)
+		res.Entries = e.runSPA(sn, q, prm, st, false)
 	case SPACH:
 		if e.hierarchy == nil {
 			return nil, fmt.Errorf("core: %v requires Options.BuildCH", algo)
 		}
-		res.Entries = e.runSPA(q, prm, st, true)
+		res.Entries = e.runSPA(sn, q, prm, st, true)
 	case TSA:
-		res.Entries = e.runTSA(q, prm, st, tsaConfig{prune: true})
+		res.Entries = e.runTSA(sn, q, prm, st, tsaConfig{prune: true})
 	case TSAQC:
-		res.Entries = e.runTSA(q, prm, st, tsaConfig{prune: true, quickCombine: true})
+		res.Entries = e.runTSA(sn, q, prm, st, tsaConfig{prune: true, quickCombine: true})
 	case TSANoLandmark:
-		res.Entries = e.runTSA(q, prm, st, tsaConfig{})
+		res.Entries = e.runTSA(sn, q, prm, st, tsaConfig{})
 	case TSACH:
 		if e.hierarchy == nil {
 			return nil, fmt.Errorf("core: %v requires Options.BuildCH", algo)
 		}
-		res.Entries = e.runTSA(q, prm, st, tsaConfig{prune: true, useCH: true})
+		res.Entries = e.runTSA(sn, q, prm, st, tsaConfig{prune: true, useCH: true})
 	case AISBID:
-		res.Entries = e.runAIS(q, prm, st, aisConfig{sharing: false, delayed: false})
+		res.Entries = e.runAIS(sn, q, prm, st, aisConfig{sharing: false, delayed: false})
 	case AISMinus:
-		res.Entries = e.runAIS(q, prm, st, aisConfig{sharing: true, delayed: false})
+		res.Entries = e.runAIS(sn, q, prm, st, aisConfig{sharing: true, delayed: false})
 	case AIS:
-		res.Entries = e.runAIS(q, prm, st, aisConfig{sharing: true, delayed: true})
+		res.Entries = e.runAIS(sn, q, prm, st, aisConfig{sharing: true, delayed: true})
 	case AISCache:
-		res.Entries = e.runAISCache(q, prm, st)
+		res.Entries = e.runAISCache(sn, q, prm, st)
 	case BruteForce:
-		res.Entries = e.runBrute(q, prm, st)
+		res.Entries = e.runBrute(sn, q, prm, st)
 	default:
 		return nil, fmt.Errorf("core: unknown algorithm %v", algo)
 	}

@@ -1,10 +1,14 @@
 package core
 
-import "ssrq/internal/graph"
+import (
+	"ssrq/internal/aggindex"
+	"ssrq/internal/graph"
+)
 
 // runSFA is the Social First Algorithm (§4.1): expand Dijkstra around v_q,
 // evaluate every settled user (Euclidean distance is trivial to attach), and
-// stop once θ = α·p(last settled) can no longer beat f_k.
+// stop once θ = α·p(last settled) can no longer beat f_k. Spatial reads go
+// through the query's snapshot sn.
 //
 // With useCH (the SFA-CH variant of Fig. 8), every social distance is
 // re-derived through a Contraction Hierarchies point-to-point query instead
@@ -12,7 +16,8 @@ import "ssrq/internal/graph"
 // for its ascending-distance ordering and termination bound. The variant
 // demonstrates the paper's point: on social networks, per-target CH queries
 // lose to one shared incremental Dijkstra.
-func (e *Engine) runSFA(q graph.VertexID, prm Params, st *Stats, useCH bool) []Entry {
+func (e *Engine) runSFA(sn *aggindex.Snapshot, q graph.VertexID, prm Params, st *Stats, useCH bool) []Entry {
+	g := sn.Grid()
 	it := graph.NewDijkstraIterator(e.ds.G, q)
 	r := newTopK(prm.K)
 	for {
@@ -28,7 +33,7 @@ func (e *Engine) runSFA(q graph.VertexID, prm Params, st *Stats, useCH bool) []E
 			p, _ = e.hierarchy.Dist(q, v)
 			st.CHQueries++
 		}
-		d := e.ds.EuclideanDist(q, v)
+		d := g.EuclideanDist(q, v)
 		r.Consider(Entry{ID: v, F: combine(prm.Alpha, p, d), P: p, D: d})
 		if theta := prm.Alpha * it.LastKey(); theta >= r.Fk() {
 			break

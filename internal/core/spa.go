@@ -1,17 +1,22 @@
 package core
 
-import "ssrq/internal/graph"
+import (
+	"ssrq/internal/aggindex"
+	"ssrq/internal/graph"
+)
 
 // runSPA is the Spatial First Approach (§4.1): stream users by ascending
-// Euclidean distance via the grid's incremental NN search and evaluate each
-// one's social distance, stopping once θ = (1−α)·d(last NN) reaches f_k.
+// Euclidean distance via the snapshot's incremental NN search and evaluate
+// each one's social distance, stopping once θ = (1−α)·d(last NN) reaches
+// f_k.
 //
 // The vanilla social-distance module is the shared incremental Dijkstra from
 // v_q, expanded just far enough to settle each requested target ("shortest
 // paths produced incrementally, all with v_q as source"). SPA-CH replaces it
 // with an independent CH query per target (Fig. 8).
-func (e *Engine) runSPA(q graph.VertexID, prm Params, st *Stats, useCH bool) []Entry {
-	nn := e.grid.NewNN(e.ds.Pts[q])
+func (e *Engine) runSPA(sn *aggindex.Snapshot, q graph.VertexID, prm Params, st *Stats, useCH bool) []Entry {
+	g := sn.Grid()
+	nn := g.NewNN(g.Point(q))
 	r := newTopK(prm.K)
 
 	var fwd *graph.DijkstraIterator

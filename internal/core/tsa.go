@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 
+	"ssrq/internal/aggindex"
 	"ssrq/internal/graph"
 	"ssrq/internal/pqueue"
 )
@@ -77,9 +78,10 @@ func (c *candidateSet) Prune(drop func(u int32, d float64) bool) {
 // θ = α·t_p + (1−α)·t_d. Phase 2 resolves the partially-evaluated candidate
 // set Q, by default continuing only the social search (continuing the NN
 // search "would be a waste of computations").
-func (e *Engine) runTSA(q graph.VertexID, prm Params, st *Stats, cfg tsaConfig) []Entry {
+func (e *Engine) runTSA(sn *aggindex.Snapshot, q graph.VertexID, prm Params, st *Stats, cfg tsaConfig) []Entry {
+	g := sn.Grid()
 	soc := graph.NewDijkstraIterator(e.ds.G, q)
-	nn := e.grid.NewNN(e.ds.Pts[q])
+	nn := g.NewNN(g.Point(q))
 	r := newTopK(prm.K)
 	cand := newCandidateSet()
 
@@ -97,7 +99,7 @@ func (e *Engine) runTSA(q graph.VertexID, prm Params, st *Stats, cfg tsaConfig) 
 		if v == q {
 			return
 		}
-		d := e.ds.EuclideanDist(q, v)
+		d := g.EuclideanDist(q, v)
 		r.Consider(Entry{ID: v, F: combine(prm.Alpha, p, d), P: p, D: d})
 		// Algorithm 1 lines 7–8: a candidate reached by the social search is
 		// now fully evaluated and must leave Q.

@@ -1,0 +1,316 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ssrq/internal/graph"
+	"ssrq/internal/spatial"
+)
+
+// TestSnapshotStressAsyncMovers is the -race synchronization proof for the
+// lock-free query path: queriers run QueryBatch and single queries with no
+// lock whatsoever while movers push sustained churn through the batching
+// update pipeline (MoveUserAsync / RemoveUserLocationAsync). Every
+// mid-flight result must be a valid top-k set against *some* published
+// epoch, and after a Flush barrier the index must agree exactly with brute
+// force — concurrent batched maintenance never corrupted membership or
+// summaries.
+func TestSnapshotStressAsyncMovers(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	const n = 220
+	ds := mkDataset(t, rng, n, 0, false) // everyone located
+	e := mkEngine(t, ds, Options{GridS: 5, GridLevels: 2, CacheT: 20, UpdateMaxBatch: 16})
+	defer e.Close()
+
+	// Movers touch only the upper half of the ID space; queriers query only
+	// the lower half, so a query user never loses its location mid-test.
+	var movable, queryable []graph.VertexID
+	for _, u := range locatedUsers(ds) {
+		if int(u) >= n/2 {
+			movable = append(movable, u)
+		} else {
+			queryable = append(queryable, u)
+		}
+	}
+
+	const (
+		numQueriers   = 4
+		numMovers     = 3
+		queriesPerGor = 25
+		movesPerGor   = 400
+	)
+	algos := []Algorithm{AIS, TSA, SFA, SPA, AISMinus, AISCache}
+	var wg sync.WaitGroup
+	var queriesDone, movesDone atomic.Int64
+	errCh := make(chan error, numQueriers+numMovers)
+
+	for g := 0; g < numMovers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			mrng := rand.New(rand.NewSource(int64(500 + g)))
+			for i := 0; i < movesPerGor; i++ {
+				u := movable[mrng.Intn(len(movable))]
+				var err error
+				if mrng.Intn(5) == 0 {
+					err = e.RemoveUserLocationAsync(int32(u))
+				} else {
+					err = e.MoveUserAsync(int32(u), spatial.Point{X: mrng.Float64(), Y: mrng.Float64()})
+				}
+				if err != nil {
+					errCh <- err
+					return
+				}
+				movesDone.Add(1)
+			}
+		}(g)
+	}
+	for g := 0; g < numQueriers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			qrng := rand.New(rand.NewSource(int64(600 + g)))
+			for i := 0; i < queriesPerGor; i++ {
+				q := queryable[qrng.Intn(len(queryable))]
+				algo := algos[(g+i)%len(algos)]
+				k := 1 + qrng.Intn(10)
+				alpha := 0.1 + 0.8*qrng.Float64()
+				res, err := e.Query(algo, q, Params{K: k, Alpha: alpha})
+				if err == nil {
+					err = validTopK(res, q, k, alpha)
+				}
+				if err != nil {
+					errCh <- fmt.Errorf("%v on user %d: %w", algo, q, err)
+					return
+				}
+				queriesDone.Add(1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if queriesDone.Load() == 0 || movesDone.Load() == 0 {
+		t.Fatalf("no overlap: %d queries, %d moves", queriesDone.Load(), movesDone.Load())
+	}
+
+	// Barrier, then post-churn integrity: every algorithm must agree exactly
+	// with brute force on the mutated index.
+	e.Flush()
+	st := e.UpdateStats()
+	if st.AppliedUpdates != movesDone.Load() {
+		t.Fatalf("flush barrier incomplete: applied %d of %d", st.AppliedUpdates, movesDone.Load())
+	}
+	if st.AppliedBatches == 0 || st.AppliedBatches > st.AppliedUpdates {
+		t.Fatalf("implausible batching: %d batches for %d updates", st.AppliedBatches, st.AppliedUpdates)
+	}
+	prm := Params{K: 10, Alpha: 0.3}
+	for probe := 0; probe < 4; probe++ {
+		q := queryable[rng.Intn(len(queryable))]
+		want, err := e.Query(BruteForce, q, prm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, algo := range allNonCHAlgorithms {
+			got, err := e.Query(algo, q, prm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameRanking(t, "post-stress "+algo.String(), got, want)
+		}
+	}
+}
+
+// TestFlushReadYourWrites: an async move followed by Flush must be visible
+// to the next query and snapshot.
+func TestFlushReadYourWrites(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	ds := mkDataset(t, rng, 80, 0, false)
+	e := mkEngine(t, ds, Options{})
+	defer e.Close()
+	target := spatial.Point{X: 0.123, Y: 0.456}
+	if err := e.MoveUserAsync(42, target); err != nil {
+		t.Fatal(err)
+	}
+	e.Flush()
+	g := e.Snapshot().Grid()
+	if !g.Located(42) || g.Point(42) != target {
+		t.Fatalf("flushed move invisible: located=%v point=%v", g.Located(42), g.Point(42))
+	}
+	if err := e.RemoveUserLocationAsync(42); err != nil {
+		t.Fatal(err)
+	}
+	e.Flush()
+	if e.Snapshot().Grid().Located(42) {
+		t.Fatal("flushed removal invisible")
+	}
+}
+
+// TestUpdaterCoalescing: many queued moves of one user collapse into few
+// applied ops, and the last write wins.
+func TestUpdaterCoalescing(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	ds := mkDataset(t, rng, 60, 0, false)
+	e := mkEngine(t, ds, Options{UpdateMaxBatch: 64})
+	defer e.Close()
+	var last spatial.Point
+	for i := 0; i < 500; i++ {
+		last = spatial.Point{X: rng.Float64(), Y: rng.Float64()}
+		if err := e.MoveUserAsync(7, last); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Flush()
+	if got := e.Snapshot().Grid().Point(7); got != last {
+		t.Fatalf("final position %v, want last write %v", got, last)
+	}
+	st := e.UpdateStats()
+	if st.CoalescedUpdates == 0 {
+		t.Fatalf("no coalescing across 500 same-user moves: %+v", st)
+	}
+	if st.PendingUpdates != 0 {
+		t.Fatalf("pending %d after flush", st.PendingUpdates)
+	}
+}
+
+// TestCoalesceUpdatesUnit pins the pure coalescing helper: last write per
+// user wins, first-seen order is preserved, distinct users untouched.
+func TestCoalesceUpdatesUnit(t *testing.T) {
+	in := []Update{
+		{ID: 1, To: spatial.Point{X: 1}},
+		{ID: 2, To: spatial.Point{X: 2}},
+		{ID: 1, Remove: true},
+		{ID: 3, To: spatial.Point{X: 3}},
+		{ID: 2, To: spatial.Point{X: 9}},
+	}
+	out := coalesceUpdates(in)
+	if len(out) != 3 {
+		t.Fatalf("len = %d, want 3", len(out))
+	}
+	if out[0].ID != 1 || !out[0].Remove {
+		t.Fatalf("slot 0 = %+v, want user 1 removal", out[0])
+	}
+	if out[1].ID != 2 || out[1].To.X != 9 {
+		t.Fatalf("slot 1 = %+v, want user 2 at x=9", out[1])
+	}
+	if out[2].ID != 3 || out[2].To.X != 3 {
+		t.Fatalf("slot 2 = %+v", out[2])
+	}
+}
+
+// TestUpdateValidation: NaN/±Inf coordinates and out-of-range users are
+// rejected on every update path before touching the index.
+func TestUpdateValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	ds := mkDataset(t, rng, 40, 0, false)
+	e := mkEngine(t, ds, Options{})
+	defer e.Close()
+	old := e.Snapshot()
+	bad := []spatial.Point{
+		{X: math.NaN(), Y: 0},
+		{X: 0, Y: math.NaN()},
+		{X: math.Inf(1), Y: 0},
+		{X: 0, Y: math.Inf(-1)},
+	}
+	for _, p := range bad {
+		if err := e.MoveUser(3, p); err == nil {
+			t.Fatalf("MoveUser accepted %v", p)
+		}
+		if err := e.MoveUserAsync(3, p); err == nil {
+			t.Fatalf("MoveUserAsync accepted %v", p)
+		}
+		if err := e.ApplyUpdates([]Update{{ID: 3, To: p}}); err == nil {
+			t.Fatalf("ApplyUpdates accepted %v", p)
+		}
+	}
+	if err := e.MoveUser(-1, spatial.Point{}); err == nil {
+		t.Fatal("negative user accepted")
+	}
+	if err := e.MoveUser(40, spatial.Point{}); err == nil {
+		t.Fatal("out-of-range user accepted")
+	}
+	if err := e.RemoveUserLocation(99); err == nil {
+		t.Fatal("out-of-range removal accepted")
+	}
+	e.Flush()
+	if e.Snapshot() != old {
+		t.Fatal("rejected updates still published an epoch")
+	}
+	// A rejected batch applies nothing, even with valid entries first.
+	if err := e.ApplyUpdates([]Update{
+		{ID: 1, To: spatial.Point{X: 0.5, Y: 0.5}},
+		{ID: 2, To: spatial.Point{X: math.NaN()}},
+	}); err == nil {
+		t.Fatal("mixed batch accepted")
+	}
+	if e.Snapshot() != old {
+		t.Fatal("failed batch published a prefix")
+	}
+}
+
+// TestEngineCloseIdempotent: Close is safe to call twice and async updates
+// after Close fail cleanly.
+func TestEngineCloseIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(89))
+	ds := mkDataset(t, rng, 30, 0, false)
+	e := mkEngine(t, ds, Options{})
+	if err := e.MoveUserAsync(3, spatial.Point{X: 0.1, Y: 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	e.Close()
+	if err := e.MoveUserAsync(4, spatial.Point{X: 0.2, Y: 0.2}); err == nil {
+		t.Fatal("enqueue after Close accepted")
+	}
+	// Queries still work after Close.
+	if _, err := e.Query(AIS, locatedUsers(ds)[0], Params{K: 3, Alpha: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFlushCloseRace: Flush racing Close must never hang — either the
+// barrier completes or the shutdown releases the waiter; enqueues racing
+// the shutdown fail cleanly instead of blocking on a dead queue.
+func TestFlushCloseRace(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 20; trial++ {
+		ds := mkDataset(t, rng, 30, 0, false)
+		e := mkEngine(t, ds, Options{UpdateQueueCap: 2, UpdateMaxBatch: 4})
+		var wg sync.WaitGroup
+		for g := 0; g < 3; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < 50; i++ {
+					if err := e.MoveUserAsync(int32((g*7+i)%30), spatial.Point{X: 0.5, Y: 0.5}); err != nil {
+						return // closed mid-stream: expected
+					}
+					if i%10 == 0 {
+						e.Flush()
+					}
+				}
+			}(g)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e.Close()
+		}()
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatalf("trial %d: Flush/Close race deadlocked", trial)
+		}
+		e.Flush() // post-Close flush is a no-op, must not hang
+	}
+}

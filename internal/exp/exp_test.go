@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"time"
 
 	"ssrq/internal/core"
 	"ssrq/internal/gen"
@@ -216,5 +217,48 @@ func TestWriteReport(t *testing.T) {
 	}
 	if !strings.Contains(md.String(), "| twitter |") {
 		t.Fatalf("report missing rows:\n%s", md.String())
+	}
+}
+
+// TestChurnExperiment runs the churn sweep at micro scale: both engines
+// must produce latency rows, the snapshot rows must advance epochs while
+// moving, and the built-in brute-force equivalence probe must pass.
+func TestChurnExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewSuite(microScale, 42, &buf)
+	s.ChurnMovers = []int{0, 1}
+	if err := s.Run("churn", false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"rwmutex", "snapshot", "p99 (ms)", "post-churn brute-force equivalence: ok"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("churn output missing %q:\n%s", want, out)
+		}
+	}
+	// One measurement per (mode, movers) cell.
+	if len(s.Measurements) != 4 {
+		t.Fatalf("measurements = %d, want 4", len(s.Measurements))
+	}
+}
+
+// TestLatencySummary pins the percentile helper.
+func TestLatencySummary(t *testing.T) {
+	var lat []time.Duration
+	for i := 100; i >= 1; i-- { // 1ms..100ms descending (summarize must sort)
+		lat = append(lat, time.Duration(i)*time.Millisecond)
+	}
+	sum := summarizeLatencies(lat)
+	if sum.N != 100 {
+		t.Fatalf("N = %d", sum.N)
+	}
+	if sum.P50 != 50*time.Millisecond || sum.P95 != 95*time.Millisecond || sum.P99 != 99*time.Millisecond {
+		t.Fatalf("percentiles = %v/%v/%v", sum.P50, sum.P95, sum.P99)
+	}
+	if sum.Mean != 50500*time.Microsecond {
+		t.Fatalf("mean = %v", sum.Mean)
+	}
+	if s := summarizeLatencies(nil); s.N != 0 || s.P99 != 0 {
+		t.Fatalf("empty summary = %+v", s)
 	}
 }

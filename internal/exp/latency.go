@@ -1,0 +1,51 @@
+package exp
+
+import (
+	"sort"
+	"time"
+)
+
+// latencySummary condenses a set of per-query latencies into the tail
+// percentiles operators actually provision for. Throughput alone hides the
+// exact failure mode the epoch/snapshot engine fixes — a few queries
+// stalling for milliseconds behind a writer — so the serving experiments
+// report p50/p95/p99, not just queries/sec.
+type latencySummary struct {
+	N             int
+	P50, P95, P99 time.Duration
+	Mean          time.Duration
+}
+
+// summarizeLatencies sorts the sample in place and extracts the summary.
+func summarizeLatencies(lat []time.Duration) latencySummary {
+	if len(lat) == 0 {
+		return latencySummary{}
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	var total time.Duration
+	for _, d := range lat {
+		total += d
+	}
+	return latencySummary{
+		N:    len(lat),
+		P50:  percentileOf(lat, 0.50),
+		P95:  percentileOf(lat, 0.95),
+		P99:  percentileOf(lat, 0.99),
+		Mean: total / time.Duration(len(lat)),
+	}
+}
+
+// percentileOf returns the nearest-rank percentile of an ascending sample.
+func percentileOf(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -19,6 +19,12 @@ type Suite struct {
 	// Parallel is the worker count for the "throughput" experiment
 	// (0 = GOMAXPROCS).
 	Parallel int
+	// ChurnMovers are the mover-goroutine counts the "churn" experiment
+	// sweeps (default 0, 1, 4).
+	ChurnMovers []int
+	// ChurnRate throttles each churn mover to this many moves/sec
+	// (0 = unthrottled).
+	ChurnRate float64
 
 	datasets map[string]*dataset.Dataset
 	engines  map[string]*core.Engine
@@ -123,7 +129,7 @@ func (s *Suite) RunAll(withCH bool) error {
 }
 
 // Run executes a single experiment by id ("table2", "fig7a", … "fig14b",
-// "throughput", "all").
+// "throughput", "churn", "all").
 func (s *Suite) Run(id string, withCH bool) error {
 	switch id {
 	case "all":
@@ -152,6 +158,8 @@ func (s *Suite) Run(id string, withCH bool) error {
 		return s.RunFig14b()
 	case "throughput":
 		return s.RunThroughput()
+	case "churn":
+		return s.RunChurn()
 	case "diag":
 		return s.RunDiagnostics()
 	default:

@@ -10,9 +10,10 @@ import (
 
 // RunThroughput measures the batched serving path: the same AIS workload
 // pushed through Engine.QueryBatch at 1 worker and at s.Parallel workers
-// (default GOMAXPROCS), reporting queries/sec and the parallel speedup.
-// This is not a paper figure — it exercises the concurrent serving layer
-// the paper's motivating applications (§1) need.
+// (default GOMAXPROCS), reporting queries/sec, the parallel speedup, and
+// per-query latency percentiles (from BatchResult.Elapsed). This is not a
+// paper figure — it exercises the concurrent serving layer the paper's
+// motivating applications (§1) need.
 func (s *Suite) RunThroughput() error {
 	workers := s.Parallel
 	if workers <= 0 {
@@ -40,24 +41,28 @@ func (s *Suite) RunThroughput() error {
 
 	tbl := &Table{
 		Title:   fmt.Sprintf("Batched throughput — AIS, k=%d, α=%.1f, %d queries", prm.K, prm.Alpha, len(batch)),
-		Columns: []string{"workers", "total (ms)", "queries/sec", "speedup"},
+		Columns: []string{"workers", "total (ms)", "queries/sec", "speedup", "p50 (ms)", "p95 (ms)", "p99 (ms)"},
 	}
 	var base time.Duration
 	for _, w := range []int{1, workers} {
 		start := time.Now()
 		outs := e.QueryBatch(batch, w)
 		elapsed := time.Since(start)
+		lat := make([]time.Duration, 0, len(outs))
 		for _, out := range outs {
 			if out.Err != nil {
 				return fmt.Errorf("exp: throughput batch: %w", out.Err)
 			}
+			lat = append(lat, out.Elapsed)
 		}
+		sum := summarizeLatencies(lat)
 		if w == 1 {
 			base = elapsed
 		}
 		qps := float64(len(batch)) / elapsed.Seconds()
 		speedup := float64(base) / float64(elapsed)
-		tbl.AddRow(fmt.Sprint(w), ms(elapsed), fmt.Sprintf("%.0f", qps), f2(speedup))
+		tbl.AddRow(fmt.Sprint(w), ms(elapsed), fmt.Sprintf("%.0f", qps), f2(speedup),
+			ms(sum.P50), ms(sum.P95), ms(sum.P99))
 		s.record(Measurement{
 			Dataset: ds.Name, Algo: core.AIS, X: float64(w),
 			Runtime: elapsed / time.Duration(len(batch)), Queries: len(batch),

@@ -1,9 +1,12 @@
 // Package httpapi serves SSRQ over HTTP — the service layer of the
 // reproduction's "company/friend recommendation" motivating applications
-// (§1). The engine is internally synchronized (queries hold a shared read
-// lock for their duration, location updates the write lock), so handlers
-// call it directly with no server-side locking; /batch fans a request out
-// over the engine's worker-pool batch path.
+// (§1). The engine is internally synchronized through epoch snapshots
+// (queries are lock-free against the latest published epoch; updates build
+// the next epoch copy-on-write), so handlers call it directly with no
+// server-side locking. /batch fans a request out over the engine's
+// worker-pool batch path; /moves feeds the engine's batching update
+// pipeline; /stats reports the epoch number, pending-update depth and
+// snapshot age alongside the dataset statistics.
 package httpapi
 
 import (
@@ -29,6 +32,9 @@ type Server struct {
 // the worker pool indefinitely.
 const maxBatch = 10000
 
+// maxMoves bounds one /moves request.
+const maxMoves = 65536
+
 // New builds the handler.
 func New(eng *ssrq.Engine) *Server {
 	s := &Server{eng: eng, mux: http.NewServeMux()}
@@ -36,6 +42,7 @@ func New(eng *ssrq.Engine) *Server {
 	s.mux.HandleFunc("POST /batch", s.handleBatch)
 	s.mux.HandleFunc("GET /user/{id}", s.handleUser)
 	s.mux.HandleFunc("POST /move", s.handleMove)
+	s.mux.HandleFunc("POST /moves", s.handleMoves)
 	s.mux.HandleFunc("POST /unlocate", s.handleUnlocate)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -251,8 +258,86 @@ func (s *Server) handleMove(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, fmt.Errorf("unknown user %d", req.ID))
 		return
 	}
-	s.eng.MoveUser(req.ID, ssrq.Point{X: req.X, Y: req.Y})
+	// The engine rejects NaN/±Inf coordinates (JSON can't encode them
+	// literally, but e.g. "1e999" decodes to +Inf).
+	if err := s.eng.MoveUser(req.ID, ssrq.Point{X: req.X, Y: req.Y}); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// movesRequest is a bulk location-update batch. Each item is a move, or a
+// location removal when Remove is set. With Flush true the request returns
+// only after every update in it is applied and published (read-your-writes);
+// otherwise updates are enqueued on the engine's batching pipeline and the
+// response is 202 Accepted.
+type movesRequest struct {
+	Moves []moveItem `json:"moves"`
+	Flush bool       `json:"flush,omitempty"`
+}
+
+type moveItem struct {
+	ID     int32   `json:"id"`
+	X      float64 `json:"x"`
+	Y      float64 `json:"y"`
+	Remove bool    `json:"remove,omitempty"`
+}
+
+type movesResponse struct {
+	Accepted int    `json:"accepted"`
+	Epoch    uint64 `json:"epoch,omitempty"`
+}
+
+func (s *Server) handleMoves(w http.ResponseWriter, r *http.Request) {
+	var req movesRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad body: %w", err))
+		return
+	}
+	if len(req.Moves) == 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("empty moves"))
+		return
+	}
+	if len(req.Moves) > maxMoves {
+		httpError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("%d moves exceeds limit %d", len(req.Moves), maxMoves))
+		return
+	}
+	// Validate everything before enqueuing anything, so a bad item rejects
+	// the whole request instead of applying a prefix.
+	n := s.eng.Dataset().NumUsers()
+	for i, m := range req.Moves {
+		if m.ID < 0 || int(m.ID) >= n {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("move %d: unknown user %d", i, m.ID))
+			return
+		}
+		if !m.Remove && !(ssrq.Point{X: m.X, Y: m.Y}).IsFinite() {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("move %d: non-finite coordinates (%v, %v)", i, m.X, m.Y))
+			return
+		}
+	}
+	for _, m := range req.Moves {
+		var err error
+		if m.Remove {
+			err = s.eng.RemoveUserLocationAsync(m.ID)
+		} else {
+			err = s.eng.MoveUserAsync(m.ID, ssrq.Point{X: m.X, Y: m.Y})
+		}
+		if err != nil {
+			httpError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+	}
+	resp := movesResponse{Accepted: len(req.Moves)}
+	if req.Flush {
+		s.eng.Flush()
+		resp.Epoch = s.eng.UpdateStats().Epoch
+		writeJSON(w, resp)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	_ = json.NewEncoder(w).Encode(resp)
 }
 
 type unlocateRequest struct {
@@ -269,12 +354,36 @@ func (s *Server) handleUnlocate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, fmt.Errorf("unknown user %d", req.ID))
 		return
 	}
-	s.eng.RemoveUserLocation(req.ID)
+	if err := s.eng.RemoveUserLocation(req.ID); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
+// statsResponse extends the dataset statistics with the state of the
+// epoch/update pipeline.
+type statsResponse struct {
+	ssrq.DatasetStats
+	Epoch            uint64 `json:"epoch"`
+	SnapshotAgeMs    int64  `json:"snapshot_age_ms"`
+	PendingUpdates   int64  `json:"pending_updates"`
+	AppliedUpdates   int64  `json:"applied_updates"`
+	AppliedBatches   int64  `json:"applied_batches"`
+	CoalescedUpdates int64  `json:"coalesced_updates"`
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, s.eng.DatasetStats())
+	us := s.eng.UpdateStats()
+	writeJSON(w, statsResponse{
+		DatasetStats:     s.eng.DatasetStats(),
+		Epoch:            us.Epoch,
+		SnapshotAgeMs:    us.SnapshotAge.Milliseconds(),
+		PendingUpdates:   us.PendingUpdates,
+		AppliedUpdates:   us.AppliedUpdates,
+		AppliedBatches:   us.AppliedBatches,
+		CoalescedUpdates: us.CoalescedUpdates,
+	})
 }
 
 func intParam(r *http.Request, name string, def int) (int, error) {

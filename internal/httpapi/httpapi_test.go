@@ -306,3 +306,118 @@ func TestBatchDefaultsApplied(t *testing.T) {
 		t.Fatalf("entries = %d", len(resp.Results[0].Entries))
 	}
 }
+
+// TestMovesBulkEndpoint drives the batching update pipeline through POST
+// /moves with a flush barrier and verifies read-your-writes through /user.
+func TestMovesBulkEndpoint(t *testing.T) {
+	s, ds, q := mkServer(t)
+	target, _ := ds.Location(q)
+	req := movesRequest{
+		Moves: []moveItem{
+			{ID: 42, X: target.X, Y: target.Y},
+			{ID: 43, X: target.X + 1, Y: target.Y},
+			{ID: 44, Remove: true},
+		},
+		Flush: true,
+	}
+	rec := do(t, s, "POST", "/moves", req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("moves with flush = %d: %s", rec.Code, rec.Body)
+	}
+	var resp movesResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Accepted != 3 {
+		t.Fatalf("accepted = %d", resp.Accepted)
+	}
+	if resp.Epoch == 0 {
+		t.Fatal("flush response missing epoch")
+	}
+	var u userResponse
+	recU := do(t, s, "GET", "/user/42", nil)
+	_ = json.Unmarshal(recU.Body.Bytes(), &u)
+	if !u.Located || *u.X != target.X {
+		t.Fatalf("flushed move invisible: %+v", u)
+	}
+	recU = do(t, s, "GET", "/user/44", nil)
+	_ = json.Unmarshal(recU.Body.Bytes(), &u)
+	if u.Located {
+		t.Fatal("flushed removal invisible")
+	}
+}
+
+// TestMovesAsyncAccepted: without flush the endpoint acknowledges with 202.
+func TestMovesAsyncAccepted(t *testing.T) {
+	s, _, _ := mkServer(t)
+	rec := do(t, s, "POST", "/moves", movesRequest{Moves: []moveItem{{ID: 1, X: 1, Y: 2}}})
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("async moves = %d: %s", rec.Code, rec.Body)
+	}
+}
+
+// TestMovesValidation: bad items reject the whole batch before anything is
+// enqueued.
+func TestMovesValidation(t *testing.T) {
+	s, _, _ := mkServer(t)
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"empty", `{"moves":[]}`, http.StatusBadRequest},
+		{"unknown user", `{"moves":[{"id":999999,"x":1,"y":1}]}`, http.StatusBadRequest},
+		{"inf x", `{"moves":[{"id":1,"x":1e999,"y":1}]}`, http.StatusBadRequest},
+		{"inf y", `{"moves":[{"id":1,"x":1,"y":-1e999}]}`, http.StatusBadRequest},
+		{"valid then bad", `{"moves":[{"id":1,"x":1,"y":1},{"id":2,"x":1e999,"y":0}]}`, http.StatusBadRequest},
+		{"garbage", `{broken`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		req := httptest.NewRequest("POST", "/moves", bytes.NewBufferString(c.body))
+		w := httptest.NewRecorder()
+		s.ServeHTTP(w, req)
+		if w.Code != c.want {
+			t.Errorf("%s = %d, want %d", c.name, w.Code, c.want)
+		}
+	}
+	// A remove item needs no coordinates, even non-finite ones are ignored.
+	rec := do(t, s, "POST", "/moves", movesRequest{Moves: []moveItem{{ID: 3, Remove: true}}, Flush: true})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("remove item = %d: %s", rec.Code, rec.Body)
+	}
+}
+
+// TestMoveRejectsNonFinite covers the single-move endpoint (JSON 1e999
+// decodes to +Inf, which must not reach the grid).
+func TestMoveRejectsNonFinite(t *testing.T) {
+	s, _, _ := mkServer(t)
+	req := httptest.NewRequest("POST", "/move", bytes.NewBufferString(`{"id":1,"x":1e999,"y":0}`))
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("non-finite move = %d: %s", w.Code, w.Body)
+	}
+}
+
+// TestStatsReportsEpochAndPending: /stats carries the epoch/update pipeline
+// fields alongside the dataset statistics.
+func TestStatsReportsEpochAndPending(t *testing.T) {
+	s, _, _ := mkServer(t)
+	if rec := do(t, s, "POST", "/moves", movesRequest{Moves: []moveItem{{ID: 5, X: 1, Y: 1}}, Flush: true}); rec.Code != http.StatusOK {
+		t.Fatalf("setup move = %d", rec.Code)
+	}
+	rec := do(t, s, "GET", "/stats", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats = %d", rec.Code)
+	}
+	var st statsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.NumVertices == 0 {
+		t.Fatal("dataset stats lost from /stats")
+	}
+	if st.Epoch == 0 || st.AppliedUpdates == 0 || st.AppliedBatches == 0 {
+		t.Fatalf("pipeline stats missing: %+v", st)
+	}
+}

@@ -2,7 +2,7 @@ package spatial
 
 import (
 	"fmt"
-	"sync"
+	"sync/atomic"
 )
 
 // Grid is a dynamic multi-level regular grid over user locations. Leaf cells
@@ -10,122 +10,224 @@ import (
 // skip empty subtrees. Users without a known location (the paper treats them
 // as infinitely far away) are simply absent from the grid.
 //
-// Concurrency: the grid carries the read-write lock that guards all mutable
-// spatial state — its own membership structures plus the pts/located slices
-// it shares with the dataset and any aggregate layers stacked on top (the
-// AIS social summaries). The lock is deliberately exposed (RLock/RUnlock/
-// Lock/Unlock) rather than taken inside each accessor: readers bracket a
-// whole logical operation (an entire query) with RLock/RUnlock so they see
-// one consistent snapshot, and writers bracket compound updates (grid move +
-// summary maintenance) with Lock/Unlock so intermediate states are never
-// visible. The mutating methods Move/SetLocated/RemoveLocation do NOT
-// self-lock — the caller holds the write lock, which is what lets aggindex
-// update membership and summaries atomically. Single-threaded use needs no
-// locking at all.
+// Concurrency follows an epoch/snapshot model rather than locking. The grid
+// publishes its complete query-visible state as an immutable *Snapshot
+// through an atomic pointer: readers call Snapshot() once and traverse the
+// returned epoch freely — no lock, no blocking, one consistent view for the
+// whole logical operation. Mutations (Move/SetLocated/RemoveLocation) build
+// the next epoch copy-on-write: only the touched leaf buckets, per-user
+// pages and count arrays are duplicated, everything else is shared with the
+// published snapshot. Nothing a reader can observe changes until Publish
+// atomically installs the new epoch.
+//
+// The mutating methods and Publish are writer-side and must be serialized
+// externally (the aggregate index and the engine's update pipeline own a
+// single writer); they never block readers. Single-threaded use needs no
+// synchronization at all: the read accessors on Grid observe the working
+// state directly, so mutate-then-read works without an intervening Publish.
 type Grid struct {
-	mu         sync.RWMutex
-	layout     *Layout
-	pts        []Point
-	located    []bool
-	leaves     [][]int32 // leaf cell index -> member user IDs
-	counts     [][]int32 // [level][cell] -> located users underneath
-	bucketOf   []int32   // user -> leaf cell index, -1 when unlocated
-	numLocated int
+	layout    *Layout
+	published atomic.Pointer[Snapshot]
+
+	// Writer state: the epoch under construction. work is nil when no
+	// unpublished mutation exists. The stamp arrays record which constituent
+	// objects have already been duplicated for the current working epoch —
+	// an object is safe to mutate in place iff its stamp equals epoch.
+	work        *Snapshot
+	epoch       uint64
+	pageStamp   []uint64 // per per-user page (pts+located+bucketOf together)
+	bucketStamp []uint64 // per leaf cell bucket
+	countStamp  []uint64 // per count level
 }
 
-// RLock acquires the grid's read lock. Hold it for the duration of any
-// multi-step read (a whole query) that must observe a consistent snapshot
-// while writers may be active.
-func (g *Grid) RLock() { g.mu.RLock() }
-
-// RUnlock releases the read lock.
-func (g *Grid) RUnlock() { g.mu.RUnlock() }
-
-// Lock acquires the grid's write lock. Writers hold it across a compound
-// mutation (e.g. a grid move plus dependent aggregate maintenance).
-func (g *Grid) Lock() { g.mu.Lock() }
-
-// Unlock releases the write lock.
-func (g *Grid) Unlock() { g.mu.Unlock() }
-
 // NewGrid indexes the users whose located flag is set. pts and located are
-// referenced, not copied: Move and friends update pts/located in place so a
-// dataset and all its indexes share one source of truth.
+// copied into the grid's internal paged storage: the grid owns its state and
+// later mutations do not write through to the caller's slices (callers read
+// current positions from a Snapshot or the grid's accessors).
 func NewGrid(layout *Layout, pts []Point, located []bool) (*Grid, error) {
 	if len(pts) != len(located) {
 		return nil, fmt.Errorf("spatial: %d points but %d located flags", len(pts), len(located))
 	}
-	g := &Grid{
+	n := len(pts)
+	pages := numPages(n)
+	w := &Snapshot{
 		layout:   layout,
-		pts:      pts,
-		located:  located,
+		n:        n,
+		pts:      make([][]Point, pages),
+		located:  make([][]bool, pages),
+		bucketOf: make([][]int32, pages),
 		leaves:   make([][]int32, layout.NumCells(layout.LeafLevel())),
-		bucketOf: make([]int32, len(pts)),
+	}
+	for p := 0; p < pages; p++ {
+		lo := p * pageSize
+		hi := min(lo+pageSize, n)
+		w.pts[p] = make([]Point, hi-lo)
+		copy(w.pts[p], pts[lo:hi])
+		w.located[p] = make([]bool, hi-lo)
+		copy(w.located[p], located[lo:hi])
+		b := make([]int32, hi-lo)
+		for i := range b {
+			b[i] = -1
+		}
+		w.bucketOf[p] = b
 	}
 	for l := 0; l < layout.Levels; l++ {
-		g.counts = append(g.counts, make([]int32, layout.NumCells(l)))
+		w.counts = append(w.counts, make([]int32, layout.NumCells(l)))
 	}
-	for id := range pts {
-		g.bucketOf[id] = -1
+	g := &Grid{
+		layout:      layout,
+		work:        w,
+		pageStamp:   make([]uint64, pages),
+		bucketStamp: make([]uint64, len(w.leaves)),
+		countStamp:  make([]uint64, layout.Levels),
+	}
+	// Construction runs at epoch 0 with all stamps already 0, so the
+	// insert loop mutates the fresh arrays in place.
+	for id := 0; id < n; id++ {
 		if located[id] {
 			g.insert(int32(id))
 		}
 	}
+	g.Publish()
 	return g, nil
+}
+
+// Snapshot returns the most recently published epoch. The returned value is
+// immutable and safe for unlimited concurrent readers.
+func (g *Grid) Snapshot() *Snapshot { return g.published.Load() }
+
+// Publish atomically installs the working epoch as the new published
+// snapshot and returns it. A no-op (returning the current snapshot) when
+// nothing changed since the last publish. Writer-side.
+func (g *Grid) Publish() *Snapshot {
+	if g.work == nil {
+		return g.published.Load()
+	}
+	s := g.work
+	g.work = nil
+	g.published.Store(s)
+	return s
+}
+
+// view returns the state mutators and writer-side readers operate on: the
+// working epoch when one exists, otherwise the published snapshot.
+func (g *Grid) view() *Snapshot {
+	if g.work != nil {
+		return g.work
+	}
+	return g.published.Load()
+}
+
+// ensureWork opens the next working epoch if none exists, sharing every
+// constituent array with the published snapshot (only the cheap spines are
+// duplicated eagerly; pages, buckets and count levels copy on first touch).
+func (g *Grid) ensureWork() *Snapshot {
+	if g.work == nil {
+		pub := g.published.Load()
+		w := *pub
+		w.epoch = pub.epoch + 1
+		w.pts = append([][]Point(nil), pub.pts...)
+		w.located = append([][]bool(nil), pub.located...)
+		w.bucketOf = append([][]int32(nil), pub.bucketOf...)
+		w.leaves = append([][]int32(nil), pub.leaves...)
+		w.counts = append([][]int32(nil), pub.counts...)
+		g.work = &w
+		g.epoch = w.epoch
+	}
+	return g.work
+}
+
+// writablePage duplicates the per-user page holding id (points, located
+// flags and leaf assignments travel together) on first touch per epoch.
+func (g *Grid) writablePage(w *Snapshot, id int32) int32 {
+	pg := id >> pageShift
+	if g.pageStamp[pg] != g.epoch {
+		w.pts[pg] = append([]Point(nil), w.pts[pg]...)
+		w.located[pg] = append([]bool(nil), w.located[pg]...)
+		w.bucketOf[pg] = append([]int32(nil), w.bucketOf[pg]...)
+		g.pageStamp[pg] = g.epoch
+	}
+	return pg
+}
+
+// writableBucket duplicates a leaf bucket on first touch per epoch.
+func (g *Grid) writableBucket(w *Snapshot, leaf int32) {
+	if g.bucketStamp[leaf] != g.epoch {
+		w.leaves[leaf] = append([]int32(nil), w.leaves[leaf]...)
+		g.bucketStamp[leaf] = g.epoch
+	}
+}
+
+// writableCounts duplicates one level's count array on first touch per epoch.
+func (g *Grid) writableCounts(w *Snapshot, level int) []int32 {
+	if g.countStamp[level] != g.epoch {
+		w.counts[level] = append([]int32(nil), w.counts[level]...)
+		g.countStamp[level] = g.epoch
+	}
+	return w.counts[level]
 }
 
 // Layout returns the grid geometry.
 func (g *Grid) Layout() *Layout { return g.layout }
 
 // NumLocated returns how many users currently have an indexed location.
-func (g *Grid) NumLocated() int { return g.numLocated }
+// Writer-side view; readers use Snapshot().NumLocated.
+func (g *Grid) NumLocated() int { return g.view().numLocated }
 
 // Point returns the current location of a user (meaningless when not
-// located).
-func (g *Grid) Point(id int32) Point { return g.pts[id] }
+// located). Writer-side view.
+func (g *Grid) Point(id int32) Point { return g.view().Point(id) }
 
-// Located reports whether the user has a known location.
-func (g *Grid) Located(id int32) bool { return g.located[id] }
+// Located reports whether the user has a known location. Writer-side view.
+func (g *Grid) Located(id int32) bool { return g.view().Located(id) }
 
-// CellUsers returns the members of a leaf cell (do not modify).
-func (g *Grid) CellUsers(leafIdx int32) []int32 { return g.leaves[leafIdx] }
+// CellUsers returns the members of a leaf cell (do not modify). Writer-side
+// view.
+func (g *Grid) CellUsers(leafIdx int32) []int32 { return g.view().leaves[leafIdx] }
 
 // LeafOf returns the leaf cell currently holding the user, or -1 when the
 // user has no location. Index layers that maintain per-cell aggregates (the
 // AIS social summaries) use this to find the old bucket before a move.
-func (g *Grid) LeafOf(id int32) int32 { return g.bucketOf[id] }
+func (g *Grid) LeafOf(id int32) int32 { return g.view().LeafOf(id) }
 
-// CountAt returns the number of located users under a cell.
-func (g *Grid) CountAt(level int, idx int32) int32 { return g.counts[level][idx] }
+// CountAt returns the number of located users under a cell. Writer-side
+// view.
+func (g *Grid) CountAt(level int, idx int32) int32 { return g.view().counts[level][idx] }
 
 func (g *Grid) insert(id int32) {
-	leaf := g.layout.CellIndex(g.layout.LeafLevel(), g.pts[id])
-	g.leaves[leaf] = append(g.leaves[leaf], id)
-	g.bucketOf[id] = leaf
+	w := g.work
+	leaf := g.layout.CellIndex(g.layout.LeafLevel(), w.Point(id))
+	g.writableBucket(w, leaf)
+	w.leaves[leaf] = append(w.leaves[leaf], id)
+	pg := g.writablePage(w, id)
+	w.bucketOf[pg][id&pageMask] = leaf
 	g.adjustCounts(leaf, +1)
-	g.numLocated++
+	w.numLocated++
 }
 
 func (g *Grid) remove(id int32) {
-	leaf := g.bucketOf[id]
-	bucket := g.leaves[leaf]
+	w := g.work
+	leaf := w.LeafOf(id)
+	g.writableBucket(w, leaf)
+	bucket := w.leaves[leaf]
 	for i, u := range bucket {
 		if u == id {
 			bucket[i] = bucket[len(bucket)-1]
-			g.leaves[leaf] = bucket[:len(bucket)-1]
+			w.leaves[leaf] = bucket[:len(bucket)-1]
 			break
 		}
 	}
-	g.bucketOf[id] = -1
+	pg := g.writablePage(w, id)
+	w.bucketOf[pg][id&pageMask] = -1
 	g.adjustCounts(leaf, -1)
-	g.numLocated--
+	w.numLocated--
 }
 
 // adjustCounts propagates an occupancy delta from a leaf up every level.
 func (g *Grid) adjustCounts(leaf int32, delta int32) {
 	idx := leaf
 	for l := g.layout.LeafLevel(); ; l-- {
-		g.counts[l][idx] += delta
+		g.writableCounts(g.work, l)[idx] += delta
 		if l == 0 {
 			break
 		}
@@ -134,42 +236,49 @@ func (g *Grid) adjustCounts(leaf int32, delta int32) {
 }
 
 // Move relocates a user. Updates are handled as the paper describes: a
-// deletion from the old cell and an insertion into the new one, skipping
-// index maintenance when the user stays within the same leaf cell. When the
-// grid is shared with concurrent readers the caller must hold the write
-// lock (see the Grid doc comment).
+// deletion from the old cell and an insertion into the new one. A move that
+// stays within the same leaf cell rewrites only the user's coordinate page
+// in the working epoch — membership, counts and any aggregate summaries
+// stacked on top are untouched, and readers of the published snapshot see
+// the old coordinates until the next Publish. Writer-side.
 func (g *Grid) Move(id int32, to Point) {
-	if !g.located[id] {
+	w := g.ensureWork()
+	if !w.Located(id) {
 		g.SetLocated(id, to)
 		return
 	}
-	oldLeaf := g.bucketOf[id]
+	oldLeaf := w.LeafOf(id)
 	newLeaf := g.layout.CellIndex(g.layout.LeafLevel(), to)
-	g.pts[id] = to
+	pg := g.writablePage(w, id)
+	w.pts[pg][id&pageMask] = to
 	if oldLeaf == newLeaf {
 		return
 	}
 	g.remove(id)
-	g.located[id] = true
 	g.insert(id)
 }
 
-// SetLocated gives a previously unlocated user a location.
+// SetLocated gives a previously unlocated user a location. Writer-side.
 func (g *Grid) SetLocated(id int32, p Point) {
-	if g.located[id] {
+	w := g.ensureWork()
+	if w.Located(id) {
 		g.Move(id, p)
 		return
 	}
-	g.pts[id] = p
-	g.located[id] = true
+	pg := g.writablePage(w, id)
+	w.pts[pg][id&pageMask] = p
+	w.located[pg][id&pageMask] = true
 	g.insert(id)
 }
 
 // RemoveLocation drops a user's location (he/she becomes "infinitely far").
+// Writer-side.
 func (g *Grid) RemoveLocation(id int32) {
-	if !g.located[id] {
+	w := g.ensureWork()
+	if !w.Located(id) {
 		return
 	}
 	g.remove(id)
-	g.located[id] = false
+	pg := g.writablePage(w, id)
+	w.located[pg][id&pageMask] = false
 }

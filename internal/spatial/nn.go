@@ -7,10 +7,10 @@ import "ssrq/internal/pqueue"
 // queued by MinDist to the query, users by their exact distance. This is the
 // incremental NN search SPA and TSA consume (paper §4.1).
 //
-// The iterator observes the grid at pop time; interleaving location updates
-// with iteration is not supported.
+// The iterator traverses one immutable snapshot, so it is inherently
+// consistent: location updates published after NewNN are invisible to it.
 type NNIterator struct {
-	g        *Grid
+	s        *Snapshot
 	q        Point
 	heap     *pqueue.Heap[nnItem]
 	childBuf []int32
@@ -34,23 +34,29 @@ func nnTie(level int16, idx int32) int64 {
 	return (int64(level)+1)<<40 | int64(idx)
 }
 
-// NewNN starts an incremental nearest-neighbor search at q.
-func (g *Grid) NewNN(q Point) *NNIterator {
+// NewNN starts an incremental nearest-neighbor search at q over this
+// snapshot.
+func (s *Snapshot) NewNN(q Point) *NNIterator {
 	it := &NNIterator{
-		g:    g,
+		s:    s,
 		q:    q,
 		heap: pqueue.NewHeap[nnItem](64),
 	}
 	top := 0
-	for idx := int32(0); idx < int32(g.layout.NumCells(top)); idx++ {
-		if g.counts[top][idx] == 0 {
+	for idx := int32(0); idx < int32(s.layout.NumCells(top)); idx++ {
+		if s.counts[top][idx] == 0 {
 			continue
 		}
-		r := g.layout.CellRect(top, idx)
+		r := s.layout.CellRect(top, idx)
 		it.heap.Push(r.MinDist(q), nnTie(int16(top), idx), nnItem{int16(top), idx})
 	}
 	return it
 }
+
+// NewNN starts an incremental nearest-neighbor search over the grid's
+// writer-side view (single-threaded convenience; concurrent readers take a
+// Snapshot first and iterate that).
+func (g *Grid) NewNN(q Point) *NNIterator { return g.view().NewNN(q) }
 
 // Next returns the next-closest located user and the exact distance.
 // ok is false once all located users have been reported.
@@ -67,19 +73,19 @@ func (it *NNIterator) Next() (id int32, dist float64, ok bool) {
 		}
 		it.cellPops++
 		level := int(item.level)
-		if level == it.g.layout.LeafLevel() {
-			for _, u := range it.g.leaves[item.idx] {
-				d := it.g.pts[u].Dist(it.q)
+		if level == it.s.layout.LeafLevel() {
+			for _, u := range it.s.leaves[item.idx] {
+				d := it.s.Point(u).Dist(it.q)
 				it.heap.Push(d, nnTie(userLevel, u), nnItem{userLevel, u})
 			}
 			continue
 		}
-		it.childBuf = it.g.layout.ChildIndices(level, item.idx, it.childBuf[:0])
+		it.childBuf = it.s.layout.ChildIndices(level, item.idx, it.childBuf[:0])
 		for _, c := range it.childBuf {
-			if it.g.counts[level+1][c] == 0 {
+			if it.s.counts[level+1][c] == 0 {
 				continue
 			}
-			r := it.g.layout.CellRect(level+1, c)
+			r := it.s.layout.CellRect(level+1, c)
 			it.heap.Push(r.MinDist(it.q), nnTie(int16(level+1), c), nnItem{int16(level + 1), c})
 		}
 	}
@@ -100,9 +106,9 @@ type Neighbor struct {
 
 // KNN returns the k nearest located users to q, optionally skipping IDs for
 // which skip returns true (e.g. the query user). Fewer than k results are
-// returned when the grid runs out of users.
-func (g *Grid) KNN(q Point, k int, skip func(int32) bool) []Neighbor {
-	it := g.NewNN(q)
+// returned when the snapshot runs out of users.
+func (s *Snapshot) KNN(q Point, k int, skip func(int32) bool) []Neighbor {
+	it := s.NewNN(q)
 	out := make([]Neighbor, 0, k)
 	for len(out) < k {
 		id, d, ok := it.Next()
@@ -115,4 +121,9 @@ func (g *Grid) KNN(q Point, k int, skip func(int32) bool) []Neighbor {
 		out = append(out, Neighbor{id, d})
 	}
 	return out
+}
+
+// KNN over the grid's writer-side view (single-threaded convenience).
+func (g *Grid) KNN(q Point, k int, skip func(int32) bool) []Neighbor {
+	return g.view().KNN(q, k, skip)
 }

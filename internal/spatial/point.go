@@ -12,6 +12,14 @@ type Point struct {
 	X, Y float64
 }
 
+// IsFinite reports whether both coordinates are ordinary finite numbers.
+// NaN or ±Inf coordinates would silently corrupt grid membership (CellIndex
+// comparisons all fail, clamping the user into cell 0), so update paths
+// reject non-finite points before they reach the index.
+func (p Point) IsFinite() bool {
+	return !math.IsNaN(p.X) && !math.IsInf(p.X, 0) && !math.IsNaN(p.Y) && !math.IsInf(p.Y, 0)
+}
+
 // Dist returns the Euclidean distance to q.
 func (p Point) Dist(q Point) float64 {
 	dx, dy := p.X-q.X, p.Y-q.Y

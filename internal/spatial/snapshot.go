@@ -1,0 +1,78 @@
+package spatial
+
+import "math"
+
+// Per-user state (points, located flags, leaf assignments) is stored in
+// fixed-size pages so an epoch that moves a handful of users copies a few
+// kilobytes, not arrays proportional to the whole population.
+const (
+	pageShift = 10
+	pageSize  = 1 << pageShift
+	pageMask  = pageSize - 1
+)
+
+// Snapshot is one immutable epoch of grid state: the complete query-visible
+// view — per-user coordinates and located flags, leaf membership, and the
+// per-level occupancy counts. Snapshots are published by Grid.Publish through
+// an atomic pointer; once published a snapshot never changes, so any number
+// of readers may traverse it without locks while the writer builds the next
+// epoch copy-on-write. Superseded snapshots are reclaimed by the garbage
+// collector once the last reader drops its pointer — Go's GC plays the role
+// of epoch-based reclamation.
+type Snapshot struct {
+	layout *Layout
+	epoch  uint64
+	n      int
+
+	// Per-user pages: pts[id>>pageShift][id&pageMask].
+	pts      [][]Point
+	located  [][]bool
+	bucketOf [][]int32
+
+	leaves     [][]int32 // leaf cell index -> member user IDs
+	counts     [][]int32 // [level][cell] -> located users underneath
+	numLocated int
+}
+
+// Layout returns the grid geometry.
+func (s *Snapshot) Layout() *Layout { return s.layout }
+
+// Epoch returns the snapshot's version number. Epoch 0 is the state at
+// construction; every Publish of a changed grid increments it by one.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// NumUsers returns the number of users the grid was built over.
+func (s *Snapshot) NumUsers() int { return s.n }
+
+// NumLocated returns how many users have an indexed location in this epoch.
+func (s *Snapshot) NumLocated() int { return s.numLocated }
+
+// Point returns the location of a user in this epoch (meaningless when not
+// located).
+func (s *Snapshot) Point(id int32) Point { return s.pts[id>>pageShift][id&pageMask] }
+
+// Located reports whether the user has a known location in this epoch.
+func (s *Snapshot) Located(id int32) bool { return s.located[id>>pageShift][id&pageMask] }
+
+// LeafOf returns the leaf cell holding the user in this epoch, or -1 when
+// the user has no location.
+func (s *Snapshot) LeafOf(id int32) int32 { return s.bucketOf[id>>pageShift][id&pageMask] }
+
+// CellUsers returns the members of a leaf cell (do not modify).
+func (s *Snapshot) CellUsers(leafIdx int32) []int32 { return s.leaves[leafIdx] }
+
+// CountAt returns the number of located users under a cell.
+func (s *Snapshot) CountAt(level int, idx int32) int32 { return s.counts[level][idx] }
+
+// EuclideanDist returns the distance between two users' locations in this
+// epoch, +Inf when either lacks a location (the paper's convention for
+// unknown whereabouts).
+func (s *Snapshot) EuclideanDist(a, b int32) float64 {
+	if !s.Located(a) || !s.Located(b) {
+		return math.Inf(1)
+	}
+	return s.Point(a).Dist(s.Point(b))
+}
+
+// numPages returns how many pages cover n per-user slots.
+func numPages(n int) int { return (n + pageSize - 1) / pageSize }

@@ -260,11 +260,11 @@ func TestKNN(t *testing.T) {
 
 func TestGridMove(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
-	g, pts, _ := mkGrid(t, rng, 100, 4, 2, 0)
+	g, _, _ := mkGrid(t, rng, 100, 4, 2, 0)
 	id := int32(5)
 	g.Move(id, Point{99, 99})
-	if pts[id] != (Point{99, 99}) {
-		t.Fatal("Move did not update the shared point slice")
+	if g.Point(id) != (Point{99, 99}) {
+		t.Fatal("Move did not update the stored point")
 	}
 	res := g.KNN(Point{99.5, 99.5}, 1, nil)
 	if len(res) != 1 || res[0].ID != id {
@@ -280,11 +280,11 @@ func TestGridMove(t *testing.T) {
 
 func TestGridLocateUnlocateCycle(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
-	g, _, located := mkGrid(t, rng, 50, 4, 2, 0)
+	g, _, _ := mkGrid(t, rng, 50, 4, 2, 0)
 	id := int32(10)
 	n0 := g.NumLocated()
 	g.RemoveLocation(id)
-	if g.NumLocated() != n0-1 || located[id] {
+	if g.NumLocated() != n0-1 || g.Located(id) {
 		t.Fatal("RemoveLocation failed")
 	}
 	g.RemoveLocation(id) // idempotent
@@ -292,7 +292,7 @@ func TestGridLocateUnlocateCycle(t *testing.T) {
 		t.Fatal("double RemoveLocation changed counts")
 	}
 	g.SetLocated(id, Point{1, 1})
-	if g.NumLocated() != n0 || !located[id] {
+	if g.NumLocated() != n0 || !g.Located(id) {
 		t.Fatal("SetLocated failed")
 	}
 	res := g.KNN(Point{1, 1}, 1, nil)
@@ -309,7 +309,7 @@ func TestGridLocateUnlocateCycle(t *testing.T) {
 
 func TestGridCountsStayConsistentUnderChurn(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
-	g, pts, located := mkGrid(t, rng, 300, 5, 3, 0.3)
+	g, _, _ := mkGrid(t, rng, 300, 5, 3, 0.3)
 	for step := 0; step < 2000; step++ {
 		id := int32(rng.Intn(300))
 		switch rng.Intn(3) {
@@ -336,10 +336,10 @@ func TestGridCountsStayConsistentUnderChurn(t *testing.T) {
 	for idx := int32(0); idx < int32(g.Layout().NumCells(g.Layout().LeafLevel())); idx++ {
 		for _, u := range g.CellUsers(idx) {
 			members++
-			if !located[u] {
+			if !g.Located(u) {
 				t.Fatalf("unlocated user %d present in grid", u)
 			}
-			if g.Layout().CellIndex(g.Layout().LeafLevel(), pts[u]) != idx {
+			if g.Layout().CellIndex(g.Layout().LeafLevel(), g.Point(u)) != idx {
 				t.Fatalf("user %d in wrong leaf", u)
 			}
 		}

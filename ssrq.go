@@ -203,8 +203,9 @@ func (d *Dataset) NumUsers() int { return d.ds.NumUsers() }
 // Located reports whether the user's location is known.
 func (d *Dataset) Located(id UserID) bool { return d.ds.Located[id] }
 
-// Location returns the user's current raw coordinates; ok is false when
-// unknown.
+// Location returns the user's raw coordinates as of dataset construction;
+// ok is false when unknown. Moves applied through an Engine do not write
+// back to the dataset — use Engine.UserLocation for the live position.
 func (d *Dataset) Location(id UserID) (Point, bool) {
 	if !d.ds.Located[id] {
 		return Point{}, false
@@ -237,12 +238,22 @@ type Options struct {
 	BuildCH bool
 	// CacheT is the §5.4 pre-computed list length for AISCache (default 1000).
 	CacheT int
+	// UpdateQueueCap bounds the MoveUserAsync queue; a full queue applies
+	// backpressure (default 4096).
+	UpdateQueueCap int
+	// UpdateMaxBatch caps how many queued updates the asynchronous updater
+	// coalesces into one published epoch (default 256).
+	UpdateMaxBatch int
 }
 
 // Engine answers SSRQ queries over one dataset. The engine is safe for
-// concurrent use: queries, batched queries and location updates may
-// interleave freely from any number of goroutines — every query observes
-// one consistent snapshot of the spatial state.
+// concurrent use and queries are lock-free: each query atomically loads the
+// current index epoch (grid membership, coordinates and AIS summaries
+// published together as one immutable snapshot) and runs entirely against
+// it, so location updates never block queries and queries never block
+// updates. Updates are either synchronous (MoveUser/ApplyUpdates publish a
+// new epoch before returning) or asynchronous (MoveUserAsync feeds a
+// batching pipeline; Flush is the read-your-writes barrier).
 type Engine struct {
 	eng *core.Engine
 	d   *Dataset
@@ -266,6 +277,8 @@ func NewEngine(d *Dataset, opts *Options) (*Engine, error) {
 		Seed:             o.Seed,
 		BuildCH:          o.BuildCH,
 		CacheT:           o.CacheT,
+		UpdateQueueCap:   o.UpdateQueueCap,
+		UpdateMaxBatch:   o.UpdateMaxBatch,
 	})
 	if err != nil {
 		return nil, err
@@ -314,53 +327,111 @@ func (e *Engine) QueryBatch(queries []BatchQuery, workers int) []BatchResult {
 	return e.eng.QueryBatch(queries, workers)
 }
 
-// UserLocation returns a user's current raw coordinates under the engine's
-// read lock, so it is safe concurrently with MoveUser (unlike reading the
-// Dataset directly while movers are active). ok is false when the location
-// is unknown.
+// UserLocation returns a user's current raw coordinates as of the latest
+// published epoch, so it is safe concurrently with movers (unlike reading
+// the Dataset directly). ok is false when the location is unknown.
 func (e *Engine) UserLocation(id UserID) (Point, bool) {
-	g := e.eng.Grid()
-	g.RLock()
-	defer g.RUnlock()
-	return e.d.Location(id)
+	g := e.eng.Snapshot().Grid()
+	if id < 0 || int(id) >= g.NumUsers() || !g.Located(id) {
+		return Point{}, false
+	}
+	p := g.Point(id)
+	norm := e.d.ds.Norms.Spatial
+	return Point{X: p.X * norm, Y: p.Y * norm}, true
 }
 
-// DatasetStats returns Table 2-style statistics computed under the engine's
-// read lock (NumLocated varies as movers run).
+// DatasetStats returns Table 2-style statistics; NumLocated reflects the
+// latest published epoch (it varies as movers run).
 func (e *Engine) DatasetStats() DatasetStats {
-	g := e.eng.Grid()
-	g.RLock()
-	defer g.RUnlock()
-	return e.d.Stats()
+	st := e.d.ds.Stats()
+	st.NumLocated = e.eng.Snapshot().Grid().NumLocated()
+	return st
+}
+
+// UpdateStats reports the state of the epoch/update pipeline: published
+// epoch number, snapshot age, and pending/applied/coalesced counts of the
+// asynchronous updater.
+type UpdateStats = core.UpdateStats
+
+// UpdateStats returns a point-in-time view of the update pipeline.
+func (e *Engine) UpdateStats() UpdateStats { return e.eng.UpdateStats() }
+
+// Update is one bulk location update in raw coordinates: a move (Remove
+// false) or a location removal (Remove true, To ignored).
+type Update struct {
+	ID     UserID
+	To     Point
+	Remove bool
+}
+
+// normalize converts a raw-coordinate update to the engine's internal form.
+func (e *Engine) normalize(u Update) core.Update {
+	norm := e.d.ds.Norms.Spatial
+	return core.Update{ID: u.ID, To: Point{X: u.To.X / norm, Y: u.To.Y / norm}, Remove: u.Remove}
 }
 
 // MoveUser updates a user's current location (raw coordinates), maintaining
-// the spatial grid and the AIS social summaries incrementally (§5.1). Safe
-// concurrently with queries and other updates.
-func (e *Engine) MoveUser(id UserID, to Point) {
-	norm := e.d.ds.Norms.Spatial
-	e.eng.MoveUser(id, Point{X: to.X / norm, Y: to.Y / norm})
+// the spatial grid and the AIS social summaries incrementally (§5.1) and
+// publishing the change as one epoch before returning. Safe concurrently
+// with queries and other updates; never blocks queries. Rejects out-of-range
+// users and NaN/±Inf coordinates.
+func (e *Engine) MoveUser(id UserID, to Point) error {
+	return e.eng.ApplyUpdates([]core.Update{e.normalize(Update{ID: id, To: to})})
 }
+
+// MoveUserAsync enqueues a relocation (raw coordinates) on the engine's
+// batching update pipeline and returns without waiting for it to be
+// published; the pipeline coalesces redundant moves per user and applies
+// queued updates in amortized batches. Call Flush for a read-your-writes
+// barrier. Rejects out-of-range users and NaN/±Inf coordinates immediately.
+func (e *Engine) MoveUserAsync(id UserID, to Point) error {
+	u := e.normalize(Update{ID: id, To: to})
+	return e.eng.MoveUserAsync(u.ID, u.To)
+}
+
+// RemoveUserLocationAsync enqueues a location removal on the update
+// pipeline.
+func (e *Engine) RemoveUserLocationAsync(id UserID) error {
+	return e.eng.RemoveUserLocationAsync(id)
+}
+
+// ApplyUpdates validates and applies a batch of raw-coordinate updates as a
+// single published epoch — the cheapest way to ingest bulk location data.
+// On a validation error nothing is applied.
+func (e *Engine) ApplyUpdates(ups []Update) error {
+	ops := make([]core.Update, len(ups))
+	for i, u := range ups {
+		ops[i] = e.normalize(u)
+	}
+	return e.eng.ApplyUpdates(ops)
+}
+
+// Flush blocks until every update enqueued with MoveUserAsync /
+// RemoveUserLocationAsync before the call has been applied and published.
+func (e *Engine) Flush() { e.eng.Flush() }
+
+// Close drains the asynchronous update pipeline and stops it. Idempotent;
+// queries keep working after Close, only the async update path shuts down.
+func (e *Engine) Close() { e.eng.Close() }
 
 // RemoveUserLocation marks the user's whereabouts unknown; he/she becomes
 // "infinitely far away" and leaves all spatial structures.
-func (e *Engine) RemoveUserLocation(id UserID) { e.eng.RemoveUserLocation(id) }
+func (e *Engine) RemoveUserLocation(id UserID) error { return e.eng.RemoveUserLocation(id) }
 
 // Precompute materializes §5.4 social-distance lists for the given query
 // users so AISCache answers without a cold build.
 func (e *Engine) Precompute(users []UserID) { e.eng.Precompute(users) }
 
 // SpatialKNN returns the k spatially-nearest located users to q (a pure
-// one-domain query, for comparison with SSRQ — cf. Fig. 7b). Safe
-// concurrently with location updates.
+// one-domain query, for comparison with SSRQ — cf. Fig. 7b). Lock-free and
+// safe concurrently with location updates: the search runs against one
+// snapshot epoch.
 func (e *Engine) SpatialKNN(q UserID, k int) ([]Entry, error) {
-	g := e.eng.Grid()
-	g.RLock()
-	defer g.RUnlock()
-	if !e.d.ds.Located[q] {
+	g := e.eng.Snapshot().Grid()
+	if !g.Located(q) {
 		return nil, fmt.Errorf("ssrq: user %d has no known location", q)
 	}
-	nbrs := g.KNN(e.d.ds.Pts[q], k, func(id int32) bool { return id == int32(q) })
+	nbrs := g.KNN(g.Point(q), k, func(id int32) bool { return id == int32(q) })
 	out := make([]Entry, len(nbrs))
 	for i, nb := range nbrs {
 		out[i] = Entry{ID: nb.ID, F: nb.Dist, D: nb.Dist}

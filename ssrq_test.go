@@ -230,3 +230,94 @@ func TestPrecomputeThenAISCache(t *testing.T) {
 		}
 	}
 }
+
+func TestAsyncMovesAndFlush(t *testing.T) {
+	ds, _ := Synthesize("twitter", 300, 5) // all located
+	eng, _ := NewEngine(ds, nil)
+	defer eng.Close()
+	q := UserID(0)
+	target, _ := ds.Location(q)
+	if err := eng.MoveUserAsync(42, target); err != nil {
+		t.Fatal(err)
+	}
+	eng.Flush()
+	if p, ok := eng.UserLocation(42); !ok || math.Abs(p.X-target.X) > 1e-9 || math.Abs(p.Y-target.Y) > 1e-9 {
+		t.Fatalf("flushed async move invisible: %v %v", p, ok)
+	}
+	nbrs, err := eng.SpatialKNN(q, 1)
+	if err != nil || len(nbrs) != 1 || nbrs[0].ID != 42 {
+		t.Fatalf("nearest after async move = %+v, %v", nbrs, err)
+	}
+	st := eng.UpdateStats()
+	if st.Epoch == 0 || st.AppliedUpdates == 0 || st.PendingUpdates != 0 {
+		t.Fatalf("update stats after flush: %+v", st)
+	}
+	if err := eng.RemoveUserLocationAsync(42); err != nil {
+		t.Fatal(err)
+	}
+	eng.Flush()
+	if _, ok := eng.UserLocation(42); ok {
+		t.Fatal("async removal invisible after flush")
+	}
+}
+
+func TestApplyUpdatesBulk(t *testing.T) {
+	ds, _ := Synthesize("twitter", 200, 5)
+	eng, _ := NewEngine(ds, nil)
+	defer eng.Close()
+	target, _ := ds.Location(0)
+	before := eng.UpdateStats().Epoch
+	ups := []Update{
+		{ID: 10, To: target},
+		{ID: 11, To: Point{X: target.X + 1, Y: target.Y}},
+		{ID: 12, Remove: true},
+	}
+	if err := eng.ApplyUpdates(ups); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.UpdateStats().Epoch; got != before+1 {
+		t.Fatalf("bulk apply advanced epoch by %d, want 1", got-before)
+	}
+	if p, ok := eng.UserLocation(10); !ok || math.Abs(p.X-target.X) > 1e-9 {
+		t.Fatalf("bulk move lost: %v %v", p, ok)
+	}
+	if _, ok := eng.UserLocation(12); ok {
+		t.Fatal("bulk removal lost")
+	}
+	if eng.DatasetStats().NumLocated != ds.Stats().NumLocated-1 {
+		t.Fatal("DatasetStats does not track the live epoch")
+	}
+}
+
+func TestMoveUserRejectsNonFinite(t *testing.T) {
+	ds, _ := Synthesize("twitter", 100, 5)
+	eng, _ := NewEngine(ds, nil)
+	defer eng.Close()
+	for _, p := range []Point{
+		{X: math.NaN(), Y: 0},
+		{X: 0, Y: math.NaN()},
+		{X: math.Inf(1), Y: 0},
+		{X: 0, Y: math.Inf(-1)},
+	} {
+		if err := eng.MoveUser(3, p); err == nil {
+			t.Fatalf("MoveUser accepted %v", p)
+		}
+		if err := eng.MoveUserAsync(3, p); err == nil {
+			t.Fatalf("MoveUserAsync accepted %v", p)
+		}
+		if err := eng.ApplyUpdates([]Update{{ID: 3, To: p}}); err == nil {
+			t.Fatalf("ApplyUpdates accepted %v", p)
+		}
+	}
+	if err := eng.MoveUser(-1, Point{}); err == nil {
+		t.Fatal("negative id accepted")
+	}
+	if err := eng.MoveUser(100, Point{}); err == nil {
+		t.Fatal("out-of-range id accepted")
+	}
+	// The user's position must be untouched by the rejected updates.
+	want, _ := ds.Location(3)
+	if got, ok := eng.UserLocation(3); !ok || got != want {
+		t.Fatalf("rejected updates moved the user: %v, want %v", got, want)
+	}
+}
