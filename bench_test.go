@@ -479,3 +479,108 @@ func BenchmarkLocationUpdateBatched(b *testing.B) {
 	}
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/move")
 }
+
+// BenchmarkEdgeUpdateSingle measures one edge upsert+publish per epoch —
+// graph overlay row rebuild, incremental landmark repair (bounded
+// re-relaxation), affected-cell summary recompute and snapshot publication
+// all land on a single op.
+func BenchmarkEdgeUpdateSingle(b *testing.B) {
+	be := getEngine(b, "twitter", func(o *core.Options) { o.LandmarkRepairBudget = 1 << 30 })
+	n := int32(be.ds.NumUsers())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := int32(i) % n
+		v := (u + 1 + int32(i)%97) % n
+		if u == v {
+			continue
+		}
+		var err error
+		if i%2 == 0 {
+			err = be.eng.AddFriend(u, v, 0.1)
+		} else {
+			err = be.eng.RemoveFriend(u, v)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEdgeUpdateBatched measures the same maintenance through
+// ApplyUpdates at the updater's default batch size: one epoch per batch
+// (reported per edge op).
+func BenchmarkEdgeUpdateBatched(b *testing.B) {
+	be := getEngine(b, "twitter", func(o *core.Options) {
+		o.LandmarkRepairBudget = 1 << 30
+		o.Seed = 1 // distinct cache key from the single-op bench
+	})
+	n := int32(be.ds.NumUsers())
+	const batch = 256
+	ops := make([]core.Update, 0, batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ops = ops[:0]
+		for j := 0; len(ops) < batch; j++ {
+			u := int32(i*batch+j) % n
+			v := (u + 1 + int32(j)%89) % n
+			if u == v {
+				continue
+			}
+			if j%2 == 0 {
+				ops = append(ops, core.Update{Kind: core.OpEdgeUpsert, U: u, V: v, W: 0.1})
+			} else {
+				ops = append(ops, core.Update{Kind: core.OpEdgeRemove, U: u, V: v})
+			}
+		}
+		if err := be.eng.ApplyUpdates(ops); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/edgeop")
+}
+
+// BenchmarkQueriesUnderEdgeChurn measures AIS latency while a background
+// goroutine churns friendships through the async pipeline — the query path
+// must stay lock-free regardless of social write pressure.
+func BenchmarkQueriesUnderEdgeChurn(b *testing.B) {
+	be := getEngine(b, "gowalla", func(o *core.Options) { o.Seed = 2 })
+	n := int32(be.ds.NumUsers())
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			u := int32(i) % n
+			v := (u + 1 + int32(i)%83) % n
+			if u != v {
+				if i%3 == 0 {
+					_ = be.eng.RemoveFriendAsync(u, v)
+				} else {
+					_ = be.eng.AddFriendAsync(u, v, 0.1)
+				}
+			}
+			i++
+		}
+	}()
+	prm := core.Params{K: 10, Alpha: 0.3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := be.users[i%len(be.users)]
+		if _, err := be.eng.Query(core.AIS, q, prm); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+	be.eng.Flush()
+}

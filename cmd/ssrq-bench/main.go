@@ -11,10 +11,11 @@
 //	ssrq-bench -exp throughput -parallel 8       # batched queries/sec, 8 workers
 //	ssrq-bench -exp churn -movers 0,2,8          # latency vs mover count
 //	ssrq-bench -exp churn -mrate 500             # throttle movers to 500 moves/s each
+//	ssrq-bench -exp socialchurn -erate 0,500,5000 # latency vs edge-update rate
 //
 // Experiments: table2 fig7a fig7b fig8 fig9 fig10 fig11 fig12 fig13 fig14a
-// fig14b throughput churn all. Scales: small | medium | large (see
-// internal/exp).
+// fig14b throughput churn socialchurn all. Scales: small | medium | large
+// (see internal/exp).
 package main
 
 import (
@@ -45,6 +46,23 @@ func parseMovers(raw string) ([]int, error) {
 	return out, nil
 }
 
+// parseRates parses a comma-separated list of edge-update rates (ops/sec;
+// 0 = off, negative = unthrottled).
+func parseRates(raw string) ([]float64, error) {
+	if raw == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, f := range strings.Split(raw, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -erate entry %q", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
 // run is the whole program minus process concerns; it returns the exit code.
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("ssrq-bench", flag.ContinueOnError)
@@ -58,6 +76,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		parallel = fs.Int("parallel", 0, "worker count for -exp throughput (0 = GOMAXPROCS)")
 		movers   = fs.String("movers", "", "comma-separated mover counts for -exp churn (default 0,1,4)")
 		mrate    = fs.Float64("mrate", 0, "moves/sec per mover for -exp churn (0 = unthrottled)")
+		erate    = fs.String("erate", "", "comma-separated edge-update rates/sec for -exp socialchurn (0 = off, negative = unthrottled; default 0,200,2000)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -76,6 +95,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
+	edgeRates, err := parseRates(*erate)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
 
 	fmt.Fprintf(stdout, "ssrq-bench: exp=%s scale=%s seed=%d queries=%d ch=%v\n",
 		*expID, sc.Name, *seed, sc.NumQueries, *withCH)
@@ -86,6 +110,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	suite.Parallel = *parallel
 	suite.ChurnMovers = moverCounts
 	suite.ChurnRate = *mrate
+	suite.EdgeRates = edgeRates
 	start := time.Now()
 	if err := suite.Run(*expID, *withCH); err != nil {
 		fmt.Fprintln(stderr, "ssrq-bench:", err)

@@ -20,11 +20,23 @@
 // upward summary propagation to the end of the batch, amortizing both the
 // array duplication and the propagateUp recomputation across all moves of
 // the batch before a single Publish installs the next epoch.
+//
+// With NewSocial the index additionally owns the *social* dimension of the
+// world: the mutable edge overlay over the friendship graph and the dynamic
+// landmark tables. Edge ops flow through the same Apply batches as location
+// ops, and every published Snapshot carries the social graph, the landmark
+// set and the summaries of one consistent epoch — queries can never pair a
+// mutated graph with landmark tables or cell summaries computed on another
+// graph version. Landmark tables are repaired incrementally per edge op
+// (bounded re-relaxation, see landmark.Dynamic); a landmark whose repair
+// blows the budget is disabled (excluded from all bounds, which only
+// loosens pruning) and restored by an asynchronous full rebuild.
 package aggindex
 
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -34,32 +46,69 @@ import (
 	"ssrq/internal/spatial"
 )
 
-// Op is one location update: a move/locate (Remove false) or a location
-// removal (Remove true, To ignored).
+// OpKind discriminates location ops from edge ops in one update stream.
+type OpKind uint8
+
+const (
+	// OpLocation is a move/locate (Remove false) or a location removal
+	// (Remove true, To ignored). The zero Kind, so plain location Ops keep
+	// their historical literal form.
+	OpLocation OpKind = iota
+	// OpEdgeUpsert inserts undirected edge (U,V) with weight W, or updates
+	// its weight when present.
+	OpEdgeUpsert
+	// OpEdgeRemove deletes undirected edge (U,V); a no-op when absent.
+	OpEdgeRemove
+)
+
+// Op is one world update: a location op (Kind OpLocation, using ID/To/
+// Remove) or a social edge op (Kind OpEdgeUpsert/OpEdgeRemove, using U/V/W).
 type Op struct {
 	ID     int32
 	To     spatial.Point
 	Remove bool
+
+	Kind OpKind
+	U, V int32
+	W    float64
 }
 
-// Snapshot is one immutable epoch of the aggregate index: a grid snapshot
-// plus the min/max landmark summaries that were current when that grid state
-// was published. Readers load it once (no lock) and evaluate membership,
-// occupancy and Lemma-2 bounds against a single consistent version.
+// Snapshot is one immutable epoch of the aggregate index: a grid snapshot,
+// the social graph and landmark set current at publication, and the min/max
+// landmark summaries computed against exactly those. Readers load it once
+// (no lock) and evaluate membership, occupancy, graph traversals and Lemma-2
+// bounds against a single consistent version.
 type Snapshot struct {
 	g           *spatial.Snapshot
-	minSum      [][]float64 // [level][cell*m + j]
+	soc         *graph.Graph  // nil for indexes built without a social graph
+	lm          *landmark.Set // landmark epoch the summaries were computed on
+	minSum      [][]float64   // [level][cell*m + j]
 	maxSum      [][]float64
 	m           int
+	disabledLm  uint64 // landmarks excluded from bounds in this epoch
 	epoch       uint64
+	socialEpoch uint64
 	publishedAt time.Time
 }
 
 // Grid returns the spatial snapshot this epoch pairs the summaries with.
 func (s *Snapshot) Grid() *spatial.Snapshot { return s.g }
 
+// SocialGraph returns this epoch's social graph (nil when the index was
+// built with New rather than NewSocial).
+func (s *Snapshot) SocialGraph() *graph.Graph { return s.soc }
+
+// Landmarks returns this epoch's landmark set — the tables every summary in
+// this snapshot was computed from.
+func (s *Snapshot) Landmarks() *landmark.Set { return s.lm }
+
 // Epoch returns the index epoch (0 at construction, +1 per published batch).
 func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// SocialEpoch returns the social graph version (0 at construction, +1 per
+// batch that contained edge ops). CH-based variants compare it against their
+// build epoch to detect staleness.
+func (s *Snapshot) SocialEpoch() uint64 { return s.socialEpoch }
 
 // PublishedAt returns when this epoch was installed.
 func (s *Snapshot) PublishedAt() time.Time { return s.publishedAt }
@@ -84,6 +133,11 @@ func (s *Snapshot) SocialLowerBound(level int, idx int32, qvec []float64) float6
 	maxs := s.maxSum[level]
 	best := 0.0
 	for j := 0; j < s.m; j++ {
+		if s.disabledLm&(1<<uint(j)) != 0 {
+			// Landmark table stale under edge churn: its summaries carry no
+			// information until the rebuild re-enables it.
+			continue
+		}
 		mq := qvec[j]
 		lo, hi := mins[base+j], maxs[base+j]
 		switch {
@@ -116,12 +170,20 @@ func (s *Snapshot) SocialLowerBound(level int, idx int32, qvec []float64) float6
 // Index is the AIS aggregate index. Readers call Snapshot() and work
 // lock-free against the returned epoch. Mutations (Apply, or the Move/
 // SetLocated/RemoveLocation single-op conveniences) serialize on an internal
-// writer mutex, build the next epoch copy-on-write, and publish grid and
-// summaries atomically as one Snapshot; they never block readers.
+// writer mutex, build the next epoch copy-on-write, and publish grid,
+// social state and summaries atomically as one Snapshot; they never block
+// readers.
 type Index struct {
 	grid *spatial.Grid
-	lm   *landmark.Set
+	lm   *landmark.Set // construction-time set; live tables come from dyn
 	m    int
+
+	// Social dimension (nil for static indexes built with New): the mutable
+	// edge overlay and the dynamic landmark maintenance layer. g0 is the
+	// construction graph, published as-is when the overlay is absent.
+	ov  *graph.Overlay
+	dyn *landmark.Dynamic
+	g0  *graph.Graph
 
 	mu        sync.Mutex // writer side: guards everything below and grid mutation
 	published atomic.Pointer[Snapshot]
@@ -134,15 +196,55 @@ type Index struct {
 	sumStamp []uint64
 	epoch    uint64
 
+	socialEpoch uint64 // bumped per batch containing effective edge ops
+	compactAt   int    // overlay delta size that triggers compaction
+
+	// Edge-op counters (writer-side; exposed via SocialStats).
+	edgeAdds, edgeRemoves, edgeReweights, edgeNoops int64
+
+	// Asynchronous landmark rebuild: at most one loop at a time, re-kicked
+	// by Apply while any landmark stays disabled. rebuildPending records a
+	// kick that arrived while a loop was already running, so the loop takes
+	// another lap instead of stranding a freshly disabled landmark.
+	rebuildActive  atomic.Bool
+	rebuildPending atomic.Bool
+
 	// dirtyLeaves collects leaves whose summaries changed during the current
 	// batch; upward propagation runs once over them before Publish.
 	dirtyLeaves map[int32]struct{}
 }
 
-// New builds the aggregate index over an existing grid and landmark set.
+// Config tunes the social dimension of NewSocial.
+type Config struct {
+	// RepairBudget caps per-landmark per-op incremental repair work before
+	// the landmark is disabled and rebuilt asynchronously (default 256).
+	RepairBudget int
+	// CompactThreshold is the overlay delta size (patched vertices) that
+	// triggers folding the delta back into a pure CSR (default
+	// max(1024, n/8)).
+	CompactThreshold int
+}
+
+// New builds a static aggregate index over an existing grid and landmark
+// set: location updates only, no social churn (Snapshot.SocialGraph is nil).
 // The grid must not be mutated behind the index's back afterwards: the index
 // becomes the grid's single writer.
 func New(grid *spatial.Grid, lm *landmark.Set) (*Index, error) {
+	return build(grid, lm, nil, Config{})
+}
+
+// NewSocial builds the full dynamic index: grid, social graph g and landmark
+// tables all mutable through Apply, published together per epoch. When the
+// landmark count exceeds what dynamic maintenance supports (64), the index
+// still builds but rejects edge ops (SupportsEdgeChurn reports false).
+func NewSocial(grid *spatial.Grid, lm *landmark.Set, g *graph.Graph, cfg Config) (*Index, error) {
+	if g == nil {
+		return nil, fmt.Errorf("aggindex: nil social graph")
+	}
+	return build(grid, lm, g, cfg)
+}
+
+func build(grid *spatial.Grid, lm *landmark.Set, g *graph.Graph, cfg Config) (*Index, error) {
 	if grid == nil || lm == nil {
 		return nil, fmt.Errorf("aggindex: nil grid or landmark set")
 	}
@@ -151,6 +253,23 @@ func New(grid *spatial.Grid, lm *landmark.Set) (*Index, error) {
 		lm:          lm,
 		m:           lm.M(),
 		dirtyLeaves: make(map[int32]struct{}),
+	}
+	if g != nil {
+		ix.g0 = g
+		ix.ov = graph.NewOverlay(g)
+		dyn, err := landmark.NewDynamic(lm, cfg.RepairBudget)
+		if err == nil {
+			ix.dyn = dyn
+		} else {
+			// Too many landmarks for dynamic maintenance: fall back to a
+			// static social graph (queries still see it in snapshots, but
+			// edge ops are rejected upstream via SupportsEdgeChurn).
+			ix.ov = nil
+		}
+		ix.compactAt = cfg.CompactThreshold
+		if ix.compactAt <= 0 {
+			ix.compactAt = max(1024, g.NumVertices()/8)
+		}
 	}
 	layout := grid.Layout()
 	ix.sumStamp = make([]uint64, layout.Levels)
@@ -187,8 +306,23 @@ func (ix *Index) Snapshot() *Snapshot { return ix.published.Load() }
 // Grid returns the underlying spatial grid (writer-side handle).
 func (ix *Index) Grid() *spatial.Grid { return ix.grid }
 
-// Landmarks returns the landmark set the summaries are built on.
-func (ix *Index) Landmarks() *landmark.Set { return ix.lm }
+// Landmarks returns the landmark set the summaries are built on
+// (writer-side view; concurrent readers should use Snapshot().Landmarks).
+func (ix *Index) Landmarks() *landmark.Set { return ix.lmView() }
+
+// lmView returns the landmark tables the writer must compute against right
+// now: the dynamic working/committed set when maintenance is on, else the
+// static construction set.
+func (ix *Index) lmView() *landmark.Set {
+	if ix.dyn != nil {
+		return ix.dyn.View()
+	}
+	return ix.lm
+}
+
+// SupportsEdgeChurn reports whether the index can ingest edge ops (built
+// with NewSocial and a landmark count the dynamic layer supports).
+func (ix *Index) SupportsEdgeChurn() bool { return ix.ov != nil && ix.dyn != nil }
 
 // Layout returns the grid geometry.
 func (ix *Index) Layout() *spatial.Layout { return ix.grid.Layout() }
@@ -207,7 +341,7 @@ func (ix *Index) MaxSummary(level int, idx int32, j int) float64 {
 // SocialLowerBound evaluates Lemma 2 against the working state (writer-side
 // view; readers use Snapshot().SocialLowerBound).
 func (ix *Index) SocialLowerBound(level int, idx int32, qvec []float64) float64 {
-	s := Snapshot{minSum: ix.minSum, maxSum: ix.maxSum, m: ix.m}
+	s := Snapshot{minSum: ix.minSum, maxSum: ix.maxSum, m: ix.m, disabledLm: ix.lmView().DisabledMask()}
 	return s.SocialLowerBound(level, idx, qvec)
 }
 
@@ -227,32 +361,130 @@ func (ix *Index) writableSums(level int) (mins, maxs []float64) {
 func (ix *Index) publishLocked() {
 	s := &Snapshot{
 		g:           ix.grid.Publish(),
+		soc:         ix.g0,
 		minSum:      append([][]float64(nil), ix.minSum...),
 		maxSum:      append([][]float64(nil), ix.maxSum...),
 		m:           ix.m,
 		epoch:       ix.epoch,
+		socialEpoch: ix.socialEpoch,
 		publishedAt: time.Now(),
 	}
+	if ix.ov != nil {
+		s.soc = ix.ov.Freeze()
+	}
+	if ix.dyn != nil {
+		s.lm = ix.dyn.Commit()
+	} else {
+		s.lm = ix.lm
+	}
+	s.disabledLm = s.lm.DisabledMask()
 	ix.published.Store(s)
 	ix.epoch++
 }
 
-// Apply executes a batch of location updates as one epoch: every op mutates
-// the working copy (grid membership, coordinates and leaf-level summaries),
-// upward summary propagation runs once over the leaves the batch touched,
-// and a single Publish makes the whole batch visible atomically. Safe
-// concurrently with readers; concurrent Apply calls serialize.
+// Apply executes a batch of world updates as one epoch: every op mutates
+// the working copy (grid membership and coordinates for location ops; edge
+// overlay, landmark tables and leaf-level summaries for edge ops), upward
+// summary propagation runs once over the leaves the batch touched, and a
+// single Publish makes the whole batch visible atomically. Safe concurrently
+// with readers; concurrent Apply calls serialize. Edge ops on an index
+// without edge-churn support are silently skipped (callers gate on
+// SupportsEdgeChurn).
 func (ix *Index) Apply(ops []Op) {
 	if len(ops) == 0 {
 		return
 	}
 	ix.mu.Lock()
-	defer ix.mu.Unlock()
+	var dirtyVerts []graph.VertexID
+	edgeOps := false
 	for _, op := range ops {
-		ix.applyOne(op)
+		switch op.Kind {
+		case OpLocation:
+			ix.applyOne(op)
+		case OpEdgeUpsert, OpEdgeRemove:
+			if !ix.SupportsEdgeChurn() {
+				continue
+			}
+			var changed bool
+			dirtyVerts, changed = ix.applyEdge(op, dirtyVerts)
+			edgeOps = edgeOps || changed
+		}
+	}
+	if edgeOps {
+		ix.socialEpoch++
+		// Landmark-table entries changed for dirtyVerts: the summaries of
+		// their cells were computed from the old distances and must be
+		// re-derived before this epoch pairs them with the new tables. The
+		// vertex list is heavily duplicated (one entry per landmark repair
+		// per op), so dedupe to unique leaves and recompute each once, after
+		// all of the batch's table updates have landed.
+		seen := make(map[int32]struct{}, len(dirtyVerts))
+		for _, v := range dirtyVerts {
+			leaf := ix.grid.LeafOf(v)
+			if leaf < 0 {
+				continue
+			}
+			if _, done := seen[leaf]; done {
+				continue
+			}
+			seen[leaf] = struct{}{}
+			if ix.recomputeLeaf(leaf) {
+				ix.dirtyLeaves[leaf] = struct{}{}
+			}
+		}
+		if ix.ov.PatchedCount() >= ix.compactAt {
+			ix.ov.Compact()
+		}
 	}
 	ix.propagateDirty()
 	ix.publishLocked()
+	disabled := false
+	if ix.dyn != nil {
+		disabled = ix.dyn.View().NumDisabled() > 0
+	}
+	ix.mu.Unlock()
+	if disabled {
+		ix.kickRebuild()
+	}
+}
+
+// applyEdge performs one edge op on the overlay and repairs the landmark
+// tables, accumulating the vertices whose landmark distances changed.
+// Reports whether the op actually changed the graph.
+func (ix *Index) applyEdge(op Op, dirty []graph.VertexID) ([]graph.VertexID, bool) {
+	u, v := op.U, op.V
+	oldW, had := ix.ov.EdgeWeight(u, v)
+	switch op.Kind {
+	case OpEdgeUpsert:
+		if had && oldW == op.W {
+			ix.edgeNoops++
+			return dirty, false
+		}
+		if _, err := ix.ov.SetEdge(u, v, op.W); err != nil {
+			// Malformed ops are rejected upstream; a failure here means a
+			// caller bypassed validation — count and skip.
+			ix.edgeNoops++
+			return dirty, false
+		}
+		if had {
+			ix.edgeReweights++
+		} else {
+			ix.edgeAdds++
+		}
+		return append(dirty, ix.dyn.EdgeChanged(ix.ov.Working(), u, v, oldW, had, op.W, true)...), true
+	case OpEdgeRemove:
+		if !had {
+			ix.edgeNoops++
+			return dirty, false
+		}
+		if _, err := ix.ov.RemoveEdge(u, v); err != nil {
+			ix.edgeNoops++
+			return dirty, false
+		}
+		ix.edgeRemoves++
+		return append(dirty, ix.dyn.EdgeChanged(ix.ov.Working(), u, v, oldW, true, 0, false)...), true
+	}
+	return dirty, false
 }
 
 // applyOne performs one op's membership change and leaf-level summary
@@ -298,16 +530,18 @@ func (ix *Index) RemoveLocation(id int32) {
 	ix.Apply([]Op{{ID: id, Remove: true}})
 }
 
-// recomputeLeaf rebuilds the summary of a leaf cell from its members.
+// recomputeLeaf rebuilds the summary of a leaf cell from its members,
+// against the current landmark tables.
 func (ix *Index) recomputeLeaf(idx int32) bool {
 	base := int(idx) * ix.m
 	leaf := ix.grid.Layout().LeafLevel()
+	lm := ix.lmView()
 	changed := false
 	var mins, maxs []float64
 	for j := 0; j < ix.m; j++ {
 		lo, hi := math.Inf(1), math.Inf(-1)
 		for _, u := range ix.grid.CellUsers(idx) {
-			d := ix.lm.Dist(j, u)
+			d := lm.Dist(j, u)
 			if d < lo {
 				lo = d
 			}
@@ -393,10 +627,11 @@ func (ix *Index) propagateDirty() {
 func (ix *Index) onInsert(leaf int32, id int32) {
 	base := int(leaf) * ix.m
 	l := ix.grid.Layout().LeafLevel()
+	lm := ix.lmView()
 	changed := false
 	var mins, maxs []float64
 	for j := 0; j < ix.m; j++ {
-		d := ix.lm.Dist(j, id)
+		d := lm.Dist(j, id)
 		if d < ix.minSum[l][base+j] {
 			if mins == nil {
 				mins, maxs = ix.writableSums(l)
@@ -417,14 +652,160 @@ func (ix *Index) onInsert(leaf int32, id int32) {
 	}
 }
 
+// kickRebuild starts the asynchronous landmark rebuild loop, or records the
+// kick for the running loop to pick up before it exits.
+func (ix *Index) kickRebuild() {
+	if ix.dyn == nil {
+		return
+	}
+	if !ix.rebuildActive.CompareAndSwap(false, true) {
+		ix.rebuildPending.Store(true)
+		return
+	}
+	go ix.rebuildLoop()
+}
+
+// rebuildLoop restores disabled landmarks one at a time: it computes a fresh
+// distance table against the published snapshot's graph *without holding the
+// writer lock* (a full Dijkstra — the expensive part), then briefly takes the
+// lock to install it, provided no edge batch landed in between (the table
+// would describe a stale graph). Sustained churn that keeps outrunning the
+// recompute makes the loop give up after a few wasted attempts; the next
+// Apply kicks a fresh one, and disabled landmarks merely loosen bounds in
+// the meantime — they never make them wrong.
+func (ix *Index) rebuildLoop() {
+	for {
+		for attempts := 0; attempts < 8; {
+			sn := ix.Snapshot()
+			mask := sn.Landmarks().DisabledMask()
+			if mask == 0 {
+				break
+			}
+			j := bits.TrailingZeros64(mask)
+			table := sn.SocialGraph().DistancesFrom(sn.Landmarks().Vertices()[j])
+			ix.mu.Lock()
+			if ix.socialEpoch == sn.SocialEpoch() {
+				ix.dyn.InstallTable(j, table)
+				ix.recomputeAllLeavesLocked()
+				ix.propagateDirty()
+				ix.publishLocked()
+				attempts = 0
+			} else {
+				attempts++
+			}
+			ix.mu.Unlock()
+		}
+		ix.rebuildActive.Store(false)
+		// Close the lost-wakeup window: a kick that arrived while we were
+		// flagged active would otherwise be dropped, stranding a freshly
+		// disabled landmark if churn stops here. A missed kick implies a new
+		// published batch, so a fresh lap sees a new epoch and can make
+		// progress; without one, exit and let the next Apply kick anew.
+		if !ix.rebuildPending.Swap(false) {
+			return
+		}
+		if ix.Snapshot().Landmarks().DisabledMask() == 0 ||
+			!ix.rebuildActive.CompareAndSwap(false, true) {
+			return
+		}
+	}
+}
+
+// RebuildDisabledLandmarks synchronously recomputes every disabled landmark
+// against the current working graph and publishes the result as one epoch.
+// It blocks concurrent writers for the duration (one full Dijkstra per
+// disabled landmark plus a single summary sweep) but never blocks readers.
+// Returns how many landmarks it restored.
+func (ix *Index) RebuildDisabledLandmarks() int {
+	if ix.dyn == nil {
+		return 0
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	rebuilt := 0
+	g := ix.ov.Working()
+	for {
+		mask := ix.dyn.View().DisabledMask()
+		if mask == 0 {
+			break
+		}
+		j := bits.TrailingZeros64(mask)
+		ix.dyn.InstallTable(j, g.DistancesFrom(ix.dyn.View().Vertices()[j]))
+		rebuilt++
+	}
+	if rebuilt > 0 {
+		ix.recomputeAllLeavesLocked()
+		ix.propagateDirty()
+		ix.publishLocked()
+	}
+	return rebuilt
+}
+
+// recomputeAllLeavesLocked re-derives every leaf summary against the current
+// landmark tables (after one or more full-table installs), marking changed
+// leaves for upward propagation. Caller holds mu and publishes afterwards.
+func (ix *Index) recomputeAllLeavesLocked() {
+	layout := ix.grid.Layout()
+	leaf := layout.LeafLevel()
+	for idx := int32(0); idx < int32(layout.NumCells(leaf)); idx++ {
+		if ix.recomputeLeaf(idx) {
+			ix.dirtyLeaves[idx] = struct{}{}
+		}
+	}
+}
+
+// SocialStats is a point-in-time view of the social dimension: overlay
+// shape, edge-op counters and landmark maintenance health.
+type SocialStats struct {
+	// SocialEpoch is the social graph version (+1 per batch with edge ops).
+	SocialEpoch uint64
+	// NumEdges is the current undirected edge count.
+	NumEdges int
+	// PatchedVertices is the overlay delta size awaiting compaction.
+	PatchedVertices int
+	// Compactions counts delta folds back into pure CSR.
+	Compactions int64
+	// EdgeAdds/EdgeRemoves/EdgeReweights/EdgeNoops count effective ops.
+	EdgeAdds, EdgeRemoves, EdgeReweights, EdgeNoops int64
+	// DisabledLandmarks is how many landmarks currently sit out of bounds
+	// awaiting rebuild.
+	DisabledLandmarks int
+	// LandmarkRepairs counts incremental repairs completed within budget;
+	// RepairedVertices the table entries they rewrote; LandmarkDisables
+	// budget overruns; LandmarkRebuilds full tables installed.
+	LandmarkRepairs, RepairedVertices, LandmarkDisables, LandmarkRebuilds int64
+}
+
+// SocialStats reports the social dimension's counters (zero value for
+// static indexes).
+func (ix *Index) SocialStats() SocialStats {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	st := SocialStats{SocialEpoch: ix.socialEpoch}
+	if ix.ov != nil {
+		st.NumEdges = ix.ov.NumEdges()
+		st.PatchedVertices = ix.ov.PatchedCount()
+		_, _, _, st.Compactions = ix.ov.Stats()
+		st.EdgeAdds, st.EdgeRemoves, st.EdgeReweights, st.EdgeNoops = ix.edgeAdds, ix.edgeRemoves, ix.edgeReweights, ix.edgeNoops
+	} else if ix.g0 != nil {
+		st.NumEdges = ix.g0.NumEdges()
+	}
+	if ix.dyn != nil {
+		st.DisabledLandmarks = ix.dyn.View().NumDisabled()
+		st.LandmarkRepairs, st.RepairedVertices, st.LandmarkDisables, st.LandmarkRebuilds = ix.dyn.Stats()
+	}
+	return st
+}
+
 // onRemove narrows summaries after a user left a leaf cell. Only components
 // the mover was responsible for are recomputed over the remaining members.
 func (ix *Index) onRemove(leaf int32, id int32) {
 	base := int(leaf) * ix.m
 	l := ix.grid.Layout().LeafLevel()
+	lm := ix.lmView()
 	responsible := false
 	for j := 0; j < ix.m; j++ {
-		d := ix.lm.Dist(j, id)
+		d := lm.Dist(j, id)
 		if d == ix.minSum[l][base+j] || d == ix.maxSum[l][base+j] {
 			responsible = true
 			break

@@ -43,8 +43,9 @@ func aisTie(level int16, idx int32) int64 {
 // bounds are always evaluated against the membership they were built for.
 func (e *Engine) runAIS(sn *aggindex.Snapshot, q graph.VertexID, prm Params, st *Stats, cfg aisConfig) []Entry {
 	g := sn.Grid()
+	soc, lm := sn.SocialGraph(), sn.Landmarks()
 	qpt := g.Point(q)
-	qvec := e.lm.VertexVector(q)
+	qvec := lm.VertexVector(q)
 	layout := g.Layout()
 	alpha := prm.Alpha
 
@@ -54,12 +55,12 @@ func (e *Engine) runAIS(sn *aggindex.Snapshot, q graph.VertexID, prm Params, st 
 	var evalDist func(graph.VertexID) float64
 	var gd *graphDist
 	if cfg.sharing {
-		gd = newGraphDist(e.ds.G, e.lm, q, pools.rev, st)
+		gd = newGraphDist(soc, lm, q, pools.rev, st)
 		gd.fwdEvery = e.opts.FwdEvery
 		evalDist = gd.dist
 	} else {
 		fb := &freshBidirectional{
-			g: e.ds.G, lm: e.lm, q: q, hToQ: e.lm.HeuristicTo(q),
+			g: soc, lm: lm, q: q, hToQ: lm.HeuristicTo(q),
 			fwdPool: pools.fwd, revPool: pools.rev, st: st,
 		}
 		evalDist = fb.dist
@@ -103,7 +104,7 @@ func (e *Engine) runAIS(sn *aggindex.Snapshot, q graph.VertexID, prm Params, st 
 				if u == q {
 					continue
 				}
-				pLow := e.lm.LowerBound(q, u)
+				pLow := lm.LowerBound(q, u)
 				d := g.Point(u).Dist(qpt)
 				if key := combine(alpha, pLow, d); finite(key) {
 					h.Push(key, aisTie(aisUser, u), aisItem{aisUser, u})

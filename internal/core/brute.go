@@ -11,7 +11,7 @@ import (
 // indexing must beat.
 func (e *Engine) runBrute(sn *aggindex.Snapshot, q graph.VertexID, prm Params, st *Stats) []Entry {
 	g := sn.Grid()
-	sp := e.ds.G.Dijkstra(q)
+	sp := sn.SocialGraph().Dijkstra(q)
 	st.SocialPops += e.ds.NumUsers()
 	r := newTopK(prm.K)
 	for v := 0; v < e.ds.NumUsers(); v++ {

@@ -16,6 +16,10 @@ import (
 type socialCache struct {
 	t  int
 	mu sync.RWMutex
+	// epoch is the social graph version the lists were computed on; edge
+	// churn advances it and invalidates everything (a list built on an
+	// older graph would silently serve wrong distances).
+	epoch uint64
 	// lists[q] holds the t nearest (vertex, distance) pairs ascending,
 	// excluding q itself. complete[q] marks lists that exhausted q's
 	// component before reaching t entries — such a list covers every
@@ -37,17 +41,35 @@ func newSocialCache(t int) *socialCache {
 	}
 }
 
-// get returns the memoized list for q, computing it on first use.
-func (c *socialCache) get(g *graph.Graph, q graph.VertexID) (list []cachedNeighbor, complete bool) {
+// get returns the memoized list for q at the given social epoch, computing
+// it on first use and discarding lists from older epochs.
+func (c *socialCache) get(g *graph.Graph, epoch uint64, q graph.VertexID) (list []cachedNeighbor, complete bool) {
 	c.mu.RLock()
-	list, ok := c.lists[q]
-	complete = c.complete[q]
+	var ok bool
+	if c.epoch == epoch {
+		list, ok = c.lists[q]
+		complete = c.complete[q]
+	}
 	c.mu.RUnlock()
 	if ok {
 		return list, complete
 	}
 	list, complete = c.build(g, q)
 	c.mu.Lock()
+	if c.epoch != epoch {
+		if c.epoch < epoch {
+			// First list of a newer social epoch: drop the stale generation.
+			c.lists = make(map[graph.VertexID][]cachedNeighbor)
+			c.complete = make(map[graph.VertexID]bool)
+			c.epoch = epoch
+		} else {
+			// A concurrent writer advanced past us: our list describes an
+			// older graph — return it for this query (it matches the
+			// snapshot the query runs on) but do not pollute the cache.
+			c.mu.Unlock()
+			return list, complete
+		}
+	}
 	c.lists[q] = list
 	c.complete[q] = complete
 	c.mu.Unlock()
@@ -72,10 +94,12 @@ func (c *socialCache) build(g *graph.Graph, q graph.VertexID) ([]cachedNeighbor,
 
 // Precompute builds the lists for the given query users eagerly (the
 // paper's offline materialization, restricted to the users that will
-// actually query — see DESIGN.md substitutions).
+// actually query — see DESIGN.md substitutions). Lists are built on the
+// current social epoch; later edge churn invalidates them.
 func (e *Engine) Precompute(users []graph.VertexID) {
+	sn := e.agg.Snapshot()
 	for _, q := range users {
-		e.cache.get(e.ds.G, q)
+		e.cache.get(sn.SocialGraph(), sn.SocialEpoch(), q)
 	}
 }
 
@@ -94,7 +118,7 @@ func (e *Engine) ResetCache(t int) {
 // Spatial distances come from the query's snapshot.
 func (e *Engine) runAISCache(sn *aggindex.Snapshot, q graph.VertexID, prm Params, st *Stats) []Entry {
 	g := sn.Grid()
-	list, complete := e.cache.get(e.ds.G, q)
+	list, complete := e.cache.get(sn.SocialGraph(), sn.SocialEpoch(), q)
 	r := newTopK(prm.K)
 	for _, cn := range list {
 		st.CacheHits++

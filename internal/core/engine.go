@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 
@@ -97,6 +98,13 @@ type Options struct {
 	// UpdateMaxBatch caps how many queued updates the updater coalesces
 	// into one published epoch (default 256).
 	UpdateMaxBatch int
+	// LandmarkRepairBudget caps the per-landmark per-edge-op incremental
+	// table repair work before the landmark is disabled and rebuilt
+	// asynchronously (default 256).
+	LandmarkRepairBudget int
+	// OverlayCompactThreshold is the edge-overlay delta size that triggers
+	// folding the delta back into a pure CSR (default max(1024, n/8)).
+	OverlayCompactThreshold int
 }
 
 func (o *Options) setDefaults() {
@@ -126,9 +134,18 @@ func (o *Options) setDefaults() {
 	}
 }
 
-// Update is one location update routed through the engine: a move (Remove
-// false) or a location removal (Remove true). Coordinates are normalized.
+// Update is one world update routed through the engine: a location op — a
+// move (Remove false) or a location removal (Remove true), coordinates
+// normalized — or a social edge op (Kind OpEdgeUpsert/OpEdgeRemove with
+// U/V/W set, weight normalized).
 type Update = aggindex.Op
+
+// Update kinds, re-exported for callers assembling mixed batches.
+const (
+	OpLocation   = aggindex.OpLocation
+	OpEdgeUpsert = aggindex.OpEdgeUpsert
+	OpEdgeRemove = aggindex.OpEdgeRemove
+)
 
 // Engine binds a dataset to its indexes and answers SSRQ queries. The
 // engine is safe for concurrent use and queries are lock-free: Query loads
@@ -183,7 +200,10 @@ func NewEngine(ds *dataset.Dataset, opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: grid: %w", err)
 	}
-	agg, err := aggindex.New(grid, lm)
+	agg, err := aggindex.NewSocial(grid, lm, ds.G, aggindex.Config{
+		RepairBudget:     opts.LandmarkRepairBudget,
+		CompactThreshold: opts.OverlayCompactThreshold,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("core: aggregate index: %w", err)
 	}
@@ -211,11 +231,14 @@ func NewEngine(ds *dataset.Dataset, opts Options) (*Engine, error) {
 	return e, nil
 }
 
-// Dataset returns the engine's dataset.
+// Dataset returns the engine's dataset. Note that the dataset's graph and
+// locations are construction-time state: live social structure comes from
+// Snapshot().SocialGraph(), live locations from Snapshot().Grid().
 func (e *Engine) Dataset() *dataset.Dataset { return e.ds }
 
-// Landmarks returns the engine's landmark set.
-func (e *Engine) Landmarks() *landmark.Set { return e.lm }
+// Landmarks returns the landmark set of the latest published epoch (tables
+// track edge churn; disabled landmarks are excluded from bounds).
+func (e *Engine) Landmarks() *landmark.Set { return e.agg.Snapshot().Landmarks() }
 
 // Grid returns the spatial grid index (writer-side handle; concurrent
 // readers should use Snapshot).
@@ -231,17 +254,39 @@ func (e *Engine) Snapshot() *aggindex.Snapshot { return e.agg.Snapshot() }
 // Options returns the options the engine was built with (defaults filled).
 func (e *Engine) Options() Options { return e.opts }
 
-// validateUpdate rejects out-of-range users and non-finite coordinates
-// before they can reach the index (a NaN point would silently corrupt grid
-// membership via CellIndex clamping).
+// validateUpdate rejects malformed updates before they can reach the index:
+// out-of-range users, non-finite coordinates (a NaN point would silently
+// corrupt grid membership via CellIndex clamping), and malformed edge ops
+// (self-loops, non-positive or non-finite weights, or edge churn on an
+// engine whose landmark count exceeds dynamic-maintenance support).
 func (e *Engine) validateUpdate(u Update) error {
-	if u.ID < 0 || int(u.ID) >= e.ds.NumUsers() {
-		return fmt.Errorf("core: user %d out of range [0,%d)", u.ID, e.ds.NumUsers())
+	n := e.ds.NumUsers()
+	switch u.Kind {
+	case aggindex.OpLocation:
+		if u.ID < 0 || int(u.ID) >= n {
+			return fmt.Errorf("core: user %d out of range [0,%d)", u.ID, n)
+		}
+		if !u.Remove && !u.To.IsFinite() {
+			return fmt.Errorf("core: non-finite coordinates (%v, %v) for user %d", u.To.X, u.To.Y, u.ID)
+		}
+		return nil
+	case aggindex.OpEdgeUpsert, aggindex.OpEdgeRemove:
+		if !e.agg.SupportsEdgeChurn() {
+			return fmt.Errorf("core: edge churn unsupported with %d landmarks (max 64)", e.opts.NumLandmarks)
+		}
+		if u.U < 0 || int(u.U) >= n || u.V < 0 || int(u.V) >= n {
+			return fmt.Errorf("core: edge (%d,%d) out of range [0,%d)", u.U, u.V, n)
+		}
+		if u.U == u.V {
+			return fmt.Errorf("core: self-loop on user %d", u.U)
+		}
+		if u.Kind == aggindex.OpEdgeUpsert && (!(u.W > 0) || math.IsInf(u.W, 1) || math.IsNaN(u.W)) {
+			return fmt.Errorf("core: edge (%d,%d) weight %v must be positive and finite", u.U, u.V, u.W)
+		}
+		return nil
+	default:
+		return fmt.Errorf("core: unknown update kind %d", u.Kind)
 	}
-	if !u.Remove && !u.To.IsFinite() {
-		return fmt.Errorf("core: non-finite coordinates (%v, %v) for user %d", u.To.X, u.To.Y, u.ID)
-	}
-	return nil
 }
 
 // MoveUser relocates a user (normalized coordinates), maintaining both the
@@ -304,15 +349,15 @@ func (e *Engine) Query(algo Algorithm, q graph.VertexID, prm Params) (*Result, e
 	case SFA:
 		res.Entries = e.runSFA(sn, q, prm, st, false)
 	case SFACH:
-		if e.hierarchy == nil {
-			return nil, fmt.Errorf("core: %v requires Options.BuildCH", algo)
+		if err := e.chReady(sn, algo); err != nil {
+			return nil, err
 		}
 		res.Entries = e.runSFA(sn, q, prm, st, true)
 	case SPA:
 		res.Entries = e.runSPA(sn, q, prm, st, false)
 	case SPACH:
-		if e.hierarchy == nil {
-			return nil, fmt.Errorf("core: %v requires Options.BuildCH", algo)
+		if err := e.chReady(sn, algo); err != nil {
+			return nil, err
 		}
 		res.Entries = e.runSPA(sn, q, prm, st, true)
 	case TSA:
@@ -322,8 +367,8 @@ func (e *Engine) Query(algo Algorithm, q graph.VertexID, prm Params) (*Result, e
 	case TSANoLandmark:
 		res.Entries = e.runTSA(sn, q, prm, st, tsaConfig{})
 	case TSACH:
-		if e.hierarchy == nil {
-			return nil, fmt.Errorf("core: %v requires Options.BuildCH", algo)
+		if err := e.chReady(sn, algo); err != nil {
+			return nil, err
 		}
 		res.Entries = e.runTSA(sn, q, prm, st, tsaConfig{prune: true, useCH: true})
 	case AISBID:
@@ -340,6 +385,82 @@ func (e *Engine) Query(algo Algorithm, q graph.VertexID, prm Params) (*Result, e
 		return nil, fmt.Errorf("core: unknown algorithm %v", algo)
 	}
 	return res, nil
+}
+
+// chReady gates the contraction-hierarchy variants: they need a built
+// hierarchy, and the hierarchy describes the construction-time graph — after
+// any social churn its distances are wrong, so the variants are refused
+// rather than silently inexact (rebuilds are an explicit, expensive choice).
+func (e *Engine) chReady(sn *aggindex.Snapshot, algo Algorithm) error {
+	if e.hierarchy == nil {
+		return fmt.Errorf("core: %v requires Options.BuildCH", algo)
+	}
+	if sn.SocialEpoch() != 0 {
+		return fmt.Errorf("core: %v unavailable: contraction hierarchy is stale after social churn (social epoch %d)", algo, sn.SocialEpoch())
+	}
+	return nil
+}
+
+// SocialStats is a point-in-time view of the social dimension: edge counts,
+// overlay shape and landmark-maintenance health.
+type SocialStats = aggindex.SocialStats
+
+// SocialStats reports the social dimension's counters.
+func (e *Engine) SocialStats() SocialStats { return e.agg.SocialStats() }
+
+// SupportsEdgeChurn reports whether the engine accepts edge updates (false
+// when the landmark count exceeds what dynamic maintenance supports).
+func (e *Engine) SupportsEdgeChurn() bool { return e.agg.SupportsEdgeChurn() }
+
+// RebuildLandmarks synchronously restores any landmarks disabled by
+// over-budget repairs (normally the background rebuild handles this; the
+// synchronous form gives tests and operators a determinism knob). Returns
+// how many landmarks were rebuilt.
+func (e *Engine) RebuildLandmarks() int { return e.agg.RebuildDisabledLandmarks() }
+
+// AddFriend inserts (or reweights) the undirected friendship (u,v) with
+// normalized weight w and publishes the change as one epoch before
+// returning: the graph, the landmark tables and the affected cell summaries
+// all move together, so queries never observe a half-applied edge. Never
+// blocks queries.
+func (e *Engine) AddFriend(u, v int32, w float64) error {
+	op := Update{Kind: aggindex.OpEdgeUpsert, U: u, V: v, W: w}
+	if err := e.validateUpdate(op); err != nil {
+		return err
+	}
+	e.agg.Apply([]Update{op})
+	return nil
+}
+
+// RemoveFriend deletes the undirected friendship (u,v) (a no-op when
+// absent) and publishes the change as one epoch. Never blocks queries.
+func (e *Engine) RemoveFriend(u, v int32) error {
+	op := Update{Kind: aggindex.OpEdgeRemove, U: u, V: v}
+	if err := e.validateUpdate(op); err != nil {
+		return err
+	}
+	e.agg.Apply([]Update{op})
+	return nil
+}
+
+// AddFriendAsync enqueues an edge upsert on the update pipeline (shared
+// with location updates: one stream, one Flush barrier). Redundant ops for
+// the same unordered pair coalesce to the newest.
+func (e *Engine) AddFriendAsync(u, v int32, w float64) error {
+	op := Update{Kind: aggindex.OpEdgeUpsert, U: u, V: v, W: w}
+	if err := e.validateUpdate(op); err != nil {
+		return err
+	}
+	return e.ensureUpdater().enqueue(op)
+}
+
+// RemoveFriendAsync enqueues an edge removal on the update pipeline.
+func (e *Engine) RemoveFriendAsync(u, v int32) error {
+	op := Update{Kind: aggindex.OpEdgeRemove, U: u, V: v}
+	if err := e.validateUpdate(op); err != nil {
+		return err
+	}
+	return e.ensureUpdater().enqueue(op)
 }
 
 func (e *Engine) getPools() *queryPools  { return e.pools.Get().(*queryPools) }

@@ -18,7 +18,7 @@ import (
 // lose to one shared incremental Dijkstra.
 func (e *Engine) runSFA(sn *aggindex.Snapshot, q graph.VertexID, prm Params, st *Stats, useCH bool) []Entry {
 	g := sn.Grid()
-	it := graph.NewDijkstraIterator(e.ds.G, q)
+	it := graph.NewDijkstraIterator(sn.SocialGraph(), q)
 	r := newTopK(prm.K)
 	for {
 		v, p, ok := it.Next()

@@ -21,7 +21,7 @@ func (e *Engine) runSPA(sn *aggindex.Snapshot, q graph.VertexID, prm Params, st 
 
 	var fwd *graph.DijkstraIterator
 	if !useCH {
-		fwd = graph.NewDijkstraIterator(e.ds.G, q)
+		fwd = graph.NewDijkstraIterator(sn.SocialGraph(), q)
 	}
 	socialDist := func(v graph.VertexID) float64 {
 		if useCH {

@@ -80,7 +80,7 @@ func (c *candidateSet) Prune(drop func(u int32, d float64) bool) {
 // search "would be a waste of computations").
 func (e *Engine) runTSA(sn *aggindex.Snapshot, q graph.VertexID, prm Params, st *Stats, cfg tsaConfig) []Entry {
 	g := sn.Grid()
-	soc := graph.NewDijkstraIterator(e.ds.G, q)
+	soc := graph.NewDijkstraIterator(sn.SocialGraph(), q)
 	nn := g.NewNN(g.Point(q))
 	r := newTopK(prm.K)
 	cand := newCandidateSet()
@@ -167,9 +167,12 @@ func (e *Engine) runTSA(sn *aggindex.Snapshot, q graph.VertexID, prm Params, st 
 
 	if cfg.prune {
 		// TSA with landmarks: eliminate candidates whose landmark-derived f
-		// lower bound already misses the interim result.
+		// lower bound already misses the interim result. The bound comes
+		// from the query's snapshot, so it is admissible on exactly the
+		// graph this query is searching.
+		lm := sn.Landmarks()
 		cand.Prune(func(u int32, d float64) bool {
-			return combine(prm.Alpha, e.lm.LowerBound(q, u), d) >= r.Fk()
+			return combine(prm.Alpha, lm.LowerBound(q, u), d) >= r.Fk()
 		})
 	}
 

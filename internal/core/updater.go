@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ssrq/internal/aggindex"
 	"ssrq/internal/spatial"
 )
 
@@ -169,17 +170,39 @@ func (u *Updater) loop() {
 	}
 }
 
-// coalesceUpdates keeps only the newest op per user, preserving first-seen
-// order. Ops for distinct users commute, so this is semantics-preserving.
+// coalesceKey identifies the state one op writes: a user's location, or an
+// unordered friend pair's edge.
+type coalesceKey struct {
+	edge bool
+	a, b int32
+}
+
+func keyOf(op Update) coalesceKey {
+	if op.Kind == aggindex.OpLocation {
+		return coalesceKey{a: op.ID}
+	}
+	a, b := op.U, op.V
+	if a > b {
+		a, b = b, a
+	}
+	return coalesceKey{edge: true, a: a, b: b}
+}
+
+// coalesceUpdates keeps only the newest op per coalescing key (per user for
+// location ops, per unordered pair for edge ops), preserving first-seen
+// order. Ops with distinct keys commute — locations and edges live in
+// disjoint state — and edge ops are upsert/delete style, so last-write-wins
+// per key is semantics-preserving.
 func coalesceUpdates(buf []Update) []Update {
-	seen := make(map[int32]int, len(buf))
+	seen := make(map[coalesceKey]int, len(buf))
 	out := make([]Update, 0, len(buf))
 	for _, op := range buf {
-		if i, ok := seen[op.ID]; ok {
+		k := keyOf(op)
+		if i, ok := seen[k]; ok {
 			out[i] = op
 			continue
 		}
-		seen[op.ID] = len(out)
+		seen[k] = len(out)
 		out = append(out, op)
 	}
 	return out
@@ -243,6 +266,9 @@ func (e *Engine) loadUpdater() *Updater { return e.updater.Load() }
 type UpdateStats struct {
 	// Epoch is the published index version (0 = construction state).
 	Epoch uint64
+	// SocialEpoch is the published social graph version (0 = construction
+	// graph, +1 per batch containing effective edge ops).
+	SocialEpoch uint64
 	// SnapshotAge is how long ago the current epoch was published.
 	SnapshotAge time.Duration
 	// PendingUpdates counts async updates enqueued but not yet published.
@@ -261,6 +287,7 @@ func (e *Engine) UpdateStats() UpdateStats {
 	sn := e.agg.Snapshot()
 	st := UpdateStats{
 		Epoch:       sn.Epoch(),
+		SocialEpoch: sn.SocialEpoch(),
 		SnapshotAge: time.Since(sn.PublishedAt()),
 	}
 	if u := e.loadUpdater(); u != nil {

@@ -25,6 +25,10 @@ type Suite struct {
 	// ChurnRate throttles each churn mover to this many moves/sec
 	// (0 = unthrottled).
 	ChurnRate float64
+	// EdgeRates are the edge-update rates (ops/sec) the "socialchurn"
+	// experiment sweeps; 0 = no churner, negative = unthrottled
+	// (default 0, 200, 2000).
+	EdgeRates []float64
 
 	datasets map[string]*dataset.Dataset
 	engines  map[string]*core.Engine
@@ -160,6 +164,8 @@ func (s *Suite) Run(id string, withCH bool) error {
 		return s.RunThroughput()
 	case "churn":
 		return s.RunChurn()
+	case "socialchurn":
+		return s.RunSocialChurn()
 	case "diag":
 		return s.RunDiagnostics()
 	default:

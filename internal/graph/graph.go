@@ -5,9 +5,12 @@
 // bidirectional searches.
 //
 // Vertices are dense int32 IDs in [0, N). Edge weights are positive float64
-// "friendship strengths" (smaller = stronger, per the paper §3). The graph is
+// "friendship strengths" (smaller = stronger, per the paper §3). A Graph is
 // immutable after Build, which keeps query paths allocation-light and makes
-// concurrent read-only use safe.
+// concurrent read-only use safe. Edge churn is layered on top: an Overlay
+// accumulates mutations against a base CSR and freezes merged, equally
+// immutable Graph values for publication (see overlay.go), so every search
+// in this package runs unchanged on both static and churned graphs.
 package graph
 
 import (
@@ -22,12 +25,25 @@ type VertexID = int32
 // Infinity is the distance reported for unreachable vertices.
 var Infinity = math.Inf(1)
 
-// Graph is an immutable weighted undirected graph in CSR form.
+// adjRow is a replacement adjacency list for one vertex, sorted by target.
+// Rows are immutable once installed in a patch map; the overlay replaces
+// whole rows instead of editing them in place so published graphs stay
+// bit-stable.
+type adjRow struct {
+	targets []VertexID
+	weights []float64
+}
+
+// Graph is an immutable weighted undirected graph: a CSR base plus an
+// optional sparse patch layer of replacement adjacency rows (the frozen form
+// of an Overlay delta). patched is nil for pure CSR graphs, so the static
+// fast path pays only a nil check.
 type Graph struct {
 	offsets []int32 // len n+1; adjacency of v is targets[offsets[v]:offsets[v+1]]
 	targets []VertexID
 	weights []float64
-	numEdge int // number of undirected edges
+	numEdge int                 // number of undirected edges
+	patched map[VertexID]adjRow // overlay rows overriding the CSR; nil when none
 }
 
 // NumVertices returns the number of vertices.
@@ -38,6 +54,11 @@ func (g *Graph) NumEdges() int { return g.numEdge }
 
 // Degree returns the number of neighbors of v.
 func (g *Graph) Degree(v VertexID) int {
+	if g.patched != nil {
+		if row, ok := g.patched[v]; ok {
+			return len(row.targets)
+		}
+	}
 	return int(g.offsets[v+1] - g.offsets[v])
 }
 
@@ -64,17 +85,29 @@ func (g *Graph) AvgDegree() float64 {
 // returned slices alias the graph's internal storage and must not be
 // modified.
 func (g *Graph) Neighbors(v VertexID) ([]VertexID, []float64) {
+	if g.patched != nil {
+		if row, ok := g.patched[v]; ok {
+			return row.targets, row.weights
+		}
+	}
 	lo, hi := g.offsets[v], g.offsets[v+1]
 	return g.targets[lo:hi], g.weights[lo:hi]
 }
 
 // EdgeWeight returns the weight of edge (u,v) and whether it exists.
-// Adjacency lists are sorted by target, so this is a binary search.
+// Adjacency lists — CSR and patched rows alike — are sorted by target, so
+// this is a binary search, never an O(degree) scan (hub vertices make the
+// difference on hot paths like landmark repair support checks).
 func (g *Graph) EdgeWeight(u, v VertexID) (float64, bool) {
-	lo, hi := int(g.offsets[u]), int(g.offsets[u+1])
-	i := lo + sort.Search(hi-lo, func(i int) bool { return g.targets[lo+i] >= v })
-	if i < hi && g.targets[i] == v {
-		return g.weights[i], true
+	ts, ws := g.Neighbors(u)
+	return searchRow(ts, ws, v)
+}
+
+// searchRow binary-searches a sorted adjacency row for target v.
+func searchRow(ts []VertexID, ws []float64, v VertexID) (float64, bool) {
+	i := sort.Search(len(ts), func(i int) bool { return ts[i] >= v })
+	if i < len(ts) && ts[i] == v {
+		return ws[i], true
 	}
 	return 0, false
 }
@@ -91,6 +124,16 @@ func (g *Graph) ScaleWeights(factor float64) *Graph {
 	}
 	for i, w := range g.weights {
 		scaled.weights[i] = w * factor
+	}
+	if g.patched != nil {
+		scaled.patched = make(map[VertexID]adjRow, len(g.patched))
+		for v, row := range g.patched {
+			ws := make([]float64, len(row.weights))
+			for i, w := range row.weights {
+				ws[i] = w * factor
+			}
+			scaled.patched[v] = adjRow{targets: row.targets, weights: ws}
+		}
 	}
 	return scaled
 }

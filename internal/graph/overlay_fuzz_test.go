@@ -1,0 +1,72 @@
+package graph
+
+import (
+	"testing"
+)
+
+// FuzzOverlayInvariants feeds arbitrary add/remove/reweight byte programs to
+// an Overlay and checks the merged graph against a map-based model after
+// every frozen epoch: adjacency symmetric and sorted, weights positive,
+// degrees and edge count consistent. Each op consumes 4 bytes:
+// [kind, u, v, w] over a 32-vertex graph; a compaction is forced mid-stream
+// so the CSR fold is always exercised.
+func FuzzOverlayInvariants(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 10})
+	f.Add([]byte{0, 1, 2, 10, 1, 2, 1, 0, 0, 3, 4, 200, 2, 3, 4, 7})
+	f.Add([]byte{0, 0, 31, 1, 0, 31, 0, 2, 1, 0, 31, 0, 0, 5, 5, 9})
+	f.Fuzz(func(t *testing.T, program []byte) {
+		const n = 32
+		base := NewBuilder(n)
+		_ = base.AddEdge(0, 1, 1)
+		_ = base.AddEdge(1, 2, 0.5)
+		g := base.MustBuild()
+		o := NewOverlay(g)
+		model := modelOf(g)
+
+		for i := 0; i+3 < len(program); i += 4 {
+			kind := program[i] % 3
+			u := VertexID(program[i+1] % n)
+			v := VertexID(program[i+2] % n)
+			w := float64(program[i+3])/16 + 0.01
+			switch kind {
+			case 0, 2: // upsert (reweight is the same call on an existing pair)
+				created, err := o.SetEdge(u, v, w)
+				if u == v {
+					if err == nil {
+						t.Fatal("self-loop accepted")
+					}
+					continue
+				}
+				if err != nil {
+					t.Fatalf("SetEdge(%d,%d,%v): %v", u, v, w, err)
+				}
+				_, had := model[pairKey(u, v)]
+				if created == had {
+					t.Fatalf("SetEdge created=%v but model had=%v", created, had)
+				}
+				model[pairKey(u, v)] = w
+			case 1:
+				existed, err := o.RemoveEdge(u, v)
+				if u == v {
+					if err == nil {
+						t.Fatal("self-loop removal accepted")
+					}
+					continue
+				}
+				if err != nil {
+					t.Fatalf("RemoveEdge(%d,%d): %v", u, v, err)
+				}
+				if _, had := model[pairKey(u, v)]; existed != had {
+					t.Fatalf("RemoveEdge existed=%v but model had=%v", existed, had)
+				}
+				delete(model, pairKey(u, v))
+			}
+			if i == len(program)/2 {
+				o.Compact()
+			}
+			checkAgainstModel(t, o.Freeze(), model)
+		}
+		o.Compact()
+		checkAgainstModel(t, o.Freeze(), model)
+	})
+}

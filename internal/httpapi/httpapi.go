@@ -12,6 +12,7 @@ package httpapi
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -35,6 +36,9 @@ const maxBatch = 10000
 // maxMoves bounds one /moves request.
 const maxMoves = 65536
 
+// maxEdges bounds one /edges request.
+const maxEdges = 65536
+
 // New builds the handler.
 func New(eng *ssrq.Engine) *Server {
 	s := &Server{eng: eng, mux: http.NewServeMux()}
@@ -43,6 +47,7 @@ func New(eng *ssrq.Engine) *Server {
 	s.mux.HandleFunc("GET /user/{id}", s.handleUser)
 	s.mux.HandleFunc("POST /move", s.handleMove)
 	s.mux.HandleFunc("POST /moves", s.handleMoves)
+	s.mux.HandleFunc("POST /edges", s.handleEdges)
 	s.mux.HandleFunc("POST /unlocate", s.handleUnlocate)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -340,6 +345,91 @@ func (s *Server) handleMoves(w http.ResponseWriter, r *http.Request) {
 	_ = json.NewEncoder(w).Encode(resp)
 }
 
+// edgesRequest is a bulk social-edge update batch: friendship upserts
+// (insert or reweight) and removals. With Flush true the request returns
+// only after every update is applied and published (read-your-writes);
+// otherwise updates are enqueued on the engine's batching pipeline and the
+// response is 202 Accepted.
+type edgesRequest struct {
+	Edges []edgeItem `json:"edges"`
+	Flush bool       `json:"flush,omitempty"`
+}
+
+type edgeItem struct {
+	U      int32   `json:"u"`
+	V      int32   `json:"v"`
+	W      float64 `json:"w,omitempty"`
+	Remove bool    `json:"remove,omitempty"`
+}
+
+type edgesResponse struct {
+	Accepted    int    `json:"accepted"`
+	Epoch       uint64 `json:"epoch,omitempty"`
+	SocialEpoch uint64 `json:"social_epoch,omitempty"`
+}
+
+func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
+	var req edgesRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad body: %w", err))
+		return
+	}
+	if len(req.Edges) == 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("empty edges"))
+		return
+	}
+	if len(req.Edges) > maxEdges {
+		httpError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("%d edges exceeds limit %d", len(req.Edges), maxEdges))
+		return
+	}
+	// Edge churn can be permanently unsupported (landmark count beyond the
+	// dynamic-maintenance cap): a non-retryable condition, not a 503.
+	if !s.eng.SupportsEdgeChurn() {
+		httpError(w, http.StatusNotImplemented, fmt.Errorf("edge churn unsupported by this engine's configuration"))
+		return
+	}
+	// Validate everything before enqueuing anything, so a bad item rejects
+	// the whole request instead of applying a prefix.
+	n := s.eng.Dataset().NumUsers()
+	for i, e := range req.Edges {
+		if e.U < 0 || int(e.U) >= n || e.V < 0 || int(e.V) >= n {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("edge %d: user out of range (%d,%d)", i, e.U, e.V))
+			return
+		}
+		if e.U == e.V {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("edge %d: self-loop on user %d", i, e.U))
+			return
+		}
+		if !e.Remove && (!(e.W > 0) || math.IsInf(e.W, 0) || math.IsNaN(e.W)) {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("edge %d: weight %v must be positive and finite", i, e.W))
+			return
+		}
+	}
+	for _, e := range req.Edges {
+		var err error
+		if e.Remove {
+			err = s.eng.RemoveFriendAsync(e.U, e.V)
+		} else {
+			err = s.eng.AddFriendAsync(e.U, e.V, e.W)
+		}
+		if err != nil {
+			httpError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+	}
+	resp := edgesResponse{Accepted: len(req.Edges)}
+	if req.Flush {
+		s.eng.Flush()
+		us := s.eng.UpdateStats()
+		resp.Epoch, resp.SocialEpoch = us.Epoch, us.SocialEpoch
+		writeJSON(w, resp)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
 type unlocateRequest struct {
 	ID int32 `json:"id"`
 }
@@ -362,7 +452,7 @@ func (s *Server) handleUnlocate(w http.ResponseWriter, r *http.Request) {
 }
 
 // statsResponse extends the dataset statistics with the state of the
-// epoch/update pipeline.
+// epoch/update pipeline and the dynamic social graph.
 type statsResponse struct {
 	ssrq.DatasetStats
 	Epoch            uint64 `json:"epoch"`
@@ -371,10 +461,21 @@ type statsResponse struct {
 	AppliedUpdates   int64  `json:"applied_updates"`
 	AppliedBatches   int64  `json:"applied_batches"`
 	CoalescedUpdates int64  `json:"coalesced_updates"`
+
+	SocialEpoch       uint64 `json:"social_epoch"`
+	EdgeAdds          int64  `json:"edge_adds"`
+	EdgeRemoves       int64  `json:"edge_removes"`
+	EdgeReweights     int64  `json:"edge_reweights"`
+	PatchedVertices   int    `json:"patched_vertices"`
+	Compactions       int64  `json:"compactions"`
+	DisabledLandmarks int    `json:"disabled_landmarks"`
+	LandmarkRepairs   int64  `json:"landmark_repairs"`
+	LandmarkRebuilds  int64  `json:"landmark_rebuilds"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	us := s.eng.UpdateStats()
+	ss := s.eng.SocialStats()
 	writeJSON(w, statsResponse{
 		DatasetStats:     s.eng.DatasetStats(),
 		Epoch:            us.Epoch,
@@ -383,6 +484,16 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		AppliedUpdates:   us.AppliedUpdates,
 		AppliedBatches:   us.AppliedBatches,
 		CoalescedUpdates: us.CoalescedUpdates,
+
+		SocialEpoch:       ss.SocialEpoch,
+		EdgeAdds:          ss.EdgeAdds,
+		EdgeRemoves:       ss.EdgeRemoves,
+		EdgeReweights:     ss.EdgeReweights,
+		PatchedVertices:   ss.PatchedVertices,
+		Compactions:       ss.Compactions,
+		DisabledLandmarks: ss.DisabledLandmarks,
+		LandmarkRepairs:   ss.LandmarkRepairs,
+		LandmarkRebuilds:  ss.LandmarkRebuilds,
 	})
 }
 

@@ -1,0 +1,339 @@
+package landmark
+
+import (
+	"fmt"
+	"math"
+
+	"ssrq/internal/graph"
+	"ssrq/internal/pqueue"
+)
+
+// Dynamic maintains landmark distance tables under edge churn. It is the
+// single-writer companion of an immutable Set lineage: BeginBatch opens an
+// epoch (a copy-on-write clone of the last committed Set), EdgeChanged
+// repairs the affected tables incrementally, and Commit freezes the epoch
+// for publication.
+//
+// Repair strategy per landmark and edge op:
+//
+//   - weight decrease / insertion: distances can only shrink. The repair is
+//     the standard incremental-SSSP decrease propagation — seed the changed
+//     endpoints, settle improvements in Dijkstra order. Run to completion it
+//     is exact; past the budget the landmark is disabled instead (a partial
+//     run would leave a mix of old and new values, unusable for bounds).
+//
+//   - weight increase / deletion: distances can only grow. Following
+//     Ramalingam–Reps, phase 1 identifies the *affected set* — vertices all
+//     of whose shortest paths used the changed edge — by walking tight edges
+//     in ascending-distance order (a vertex is unaffected iff it keeps a
+//     tight neighbor outside the affected set, which is sound because every
+//     potential support has a strictly smaller distance and is therefore
+//     classified first); phase 2 re-runs Dijkstra restricted to the affected
+//     set, seeded from its unaffected boundary. Past the budget the landmark
+//     is disabled with its table untouched (phase 1 only reads).
+//
+// The invariant bounds correctness rests on: at every committed epoch, each
+// *enabled* landmark's table holds exact shortest-path distances on that
+// epoch's graph. Disabled landmarks contribute nothing to any bound (they
+// only loosen pruning, never break it) until InstallTable restores them from
+// an asynchronous full rebuild.
+type Dynamic struct {
+	cur  *Set // last committed epoch (immutable)
+	work *Set // epoch under construction; nil between batches
+
+	epoch      uint64
+	pageStamp  []uint64 // epoch that last duplicated each page
+	outerStamp uint64   // epoch that last duplicated the outer page slice
+
+	budget int
+	heap   *pqueue.IndexedHeap // scratch, reused across repairs
+
+	// Counters (writer-side; read via Stats under the owner's lock).
+	repairs  int64 // incremental repairs that completed within budget
+	repaired int64 // vertices whose distance a repair rewrote
+	disables int64 // budget overruns that disabled a landmark
+	installs int64 // full tables installed by rebuilds
+}
+
+// NewDynamic wraps a freshly built Set for dynamic maintenance. budget caps
+// the per-landmark, per-op repair work (vertices touched) before the
+// landmark is disabled and handed to the rebuild path; <= 0 selects the
+// default of 256.
+func NewDynamic(s *Set, budget int) (*Dynamic, error) {
+	if s.m > maxDynamic {
+		return nil, fmt.Errorf("landmark: dynamic maintenance supports at most %d landmarks, got %d", maxDynamic, s.m)
+	}
+	if budget <= 0 {
+		budget = 256
+	}
+	return &Dynamic{
+		cur:       s,
+		pageStamp: make([]uint64, len(s.pages)),
+		budget:    budget,
+		heap:      pqueue.NewIndexedHeap(s.n),
+	}, nil
+}
+
+// View returns the current state: the working epoch during a batch,
+// otherwise the last committed Set.
+func (d *Dynamic) View() *Set {
+	if d.work != nil {
+		return d.work
+	}
+	return d.cur
+}
+
+// BeginBatch opens an epoch (idempotent within a batch) and returns the
+// working Set the batch mutates copy-on-write.
+func (d *Dynamic) BeginBatch() *Set {
+	if d.work == nil {
+		cp := *d.cur
+		d.work = &cp
+		d.epoch++
+	}
+	return d.work
+}
+
+// Commit freezes the working epoch as the new current Set and returns it.
+// Without an open batch it returns the current Set unchanged.
+func (d *Dynamic) Commit() *Set {
+	if d.work != nil {
+		d.cur = d.work
+		d.work = nil
+	}
+	return d.cur
+}
+
+// writablePage duplicates page p on its first write of the epoch (and the
+// outer slice on the epoch's first write overall) so the committed Set stays
+// immutable.
+func (d *Dynamic) writablePage(p int) []float64 {
+	if d.outerStamp != d.epoch {
+		d.work.pages = append([][]float64(nil), d.work.pages...)
+		d.outerStamp = d.epoch
+	}
+	if d.pageStamp[p] != d.epoch {
+		d.work.pages[p] = append([]float64(nil), d.work.pages[p]...)
+		d.pageStamp[p] = d.epoch
+	}
+	return d.work.pages[p]
+}
+
+// setDist writes one table entry in the working epoch.
+func (d *Dynamic) setDist(j int, v graph.VertexID, dist float64) {
+	page := d.writablePage(int(v >> pageShift))
+	page[int(v&pageMask)*d.work.m+j] = dist
+}
+
+// disable excludes landmark j from all bounds in the working epoch.
+func (d *Dynamic) disable(j int) {
+	d.work.disabled |= 1 << uint(j)
+	d.disables++
+}
+
+// Stats reports the repair counters and current disabled count.
+func (d *Dynamic) Stats() (repairs, repaired, disables, installs int64) {
+	return d.repairs, d.repaired, d.disables, d.installs
+}
+
+// EdgeChanged repairs every enabled landmark table after one edge mutation
+// on g (the post-change graph): an insertion (hadOld false), a deletion
+// (hasNew false) or a reweight. It returns the vertices whose distance to
+// some landmark changed — the caller recomputes the social summaries of
+// their cells. Landmarks whose repair exceeds the budget are disabled and
+// reported by View().DisabledMask() for asynchronous rebuild.
+func (d *Dynamic) EdgeChanged(g *graph.Graph, u, v graph.VertexID, oldW float64, hadOld bool, newW float64, hasNew bool) []graph.VertexID {
+	if !hadOld && !hasNew {
+		return nil
+	}
+	d.BeginBatch()
+	var dirty []graph.VertexID
+	for j := 0; j < d.work.m; j++ {
+		if !d.work.Enabled(j) {
+			continue
+		}
+		switch {
+		case !hadOld || (hasNew && newW < oldW):
+			dirty = d.decreaseRepair(g, j, u, v, newW, dirty)
+		case !hasNew || newW > oldW:
+			dirty = d.increaseRepair(g, j, u, v, oldW, dirty)
+		default: // newW == oldW: nothing changed
+		}
+	}
+	return dirty
+}
+
+// dist reads the working table entry for landmark j.
+func (d *Dynamic) dist(j int, v graph.VertexID) float64 { return d.work.vec(v)[j] }
+
+// decreaseRepair propagates the improvement introduced by edge (u,v,w) —
+// newly inserted or reweighted downwards — through landmark j's table.
+// Exact when it completes; disables j on budget overrun.
+func (d *Dynamic) decreaseRepair(g *graph.Graph, j int, u, v graph.VertexID, w float64, dirty []graph.VertexID) []graph.VertexID {
+	h := d.heap
+	h.Reset()
+	if nd := d.dist(j, u) + w; nd < d.dist(j, v) {
+		h.PushOrDecrease(v, nd)
+	}
+	if nd := d.dist(j, v) + w; nd < d.dist(j, u) {
+		h.PushOrDecrease(u, nd)
+	}
+	if h.Len() == 0 {
+		return dirty
+	}
+	settled := 0
+	for {
+		x, dx, ok := h.PopMin()
+		if !ok {
+			break
+		}
+		if dx >= d.dist(j, x) {
+			continue
+		}
+		settled++
+		if settled > d.budget {
+			// Partial decrease repairs leave the table mixed (some entries
+			// already lowered, some stale): unusable for bounds either way,
+			// so disable and let the rebuild path restore it.
+			d.disable(j)
+			return dirty
+		}
+		d.setDist(j, x, dx)
+		d.repaired++
+		dirty = append(dirty, x)
+		nbrs, ws := g.Neighbors(x)
+		for i, y := range nbrs {
+			if nd := dx + ws[i]; nd < d.dist(j, y) {
+				h.PushOrDecrease(y, nd)
+			}
+		}
+	}
+	d.repairs++
+	return dirty
+}
+
+// increaseRepair handles a deletion or upward reweight of edge (u,v) whose
+// old weight was oldW, on the post-change graph g.
+func (d *Dynamic) increaseRepair(g *graph.Graph, j int, u, v graph.VertexID, oldW float64, dirty []graph.VertexID) []graph.VertexID {
+	du, dv := d.dist(j, u), d.dist(j, v)
+	var start graph.VertexID
+	switch {
+	case !math.IsInf(du, 1) && du+oldW == dv:
+		start = v
+	case !math.IsInf(dv, 1) && dv+oldW == du:
+		start = u
+	default:
+		// The edge was not tight for landmark j: no shortest path from the
+		// landmark used it, so the table is untouched by this op.
+		return dirty
+	}
+
+	// Phase 1: collect the affected set in ascending-distance order. A
+	// candidate keeps its distance iff it still has a tight neighbor outside
+	// the affected set; every potential support has strictly smaller
+	// distance (edge weights are positive) and is therefore classified
+	// before its dependents.
+	h := d.heap
+	h.Reset()
+	h.PushOrDecrease(start, d.dist(j, start))
+	affected := make(map[graph.VertexID]bool, 16)
+	visited := make(map[graph.VertexID]bool, 16)
+	var affectedList []graph.VertexID
+	for {
+		z, _, ok := h.PopMin()
+		if !ok {
+			break
+		}
+		if visited[z] {
+			continue
+		}
+		visited[z] = true
+		dz := d.dist(j, z)
+		supported := dz == 0 // the landmark itself needs no predecessor
+		nbrs, ws := g.Neighbors(z)
+		if !supported {
+			for i, y := range nbrs {
+				if d.dist(j, y)+ws[i] == dz && !affected[y] {
+					supported = true
+					break
+				}
+			}
+		}
+		if supported {
+			continue
+		}
+		affected[z] = true
+		affectedList = append(affectedList, z)
+		if len(affectedList) > d.budget {
+			// Table untouched so far (phase 1 only reads): the old exact
+			// distances are still stored but may now under-estimate, so the
+			// landmark must sit out of bounds until rebuilt.
+			d.disable(j)
+			return dirty
+		}
+		for i, t := range nbrs {
+			if dz+ws[i] == d.dist(j, t) && !visited[t] {
+				h.PushOrDecrease(t, d.dist(j, t))
+			}
+		}
+	}
+	if len(affectedList) == 0 {
+		return dirty
+	}
+
+	// Phase 2: recompute the affected set by Dijkstra seeded from its
+	// unaffected boundary. Unreached vertices stay +Inf (the op disconnected
+	// them from the landmark).
+	h.Reset()
+	for _, x := range affectedList {
+		d.setDist(j, x, graph.Infinity)
+		d.repaired++
+		dirty = append(dirty, x)
+	}
+	for _, x := range affectedList {
+		best := graph.Infinity
+		nbrs, ws := g.Neighbors(x)
+		for i, y := range nbrs {
+			if !affected[y] {
+				if cand := d.dist(j, y) + ws[i]; cand < best {
+					best = cand
+				}
+			}
+		}
+		if !math.IsInf(best, 1) {
+			h.PushOrDecrease(x, best)
+		}
+	}
+	for {
+		x, dx, ok := h.PopMin()
+		if !ok {
+			break
+		}
+		if dx >= d.dist(j, x) {
+			continue
+		}
+		d.setDist(j, x, dx)
+		nbrs, ws := g.Neighbors(x)
+		for i, t := range nbrs {
+			if affected[t] {
+				if nd := dx + ws[i]; nd < d.dist(j, t) {
+					h.PushOrDecrease(t, nd)
+				}
+			}
+		}
+	}
+	d.repairs++
+	return dirty
+}
+
+// InstallTable replaces landmark j's full table (freshly computed by a
+// rebuild against the current graph) and re-enables it. The caller must
+// guarantee table matches the graph of the epoch being built.
+func (d *Dynamic) InstallTable(j int, table []float64) {
+	d.BeginBatch()
+	for v := 0; v < d.work.n; v++ {
+		d.setDist(j, graph.VertexID(v), table[v])
+	}
+	d.work.disabled &^= 1 << uint(j)
+	d.installs++
+}

@@ -1,0 +1,340 @@
+package landmark
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ssrq/internal/graph"
+)
+
+// churnStep applies one random edge op to the overlay and repairs the
+// dynamic tables, returning the post-change graph.
+func churnStep(t *testing.T, rng *rand.Rand, o *graph.Overlay, d *Dynamic, n int) *graph.Graph {
+	t.Helper()
+	for {
+		u := graph.VertexID(rng.Intn(n))
+		v := graph.VertexID(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		oldW, had := o.EdgeWeight(u, v)
+		switch rng.Intn(3) {
+		case 0: // insert or reweight
+			w := 0.1 + rng.Float64()*2
+			if _, err := o.SetEdge(u, v, w); err != nil {
+				t.Fatal(err)
+			}
+			d.EdgeChanged(o.Working(), u, v, oldW, had, w, true)
+		case 1: // remove (retry when absent so removals actually happen)
+			if !had {
+				continue
+			}
+			if _, err := o.RemoveEdge(u, v); err != nil {
+				t.Fatal(err)
+			}
+			d.EdgeChanged(o.Working(), u, v, oldW, true, 0, false)
+		case 2: // reweight strictly up or down
+			if !had {
+				continue
+			}
+			w := oldW * (0.4 + rng.Float64()*1.4)
+			if w == oldW {
+				continue
+			}
+			if _, err := o.SetEdge(u, v, w); err != nil {
+				t.Fatal(err)
+			}
+			d.EdgeChanged(o.Working(), u, v, oldW, true, w, true)
+		}
+		return o.Working()
+	}
+}
+
+// TestIncrementalRepairStaysExact is the core property of the tentpole:
+// after arbitrary interleaved inserts/removes/reweights, every *enabled*
+// landmark's table must equal a fresh Dijkstra on the mutated graph, bit for
+// bit. A huge budget keeps every landmark enabled so the repair paths are
+// fully exercised.
+func TestIncrementalRepairStaysExact(t *testing.T) {
+	for trial := 0; trial < 8; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		n := 15 + rng.Intn(50)
+		b := graph.NewBuilder(n)
+		for v := 1; v < n; v++ {
+			_ = b.AddEdge(graph.VertexID(rng.Intn(v)), graph.VertexID(v), 0.1+rng.Float64()*2)
+		}
+		for i := 0; i < n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				_ = b.AddEdge(graph.VertexID(u), graph.VertexID(v), 0.1+rng.Float64()*2)
+			}
+		}
+		g := b.MustBuild()
+		m := 1 + rng.Intn(5)
+		s, err := Select(g, m, Strategy(rng.Intn(3)), int64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := NewDynamic(s, 1<<30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := graph.NewOverlay(g)
+
+		for step := 0; step < 60; step++ {
+			cur := churnStep(t, rng, o, d, n)
+			set := d.Commit()
+			if set.NumDisabled() != 0 {
+				t.Fatalf("trial %d step %d: landmark disabled despite unbounded budget", trial, step)
+			}
+			for j, lmv := range set.Vertices() {
+				want := cur.DistancesFrom(lmv)
+				for v := 0; v < n; v++ {
+					if got := set.Dist(j, graph.VertexID(v)); got != want[v] {
+						t.Fatalf("trial %d step %d: landmark %d dist to %d = %v, want %v",
+							trial, step, j, v, got, want[v])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRepairBudgetDisablesAndInstallRestores drives churn with a tiny
+// budget: landmarks must get disabled (never silently stale), disabled
+// landmarks must drop out of every bound, and InstallTable must restore
+// exactness.
+func TestRepairBudgetDisablesAndInstallRestores(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	const n = 80
+	b := graph.NewBuilder(n)
+	for v := 1; v < n; v++ {
+		_ = b.AddEdge(graph.VertexID(rng.Intn(v)), graph.VertexID(v), 0.5+rng.Float64())
+	}
+	g := b.MustBuild()
+	s, err := Select(g, 4, Farthest, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDynamic(s, 2) // absurdly small: almost everything overruns
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := graph.NewOverlay(g)
+	for step := 0; step < 40 && d.View().NumDisabled() < 4; step++ {
+		churnStep(t, rng, o, d, n)
+	}
+	set := d.Commit()
+	if set.NumDisabled() == 0 {
+		t.Fatal("tiny budget never disabled a landmark")
+	}
+
+	// Disabled landmarks must contribute nothing: with all disabled, bounds
+	// degenerate to the trivial 0/+Inf.
+	if set.NumDisabled() == set.M() {
+		if lo := set.LowerBound(0, 5); lo != 0 {
+			t.Fatalf("all-disabled LowerBound = %v, want 0", lo)
+		}
+		if hi := set.UpperBound(0, 5); hi != graph.Infinity {
+			t.Fatalf("all-disabled UpperBound = %v, want +Inf", hi)
+		}
+	}
+
+	// Install fresh tables: everything re-enabled and exact again.
+	cur := o.Working()
+	for j, lmv := range set.Vertices() {
+		if !set.Enabled(j) {
+			d.InstallTable(j, cur.DistancesFrom(lmv))
+		}
+	}
+	set = d.Commit()
+	if set.NumDisabled() != 0 {
+		t.Fatalf("%d landmarks still disabled after install", set.NumDisabled())
+	}
+	for j, lmv := range set.Vertices() {
+		want := cur.DistancesFrom(lmv)
+		for v := 0; v < n; v++ {
+			if got := set.Dist(j, graph.VertexID(v)); got != want[v] {
+				t.Fatalf("landmark %d dist to %d = %v, want %v after install", j, v, got, want[v])
+			}
+		}
+	}
+}
+
+// TestBoundsAdmissibleUnderChurn samples LowerBound ≤ true ≤ UpperBound on
+// mutated graphs with a moderate budget — the admissibility the paper's
+// Lemma-2 pruning and the A* heuristic rest on, under the exact conditions
+// (partial disables, repairs, reconnections) production would see.
+func TestBoundsAdmissibleUnderChurn(t *testing.T) {
+	for trial := 0; trial < 6; trial++ {
+		rng := rand.New(rand.NewSource(int64(500 + trial)))
+		n := 20 + rng.Intn(40)
+		b := graph.NewBuilder(n)
+		for v := 1; v < n; v++ {
+			_ = b.AddEdge(graph.VertexID(rng.Intn(v)), graph.VertexID(v), 0.1+rng.Float64())
+		}
+		g := b.MustBuild()
+		s, err := Select(g, 3, Farthest, int64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := NewDynamic(s, 8) // small enough to disable sometimes
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := graph.NewOverlay(g)
+		for step := 0; step < 50; step++ {
+			cur := churnStep(t, rng, o, d, n)
+			set := d.Commit()
+			src := graph.VertexID(rng.Intn(n))
+			dist := cur.DistancesFrom(src)
+			h := set.HeuristicTo(src)
+			for v := 0; v < n; v++ {
+				lo := set.LowerBound(src, graph.VertexID(v))
+				hi := set.UpperBound(src, graph.VertexID(v))
+				if lo > dist[v]+1e-9 {
+					t.Fatalf("trial %d step %d: LowerBound(%d,%d) = %v > true %v (disabled=%d)",
+						trial, step, src, v, lo, dist[v], set.NumDisabled())
+				}
+				if hi < dist[v]-1e-9 {
+					t.Fatalf("trial %d step %d: UpperBound(%d,%d) = %v < true %v",
+						trial, step, src, v, hi, dist[v])
+				}
+				if hv := h(graph.VertexID(v)); hv > dist[v]+1e-9 {
+					t.Fatalf("trial %d step %d: heuristic %v > true %v", trial, step, hv, dist[v])
+				}
+			}
+		}
+	}
+}
+
+// TestCommittedEpochsAreImmutable freezes a Set mid-churn and verifies its
+// every entry and bound stays bit-stable while later epochs mutate.
+func TestCommittedEpochsAreImmutable(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n = 50
+	b := graph.NewBuilder(n)
+	for v := 1; v < n; v++ {
+		_ = b.AddEdge(graph.VertexID(rng.Intn(v)), graph.VertexID(v), 0.2+rng.Float64())
+	}
+	g := b.MustBuild()
+	s, err := Select(g, 3, Random, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDynamic(s, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := graph.NewOverlay(g)
+
+	churnStep(t, rng, o, d, n)
+	frozen := d.Commit()
+	var want []float64
+	for j := 0; j < frozen.M(); j++ {
+		want = append(want, frozen.Table(j)...)
+	}
+	wantMask := frozen.DisabledMask()
+
+	for step := 0; step < 30; step++ {
+		churnStep(t, rng, o, d, n)
+		d.Commit()
+	}
+	var got []float64
+	for j := 0; j < frozen.M(); j++ {
+		got = append(got, frozen.Table(j)...)
+	}
+	if frozen.DisabledMask() != wantMask {
+		t.Fatal("frozen epoch's disabled mask changed")
+	}
+	for i := range want {
+		if want[i] != got[i] && !(math.IsNaN(want[i]) && math.IsNaN(got[i])) {
+			t.Fatalf("frozen epoch entry %d changed: %v -> %v", i, want[i], got[i])
+		}
+	}
+}
+
+// TestNewDynamicRejectsTooManyLandmarks pins the 64-landmark cap of the
+// bitmask representation.
+func TestNewDynamicRejectsTooManyLandmarks(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := buildChain(70)
+	s, err := Select(g, 65, Random, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDynamic(s, 0); err == nil {
+		t.Fatal("65 landmarks accepted")
+	}
+	s2, err := Select(g, 64, Random, rng.Int63())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDynamic(s2, 0); err != nil {
+		t.Fatalf("64 landmarks rejected: %v", err)
+	}
+}
+
+func buildChain(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for v := 0; v < n-1; v++ {
+		_ = b.AddEdge(graph.VertexID(v), graph.VertexID(v+1), 1)
+	}
+	return b.MustBuild()
+}
+
+// TestDisconnectionAndReconnection exercises the +Inf transitions: removing
+// a bridge must push the cut-off side to +Inf, re-adding it must restore
+// finite exact distances.
+func TestDisconnectionAndReconnection(t *testing.T) {
+	const n = 10
+	g := buildChain(n)
+	s, err := Select(g, 1, HighestDegree, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lmv := s.Vertices()[0]
+	d, err := NewDynamic(s, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := graph.NewOverlay(g)
+
+	// Cut the chain between 4 and 5.
+	if _, err := o.RemoveEdge(4, 5); err != nil {
+		t.Fatal(err)
+	}
+	d.EdgeChanged(o.Working(), 4, 5, 1, true, 0, false)
+	set := d.Commit()
+	want := o.Working().DistancesFrom(lmv)
+	sawInf := false
+	for v := 0; v < n; v++ {
+		got := set.Dist(0, graph.VertexID(v))
+		if got != want[v] {
+			t.Fatalf("post-cut dist to %d = %v, want %v", v, got, want[v])
+		}
+		if math.IsInf(got, 1) {
+			sawInf = true
+		}
+	}
+	if !sawInf {
+		t.Fatal("cutting the bridge disconnected nothing")
+	}
+
+	// Reconnect with a different weight.
+	if _, err := o.SetEdge(4, 5, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	d.EdgeChanged(o.Working(), 4, 5, 0, false, 0.25, true)
+	set = d.Commit()
+	want = o.Working().DistancesFrom(lmv)
+	for v := 0; v < n; v++ {
+		if got := set.Dist(0, graph.VertexID(v)); got != want[v] {
+			t.Fatalf("post-reconnect dist to %d = %v, want %v", v, got, want[v])
+		}
+		if math.IsInf(set.Dist(0, graph.VertexID(v)), 1) {
+			t.Fatalf("vertex %d still unreachable after reconnect", v)
+		}
+	}
+}

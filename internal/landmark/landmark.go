@@ -6,15 +6,38 @@
 // The AIS index aggregates these per-vertex tables into per-cell social
 // summaries; the TSA landmark variant prunes candidates with the pairwise
 // lower bound; GraphDist's reverse A* uses the bound as its heuristic.
+//
+// Storage is vertex-major and paged: the M-vector of vertex v lives
+// contiguously inside a fixed-size page, so the hot bound computations stay
+// cache-friendly while the dynamic maintenance layer (dynamic.go) can
+// copy-on-write individual pages per epoch instead of whole tables. A Set is
+// immutable once published and safe for unlimited concurrent reads; under
+// edge churn, landmarks whose tables could not be repaired within budget are
+// *disabled* (excluded from every bound via a bitmask) until an asynchronous
+// rebuild restores them — bounds from enabled landmarks are always computed
+// from exact distances, which is what keeps Lemma-2 pruning admissible.
 package landmark
 
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"math/rand"
 
 	"ssrq/internal/graph"
 )
+
+// Paged vertex-major storage: the vector of vertex v occupies
+// pages[v>>pageShift][(v&pageMask)*m : ...+m].
+const (
+	pageShift = 8
+	pageSize  = 1 << pageShift
+	pageMask  = pageSize - 1
+)
+
+// maxDynamic is the largest landmark count the dynamic maintenance layer
+// supports (the disabled set is a uint64 bitmask). The paper's tuned M is 8.
+const maxDynamic = 64
 
 // Strategy selects which vertices become landmarks.
 type Strategy int
@@ -44,17 +67,17 @@ func (s Strategy) String() string {
 	}
 }
 
-// Set holds M landmarks and their full distance tables. Tables are indexed
-// [landmark][vertex]; unreachable vertices hold +Inf. A vertex-major copy
-// (M contiguous floats per vertex) backs the hot-path bound computations —
-// LowerBound and the A* heuristics run once per heap operation, so cache
-// locality matters. Set is immutable after Select and safe for concurrent
-// reads.
+// Set holds M landmarks and their distance tables in paged vertex-major
+// form; unreachable vertices hold +Inf. Set is immutable after construction
+// and safe for concurrent reads. disabled is the bitmask of landmarks
+// excluded from all bounds (stale tables under edge churn, see dynamic.go);
+// it is 0 for statically-built sets.
 type Set struct {
 	vertices []graph.VertexID
-	tables   [][]float64
-	byVertex []float64 // len n*M; vector of vertex v at [v*M : v*M+M]
 	m        int
+	n        int
+	pages    [][]float64
+	disabled uint64
 }
 
 // Select chooses m landmarks on g using the given strategy and computes
@@ -68,12 +91,17 @@ func Select(g *graph.Graph, m int, strategy Strategy, seed int64) (*Set, error) 
 		return nil, fmt.Errorf("landmark: m = %d exceeds %d vertices", m, n)
 	}
 	rng := rand.New(rand.NewSource(seed))
-	s := &Set{}
+	var vertices []graph.VertexID
+	var tables [][]float64
+	add := func(v graph.VertexID) {
+		vertices = append(vertices, v)
+		tables = append(tables, g.DistancesFrom(v))
+	}
 	switch strategy {
 	case Random:
 		perm := rng.Perm(n)
 		for _, v := range perm[:m] {
-			s.add(g, graph.VertexID(v))
+			add(graph.VertexID(v))
 		}
 	case HighestDegree:
 		type dv struct {
@@ -93,17 +121,17 @@ func Select(g *graph.Graph, m int, strategy Strategy, seed int64) (*Set, error) 
 				}
 			}
 			best[i], best[top] = best[top], best[i]
-			s.add(g, best[i].v)
+			add(best[i].v)
 		}
 	case Farthest:
 		seedV := graph.VertexID(rng.Intn(n))
-		first := farthestFrom(g, g.DistancesFrom(seedV), seedV)
-		s.add(g, first)
-		minDist := append([]float64(nil), s.tables[0]...)
-		for len(s.vertices) < m {
-			next := argmaxDist(minDist, s.vertices)
-			s.add(g, next)
-			t := s.tables[len(s.tables)-1]
+		first := farthestFrom(g.DistancesFrom(seedV), seedV)
+		add(first)
+		minDist := append([]float64(nil), tables[0]...)
+		for len(vertices) < m {
+			next := argmaxDist(minDist, vertices)
+			add(next)
+			t := tables[len(tables)-1]
 			for v := range minDist {
 				if t[v] < minDist[v] {
 					minDist[v] = t[v]
@@ -113,24 +141,40 @@ func Select(g *graph.Graph, m int, strategy Strategy, seed int64) (*Set, error) 
 	default:
 		return nil, fmt.Errorf("landmark: unknown strategy %v", strategy)
 	}
-	s.m = len(s.vertices)
-	s.byVertex = make([]float64, n*s.m)
-	for v := 0; v < n; v++ {
-		for j, t := range s.tables {
-			s.byVertex[v*s.m+j] = t[v]
-		}
-	}
-	return s, nil
+	return newSet(n, vertices, tables), nil
 }
 
-func (s *Set) add(g *graph.Graph, v graph.VertexID) {
-	s.vertices = append(s.vertices, v)
-	s.tables = append(s.tables, g.DistancesFrom(v))
+// newSet packs landmark-major tables into the paged vertex-major layout.
+func newSet(n int, vertices []graph.VertexID, tables [][]float64) *Set {
+	s := &Set{vertices: vertices, m: len(vertices), n: n}
+	s.pages = make([][]float64, numPages(n))
+	for p := range s.pages {
+		lo := p << pageShift
+		hi := min(lo+pageSize, n)
+		page := make([]float64, (hi-lo)*s.m)
+		for v := lo; v < hi; v++ {
+			base := (v - lo) * s.m
+			for j, t := range tables {
+				page[base+j] = t[v]
+			}
+		}
+		s.pages[p] = page
+	}
+	return s
+}
+
+// numPages returns how many pages cover n per-vertex vectors.
+func numPages(n int) int { return (n + pageSize - 1) / pageSize }
+
+// vec returns the landmark-distance vector of v (aliases internal storage).
+func (s *Set) vec(v graph.VertexID) []float64 {
+	base := int(v&pageMask) * s.m
+	return s.pages[v>>pageShift][base : base+s.m]
 }
 
 // farthestFrom returns the vertex with the largest finite distance in dist,
 // falling back to the seed when everything else is unreachable.
-func farthestFrom(g *graph.Graph, dist []float64, seed graph.VertexID) graph.VertexID {
+func farthestFrom(dist []float64, seed graph.VertexID) graph.VertexID {
 	best, bestD := seed, -1.0
 	for v, d := range dist {
 		if d != graph.Infinity && d > bestD {
@@ -161,42 +205,64 @@ func argmaxDist(minDist []float64, chosen []graph.VertexID) graph.VertexID {
 }
 
 // M returns the number of landmarks.
-func (s *Set) M() int { return len(s.vertices) }
+func (s *Set) M() int { return s.m }
+
+// NumVertices returns the vertex count the tables cover.
+func (s *Set) NumVertices() int { return s.n }
 
 // Vertices returns the landmark vertex IDs (do not modify).
 func (s *Set) Vertices() []graph.VertexID { return s.vertices }
 
 // Dist returns the distance between the j-th landmark and vertex v
-// (the paper's m_vj), +Inf when unreachable.
-func (s *Set) Dist(j int, v graph.VertexID) float64 { return s.tables[j][v] }
+// (the paper's m_vj), +Inf when unreachable. Note: Dist reports the stored
+// table value even for disabled landmarks (callers evaluating bounds must
+// honor DisabledMask; the bound methods below do).
+func (s *Set) Dist(j int, v graph.VertexID) float64 { return s.vec(v)[j] }
 
-// Table returns the full distance table of the j-th landmark (do not modify).
-func (s *Set) Table(j int) []float64 { return s.tables[j] }
+// Enabled reports whether landmark j participates in bounds.
+func (s *Set) Enabled(j int) bool { return s.disabled&(1<<uint(j)) == 0 }
+
+// DisabledMask returns the bitmask of disabled landmarks (bit j set =
+// landmark j excluded from bounds until rebuilt).
+func (s *Set) DisabledMask() uint64 { return s.disabled }
+
+// NumDisabled returns how many landmarks are currently disabled.
+func (s *Set) NumDisabled() int { return bits.OnesCount64(s.disabled) }
+
+// Table returns the full distance table of the j-th landmark as a fresh
+// slice.
+func (s *Set) Table(j int) []float64 {
+	t := make([]float64, s.n)
+	for v := 0; v < s.n; v++ {
+		t[v] = s.vec(graph.VertexID(v))[j]
+	}
+	return t
+}
 
 // VertexVector returns the landmark-distance vector of v as a fresh slice.
 func (s *Set) VertexVector(v graph.VertexID) []float64 {
-	vec := make([]float64, len(s.tables))
-	for j := range s.tables {
-		vec[j] = s.tables[j][v]
-	}
-	return vec
+	return append([]float64(nil), s.vec(v)...)
 }
 
 // LowerBound returns the tightest triangle-inequality lower bound on the
-// graph distance p(u, v): max_j |m_uj − m_vj|. When some landmark reaches
-// exactly one of the two vertices they provably lie in different components
-// and the bound is +Inf.
+// graph distance p(u, v) over the enabled landmarks: max_j |m_uj − m_vj|.
+// When some enabled landmark reaches exactly one of the two vertices they
+// provably lie in different components and the bound is +Inf.
 func (s *Set) LowerBound(u, v graph.VertexID) float64 {
 	if u == v {
 		return 0
 	}
-	return boundVecs(s.byVertex[int(u)*s.m:int(u)*s.m+s.m], s.byVertex[int(v)*s.m:int(v)*s.m+s.m])
+	return boundVecs(s.vec(u), s.vec(v), s.disabled)
 }
 
-// boundVecs computes max_j |a_j − b_j| with the component-mismatch rule.
-func boundVecs(a, b []float64) float64 {
+// boundVecs computes max over enabled j of |a_j − b_j| with the
+// component-mismatch rule.
+func boundVecs(a, b []float64, disabled uint64) float64 {
 	best := 0.0
 	for j := range a {
+		if disabled&(1<<uint(j)) != 0 {
+			continue
+		}
 		da, db := a[j], b[j]
 		aInf, bInf := math.IsInf(da, 1), math.IsInf(db, 1)
 		if aInf || bInf {
@@ -216,15 +282,20 @@ func boundVecs(a, b []float64) float64 {
 	return best
 }
 
-// UpperBound returns min_j (m_uj + m_vj), an upper bound on p(u, v) via the
-// best landmark detour; +Inf when no landmark reaches both.
+// UpperBound returns min over enabled j of (m_uj + m_vj), an upper bound on
+// p(u, v) via the best landmark detour; +Inf when no enabled landmark
+// reaches both.
 func (s *Set) UpperBound(u, v graph.VertexID) float64 {
 	if u == v {
 		return 0
 	}
+	vu, vv := s.vec(u), s.vec(v)
 	best := graph.Infinity
-	for _, t := range s.tables {
-		if d := t[u] + t[v]; d < best {
+	for j := 0; j < s.m; j++ {
+		if s.disabled&(1<<uint(j)) != 0 {
+			continue
+		}
+		if d := vu[j] + vv[j]; d < best {
 			best = d
 		}
 	}
@@ -232,12 +303,14 @@ func (s *Set) UpperBound(u, v graph.VertexID) float64 {
 }
 
 // HeuristicTo returns a consistent A* heuristic estimating the distance from
-// any vertex to the fixed target (used by GraphDist's reverse search).
+// any vertex to the fixed target (used by GraphDist's reverse search). The
+// heuristic captures this Set's epoch: it stays valid for searches over the
+// graph this Set was computed against.
 func (s *Set) HeuristicTo(target graph.VertexID) graph.Heuristic {
 	// Snapshot the target's landmark vector once.
 	tv := s.VertexVector(target)
-	byVertex, m := s.byVertex, s.m
+	disabled := s.disabled
 	return func(v graph.VertexID) float64 {
-		return boundVecs(byVertex[int(v)*m:int(v)*m+m], tv)
+		return boundVecs(s.vec(v), tv, disabled)
 	}
 }

@@ -224,8 +224,7 @@ func TestUpperBoundViaLandmarkEquality(t *testing.T) {
 	_ = b.AddEdge(0, 1, 1)
 	_ = b.AddEdge(1, 2, 1)
 	g := b.MustBuild()
-	s := &Set{}
-	s.add(g, 1)
+	s := newSet(3, []graph.VertexID{1}, [][]float64{g.DistancesFrom(1)})
 	if got := s.UpperBound(0, 2); math.Abs(got-2) > 1e-12 {
 		t.Fatalf("UpperBound(0,2) = %v, want 2", got)
 	}

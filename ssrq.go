@@ -244,6 +244,15 @@ type Options struct {
 	// UpdateMaxBatch caps how many queued updates the asynchronous updater
 	// coalesces into one published epoch (default 256).
 	UpdateMaxBatch int
+	// LandmarkRepairBudget caps the per-landmark per-edge-update incremental
+	// table repair before the landmark is disabled and rebuilt in the
+	// background (default 256). Larger values repair more churn in place;
+	// smaller values shed work to the asynchronous rebuild sooner.
+	LandmarkRepairBudget int
+	// OverlayCompactThreshold is the edge-overlay delta size (vertices with
+	// modified adjacency) that triggers compaction back into a flat CSR
+	// (default max(1024, n/8)).
+	OverlayCompactThreshold int
 }
 
 // Engine answers SSRQ queries over one dataset. The engine is safe for
@@ -270,15 +279,17 @@ func NewEngine(d *Dataset, opts *Options) (*Engine, error) {
 		o = *opts
 	}
 	eng, err := core.NewEngine(d.ds, core.Options{
-		GridS:            o.GridS,
-		GridLevels:       o.GridLevels,
-		NumLandmarks:     o.NumLandmarks,
-		LandmarkStrategy: landmark.Strategy(o.LandmarkStrategy),
-		Seed:             o.Seed,
-		BuildCH:          o.BuildCH,
-		CacheT:           o.CacheT,
-		UpdateQueueCap:   o.UpdateQueueCap,
-		UpdateMaxBatch:   o.UpdateMaxBatch,
+		GridS:                   o.GridS,
+		GridLevels:              o.GridLevels,
+		NumLandmarks:            o.NumLandmarks,
+		LandmarkStrategy:        landmark.Strategy(o.LandmarkStrategy),
+		Seed:                    o.Seed,
+		BuildCH:                 o.BuildCH,
+		CacheT:                  o.CacheT,
+		UpdateQueueCap:          o.UpdateQueueCap,
+		UpdateMaxBatch:          o.UpdateMaxBatch,
+		LandmarkRepairBudget:    o.LandmarkRepairBudget,
+		OverlayCompactThreshold: o.OverlayCompactThreshold,
 	})
 	if err != nil {
 		return nil, err
@@ -340,11 +351,17 @@ func (e *Engine) UserLocation(id UserID) (Point, bool) {
 	return Point{X: p.X * norm, Y: p.Y * norm}, true
 }
 
-// DatasetStats returns Table 2-style statistics; NumLocated reflects the
-// latest published epoch (it varies as movers run).
+// DatasetStats returns Table 2-style statistics; NumLocated and NumEdges
+// reflect the latest published epoch (they vary as movers and edge churners
+// run).
 func (e *Engine) DatasetStats() DatasetStats {
 	st := e.d.ds.Stats()
-	st.NumLocated = e.eng.Snapshot().Grid().NumLocated()
+	sn := e.eng.Snapshot()
+	st.NumLocated = sn.Grid().NumLocated()
+	if g := sn.SocialGraph(); g != nil {
+		st.NumEdges = g.NumEdges()
+		st.AvgDegree = g.AvgDegree()
+	}
 	return st
 }
 
@@ -418,6 +435,81 @@ func (e *Engine) Close() { e.eng.Close() }
 // "infinitely far away" and leaves all spatial structures.
 func (e *Engine) RemoveUserLocation(id UserID) error { return e.eng.RemoveUserLocation(id) }
 
+// EdgeUpdate is one bulk friendship update in raw weight units: an upsert
+// (Remove false — insert the edge or change its weight) or a deletion
+// (Remove true, Weight ignored).
+type EdgeUpdate struct {
+	U, V   UserID
+	Weight float64
+	Remove bool
+}
+
+// normalizeEdge converts a raw-weight edge update to the engine's internal
+// normalized form.
+func (e *Engine) normalizeEdge(u EdgeUpdate) core.Update {
+	op := core.Update{U: u.U, V: u.V}
+	if u.Remove {
+		op.Kind = core.OpEdgeRemove
+	} else {
+		op.Kind = core.OpEdgeUpsert
+		op.W = u.Weight / e.d.ds.Norms.Social
+	}
+	return op
+}
+
+// AddFriend inserts the undirected friendship (u, v) with raw weight w
+// (smaller = stronger, must be positive and finite), or changes its weight
+// when the edge already exists. The social graph, the landmark tables and
+// the AIS summaries move together as one published epoch, so queries never
+// observe a half-applied edge. Never blocks queries.
+func (e *Engine) AddFriend(u, v UserID, w float64) error {
+	return e.eng.AddFriend(u, v, w/e.d.ds.Norms.Social)
+}
+
+// RemoveFriend deletes the undirected friendship (u, v); a no-op when the
+// edge is absent. Never blocks queries.
+func (e *Engine) RemoveFriend(u, v UserID) error { return e.eng.RemoveFriend(u, v) }
+
+// AddFriendAsync enqueues a friendship upsert (raw weight) on the engine's
+// batching update pipeline — the same pipeline as MoveUserAsync, so one
+// Flush is the read-your-writes barrier for both dimensions. Redundant
+// updates for the same pair coalesce to the newest.
+func (e *Engine) AddFriendAsync(u, v UserID, w float64) error {
+	return e.eng.AddFriendAsync(u, v, w/e.d.ds.Norms.Social)
+}
+
+// RemoveFriendAsync enqueues a friendship removal on the update pipeline.
+func (e *Engine) RemoveFriendAsync(u, v UserID) error { return e.eng.RemoveFriendAsync(u, v) }
+
+// ApplyEdgeUpdates validates and applies a batch of raw-weight edge updates
+// as a single published epoch. On a validation error nothing is applied.
+func (e *Engine) ApplyEdgeUpdates(ups []EdgeUpdate) error {
+	ops := make([]core.Update, len(ups))
+	for i, u := range ups {
+		ops[i] = e.normalizeEdge(u)
+	}
+	return e.eng.ApplyUpdates(ops)
+}
+
+// SocialStats is a point-in-time view of the dynamic social graph: edge
+// counts, overlay/compaction state and landmark maintenance health
+// (incremental repairs, disabled landmarks awaiting rebuild, completed
+// rebuilds).
+type SocialStats = core.SocialStats
+
+// SocialStats reports the social dimension's counters.
+func (e *Engine) SocialStats() SocialStats { return e.eng.SocialStats() }
+
+// SupportsEdgeChurn reports whether this engine accepts friendship updates.
+// False only when Options.NumLandmarks exceeds the dynamic-maintenance cap
+// of 64 — a permanent property of the engine's configuration.
+func (e *Engine) SupportsEdgeChurn() bool { return e.eng.SupportsEdgeChurn() }
+
+// RebuildLandmarks synchronously restores any landmark tables that edge
+// churn disabled (the background rebuilder normally handles this). Returns
+// how many landmarks were rebuilt.
+func (e *Engine) RebuildLandmarks() int { return e.eng.RebuildLandmarks() }
+
 // Precompute materializes §5.4 social-distance lists for the given query
 // users so AISCache answers without a cold build.
 func (e *Engine) Precompute(users []UserID) { e.eng.Precompute(users) }
@@ -440,8 +532,10 @@ func (e *Engine) SpatialKNN(q UserID, k int) ([]Entry, error) {
 }
 
 // SocialKNN returns the k socially-closest users to q (pure one-domain).
+// Lock-free and safe concurrently with edge churn: the expansion runs
+// against the latest published social epoch.
 func (e *Engine) SocialKNN(q UserID, k int) []Entry {
-	it := graph.NewDijkstraIterator(e.d.ds.G, q)
+	it := graph.NewDijkstraIterator(e.eng.Snapshot().SocialGraph(), q)
 	var out []Entry
 	for len(out) < k {
 		v, p, ok := it.Next()
