@@ -41,6 +41,7 @@ type serverConfig struct {
 	seed     int64
 	addr     string
 	parallel int
+	buildCH  bool
 }
 
 // parseFlags parses the command line; separated from main so tests can
@@ -55,6 +56,7 @@ func parseFlags(args []string, stderr io.Writer) (*serverConfig, error) {
 	fs.Int64Var(&cfg.seed, "seed", 42, "seed for synthesis and preprocessing")
 	fs.StringVar(&cfg.addr, "addr", ":8080", "listen address")
 	fs.IntVar(&cfg.parallel, "parallel", 0, "default worker count for POST /batch (0 = GOMAXPROCS)")
+	fs.BoolVar(&cfg.buildCH, "ch", false, "build a contraction hierarchy so the SFA-CH/SPA-CH/TSA-CH variants serve (survives edge churn: in-place repair for insertions, background rebuild otherwise)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -77,7 +79,7 @@ func buildServer(cfg *serverConfig) (*httpapi.Server, *ssrq.Dataset, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	eng, err := ssrq.NewEngine(ds, &ssrq.Options{Seed: cfg.seed})
+	eng, err := ssrq.NewEngine(ds, &ssrq.Options{Seed: cfg.seed, BuildCH: cfg.buildCH})
 	if err != nil {
 		return nil, nil, err
 	}

@@ -31,6 +31,15 @@
 // (bounded re-relaxation, see landmark.Dynamic); a landmark whose repair
 // blows the budget is disabled (excluded from all bounds, which only
 // loosens pruning) and restored by an asynchronous full rebuild.
+//
+// When configured with a contraction hierarchy (Config.CH), the index owns
+// its churn survival too: every Snapshot publishes the hierarchy tagged with
+// the social epoch it was built at, decrease-only edge batches repair it in
+// place (ch.Dynamic.Repair), and stale hierarchies are rebuilt by a
+// background loop mirroring the landmark one. Both background loops escalate
+// to a rate-limited install-under-writer-lock after 8 consecutive lost
+// install races, so neither pruning degradation nor *-CH refusal can persist
+// unboundedly under sustained churn.
 package aggindex
 
 import (
@@ -41,6 +50,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ssrq/internal/ch"
 	"ssrq/internal/graph"
 	"ssrq/internal/landmark"
 	"ssrq/internal/spatial"
@@ -82,6 +92,8 @@ type Snapshot struct {
 	g           *spatial.Snapshot
 	soc         *graph.Graph  // nil for indexes built without a social graph
 	lm          *landmark.Set // landmark epoch the summaries were computed on
+	hier        *ch.CH        // nil when the index owns no hierarchy
+	hierEpoch   uint64        // social epoch hier was built at
 	minSum      [][]float64   // [level][cell*m + j]
 	maxSum      [][]float64
 	m           int
@@ -112,6 +124,22 @@ func (s *Snapshot) SocialEpoch() uint64 { return s.socialEpoch }
 
 // PublishedAt returns when this epoch was installed.
 func (s *Snapshot) PublishedAt() time.Time { return s.publishedAt }
+
+// Hierarchy returns the contraction hierarchy published with this epoch
+// (nil when the index owns none). It answers exact distances only for the
+// graph of HierarchyEpoch — callers must check HierarchyFresh before serving
+// CH-backed queries from it.
+func (s *Snapshot) Hierarchy() *ch.CH { return s.hier }
+
+// HierarchyEpoch returns the social epoch the published hierarchy was built
+// (or last repaired) at.
+func (s *Snapshot) HierarchyEpoch() uint64 { return s.hierEpoch }
+
+// HierarchyFresh reports whether the published hierarchy describes exactly
+// this snapshot's social graph.
+func (s *Snapshot) HierarchyFresh() bool {
+	return s.hier != nil && s.hierEpoch == s.socialEpoch
+}
 
 // MinSummary returns m̌[j] for the cell, the minimum graph distance between
 // any member user and landmark j (+Inf for an empty cell).
@@ -209,6 +237,36 @@ type Index struct {
 	rebuildActive  atomic.Bool
 	rebuildPending atomic.Bool
 
+	// Contraction-hierarchy maintenance (nil chDyn = no hierarchy): the same
+	// kick/loop/pending protocol as the landmark rebuild, plus the in-place
+	// repair attempted inside Apply for decrease-only batches.
+	chDyn            *ch.Dynamic
+	chRebuildActive  atomic.Bool
+	chRebuildPending atomic.Bool
+
+	// Forced-install fallback state: when an async rebuild loses the install
+	// race 8 times in a row, the loop installs under the writer lock instead
+	// of giving up — at most once per forcedEvery per structure, so sustained
+	// churn bounds the degraded window deterministically instead of starving
+	// the rebuild forever. Timestamps and counters are mu-guarded.
+	forcedEvery      time.Duration
+	lmLastForced     time.Time
+	chLastForced     time.Time
+	lmForcedInstalls int64
+	chForcedInstalls int64
+
+	// Background-goroutine lifecycle: closed stops new rebuild loops and
+	// aborts running ones at their next cancellation point; bg tracks them so
+	// Close can wait. bg.Add happens under mu to serialize against Close.
+	closed atomic.Bool
+	bg     sync.WaitGroup
+
+	// testBeforeInstall, when non-nil, runs in the rebuild loops after the
+	// lock-free recompute and before the install takes the writer lock —
+	// tests set it (before any Apply, so no concurrent reader exists) to
+	// deterministically make an install attempt lose the epoch race.
+	testBeforeInstall func()
+
 	// dirtyLeaves collects leaves whose summaries changed during the current
 	// batch; upward propagation runs once over them before Publish.
 	dirtyLeaves map[int32]struct{}
@@ -223,6 +281,17 @@ type Config struct {
 	// triggers folding the delta back into a pure CSR (default
 	// max(1024, n/8)).
 	CompactThreshold int
+	// CH hands the index ownership of an epoch-tagged contraction hierarchy
+	// (built by the caller against the construction graph, social epoch 0).
+	// Apply then repairs it in place for decrease-only edge batches, stale
+	// hierarchies are rebuilt asynchronously beside the landmark loop, and
+	// every Snapshot publishes the hierarchy tagged with its build epoch.
+	CH *ch.Dynamic
+	// ForcedInstallInterval rate-limits the install-under-writer-lock
+	// fallback that bounds rebuild starvation: at most one forced landmark
+	// install event and one forced CH install per interval. 0 selects the 2s
+	// default; negative disables forced installs (pure optimistic rebuilds).
+	ForcedInstallInterval time.Duration
 }
 
 // New builds a static aggregate index over an existing grid and landmark
@@ -252,7 +321,12 @@ func build(grid *spatial.Grid, lm *landmark.Set, g *graph.Graph, cfg Config) (*I
 		grid:        grid,
 		lm:          lm,
 		m:           lm.M(),
+		chDyn:       cfg.CH,
+		forcedEvery: cfg.ForcedInstallInterval,
 		dirtyLeaves: make(map[int32]struct{}),
+	}
+	if ix.forcedEvery == 0 {
+		ix.forcedEvery = 2 * time.Second
 	}
 	if g != nil {
 		ix.g0 = g
@@ -377,6 +451,9 @@ func (ix *Index) publishLocked() {
 	} else {
 		s.lm = ix.lm
 	}
+	if ix.chDyn != nil {
+		s.hier, s.hierEpoch = ix.chDyn.Current()
+	}
 	s.disabledLm = s.lm.DisabledMask()
 	ix.published.Store(s)
 	ix.epoch++
@@ -396,6 +473,7 @@ func (ix *Index) Apply(ops []Op) {
 	}
 	ix.mu.Lock()
 	var dirtyVerts []graph.VertexID
+	var chChanges []ch.EdgeChange
 	edgeOps := false
 	for _, op := range ops {
 		switch op.Kind {
@@ -405,13 +483,28 @@ func (ix *Index) Apply(ops []Op) {
 			if !ix.SupportsEdgeChurn() {
 				continue
 			}
+			var change ch.EdgeChange
 			var changed bool
-			dirtyVerts, changed = ix.applyEdge(op, dirtyVerts)
+			dirtyVerts, change, changed = ix.applyEdge(op, dirtyVerts)
+			if changed && ix.chDyn != nil {
+				chChanges = append(chChanges, change)
+			}
 			edgeOps = edgeOps || changed
 		}
 	}
 	if edgeOps {
+		prevSocial := ix.socialEpoch
 		ix.socialEpoch++
+		if ix.chDyn != nil {
+			// In-place hierarchy repair: only worth attempting when the
+			// hierarchy was current before this batch (a lagging one misses
+			// intermediate changes and is already on the rebuild path), and
+			// only possible for decrease-only batches within the cone budget
+			// — Repair itself enforces both and reports failure otherwise.
+			if _, built := ix.chDyn.Current(); built == prevSocial {
+				ix.chDyn.Repair(ix.ov.Working(), chChanges, ix.socialEpoch)
+			}
+		}
 		// Landmark-table entries changed for dirtyVerts: the summaries of
 		// their cells were computed from the old distances and must be
 		// re-derived before this epoch pairs them with the new tables. The
@@ -442,49 +535,60 @@ func (ix *Index) Apply(ops []Op) {
 	if ix.dyn != nil {
 		disabled = ix.dyn.View().NumDisabled() > 0
 	}
+	chStale := false
+	if ix.chDyn != nil {
+		_, built := ix.chDyn.Current()
+		chStale = built != ix.socialEpoch
+	}
 	ix.mu.Unlock()
 	if disabled {
 		ix.kickRebuild()
+	}
+	if chStale {
+		ix.kickCHRebuild()
 	}
 }
 
 // applyEdge performs one edge op on the overlay and repairs the landmark
 // tables, accumulating the vertices whose landmark distances changed.
-// Reports whether the op actually changed the graph.
-func (ix *Index) applyEdge(op Op, dirty []graph.VertexID) ([]graph.VertexID, bool) {
+// Reports the effective change (for hierarchy repair) and whether the op
+// actually changed the graph.
+func (ix *Index) applyEdge(op Op, dirty []graph.VertexID) ([]graph.VertexID, ch.EdgeChange, bool) {
 	u, v := op.U, op.V
 	oldW, had := ix.ov.EdgeWeight(u, v)
+	change := ch.EdgeChange{U: u, V: v, OldW: oldW, HadOld: had}
 	switch op.Kind {
 	case OpEdgeUpsert:
+		change.NewW, change.HasNew = op.W, true
 		if had && oldW == op.W {
 			ix.edgeNoops++
-			return dirty, false
+			return dirty, change, false
 		}
 		if _, err := ix.ov.SetEdge(u, v, op.W); err != nil {
 			// Malformed ops are rejected upstream; a failure here means a
 			// caller bypassed validation — count and skip.
 			ix.edgeNoops++
-			return dirty, false
+			return dirty, change, false
 		}
 		if had {
 			ix.edgeReweights++
 		} else {
 			ix.edgeAdds++
 		}
-		return append(dirty, ix.dyn.EdgeChanged(ix.ov.Working(), u, v, oldW, had, op.W, true)...), true
+		return append(dirty, ix.dyn.EdgeChanged(ix.ov.Working(), u, v, oldW, had, op.W, true)...), change, true
 	case OpEdgeRemove:
 		if !had {
 			ix.edgeNoops++
-			return dirty, false
+			return dirty, change, false
 		}
 		if _, err := ix.ov.RemoveEdge(u, v); err != nil {
 			ix.edgeNoops++
-			return dirty, false
+			return dirty, change, false
 		}
 		ix.edgeRemoves++
-		return append(dirty, ix.dyn.EdgeChanged(ix.ov.Working(), u, v, oldW, true, 0, false)...), true
+		return append(dirty, ix.dyn.EdgeChanged(ix.ov.Working(), u, v, oldW, true, 0, false)...), change, true
 	}
-	return dirty, false
+	return dirty, change, false
 }
 
 // applyOne performs one op's membership change and leaf-level summary
@@ -662,20 +766,59 @@ func (ix *Index) kickRebuild() {
 		ix.rebuildPending.Store(true)
 		return
 	}
-	go ix.rebuildLoop()
+	if !ix.spawn(ix.rebuildLoop) {
+		ix.rebuildActive.Store(false)
+	}
+}
+
+// spawn launches fn on a Close-tracked goroutine. The bg.Add runs under mu so
+// it cannot race a concurrent Close's Wait; after Close it refuses (false).
+func (ix *Index) spawn(fn func()) bool {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.closed.Load() {
+		return false
+	}
+	ix.bg.Add(1)
+	go func() {
+		defer ix.bg.Done()
+		fn()
+	}()
+	return true
+}
+
+// Close stops the index's background maintenance: no further rebuild
+// goroutines start, in-flight ones abort at their next cancellation point
+// (between install attempts, or mid-contraction for CH builds), and Close
+// returns only after every one has exited. Queries and synchronous mutation
+// remain valid after Close; stale structures then stay stale until an
+// explicit RebuildDisabledLandmarks/RebuildCH. Idempotent.
+func (ix *Index) Close() {
+	ix.mu.Lock()
+	ix.closed.Store(true)
+	ix.mu.Unlock()
+	ix.bg.Wait()
 }
 
 // rebuildLoop restores disabled landmarks one at a time: it computes a fresh
 // distance table against the published snapshot's graph *without holding the
 // writer lock* (a full Dijkstra — the expensive part), then briefly takes the
 // lock to install it, provided no edge batch landed in between (the table
-// would describe a stale graph). Sustained churn that keeps outrunning the
-// recompute makes the loop give up after a few wasted attempts; the next
-// Apply kicks a fresh one, and disabled landmarks merely loosen bounds in
-// the meantime — they never make them wrong.
+// would describe a stale graph). Under sustained churn the optimistic path
+// can lose that race indefinitely; the 8th consecutive stale attempt
+// therefore falls back to a forced install — recomputing the disabled tables
+// *under the writer lock*, where the epoch cannot move — rate-limited to one
+// event per ForcedInstallInterval, so the disabled-landmark window is
+// deterministically bounded by 8 recompute laps plus the interval. Disabled
+// landmarks merely loosen bounds in the meantime — they never make them
+// wrong.
 func (ix *Index) rebuildLoop() {
 	for {
 		for attempts := 0; attempts < 8; {
+			if ix.closed.Load() {
+				ix.rebuildActive.Store(false)
+				return
+			}
 			sn := ix.Snapshot()
 			mask := sn.Landmarks().DisabledMask()
 			if mask == 0 {
@@ -683,6 +826,9 @@ func (ix *Index) rebuildLoop() {
 			}
 			j := bits.TrailingZeros64(mask)
 			table := sn.SocialGraph().DistancesFrom(sn.Landmarks().Vertices()[j])
+			if ix.testBeforeInstall != nil {
+				ix.testBeforeInstall()
+			}
 			ix.mu.Lock()
 			if ix.socialEpoch == sn.SocialEpoch() {
 				ix.dyn.InstallTable(j, table)
@@ -692,6 +838,9 @@ func (ix *Index) rebuildLoop() {
 				attempts = 0
 			} else {
 				attempts++
+				if attempts >= 8 {
+					ix.forceInstallLandmarksLocked()
+				}
 			}
 			ix.mu.Unlock()
 		}
@@ -709,6 +858,151 @@ func (ix *Index) rebuildLoop() {
 			return
 		}
 	}
+}
+
+// forceInstallLandmarksLocked recomputes every disabled landmark table on the
+// working graph and installs it, all under the writer lock the caller already
+// holds — writers are stalled for the duration (one Dijkstra per disabled
+// landmark plus a summary sweep), which is exactly the trade: a bounded write
+// stall instead of an unbounded pruning-degradation window. Rate-limited to
+// one event per forcedEvery; skipped events leave the old give-up behavior
+// (the next Apply re-kicks the optimistic loop).
+func (ix *Index) forceInstallLandmarksLocked() {
+	if ix.forcedEvery < 0 || time.Since(ix.lmLastForced) < ix.forcedEvery {
+		return
+	}
+	mask := ix.dyn.View().DisabledMask()
+	if mask == 0 {
+		return
+	}
+	g := ix.ov.Working()
+	for mask != 0 {
+		j := bits.TrailingZeros64(mask)
+		ix.dyn.InstallTable(j, g.DistancesFrom(ix.dyn.View().Vertices()[j]))
+		ix.lmForcedInstalls++
+		mask &^= 1 << uint(j)
+	}
+	ix.recomputeAllLeavesLocked()
+	ix.propagateDirty()
+	ix.publishLocked()
+	ix.lmLastForced = time.Now()
+}
+
+// kickCHRebuild starts the asynchronous hierarchy rebuild loop, or records
+// the kick for the running loop (same protocol as the landmark rebuild).
+func (ix *Index) kickCHRebuild() {
+	if ix.chDyn == nil {
+		return
+	}
+	if !ix.chRebuildActive.CompareAndSwap(false, true) {
+		ix.chRebuildPending.Store(true)
+		return
+	}
+	if !ix.spawn(ix.chRebuildLoop) {
+		ix.chRebuildActive.Store(false)
+	}
+}
+
+// chRebuildLoop restores hierarchy freshness: it contracts the published
+// snapshot's graph from scratch without holding the writer lock, then briefly
+// takes the lock to install, provided the social epoch still matches the
+// graph the build ran on. Like the landmark loop, the 8th consecutive stale
+// attempt escalates to a rate-limited forced install under the writer lock
+// (the build then runs with writers stalled, so it cannot lose the race),
+// bounding how long the *-CH variants stay refused under sustained churn.
+func (ix *Index) chRebuildLoop() {
+	stop := func() bool { return ix.closed.Load() }
+	for {
+		for attempts := 0; attempts < 8; {
+			if ix.closed.Load() {
+				ix.chRebuildActive.Store(false)
+				return
+			}
+			sn := ix.Snapshot()
+			if sn.HierarchyFresh() {
+				break
+			}
+			target := sn.SocialEpoch()
+			h, err := ix.chDyn.BuildFresh(sn.SocialGraph(), stop)
+			if err != nil { // interrupted: index shutting down
+				ix.chRebuildActive.Store(false)
+				return
+			}
+			if ix.testBeforeInstall != nil {
+				ix.testBeforeInstall()
+			}
+			ix.mu.Lock()
+			if ix.socialEpoch == target {
+				ix.chDyn.Install(h, target)
+				ix.publishLocked()
+				attempts = 0
+			} else {
+				attempts++
+				if attempts >= 8 {
+					ix.forceInstallCHLocked()
+				}
+			}
+			ix.mu.Unlock()
+		}
+		ix.chRebuildActive.Store(false)
+		if !ix.chRebuildPending.Swap(false) {
+			return
+		}
+		if ix.Snapshot().HierarchyFresh() ||
+			!ix.chRebuildActive.CompareAndSwap(false, true) {
+			return
+		}
+	}
+}
+
+// forceInstallCHLocked contracts the current working graph under the writer
+// lock the caller already holds and installs the result at the current social
+// epoch. Writers stall for one full build — the rate limiter (one event per
+// forcedEvery) keeps that bounded-frequency, and shutdown interrupts the
+// build mid-contraction.
+func (ix *Index) forceInstallCHLocked() {
+	if ix.forcedEvery < 0 || time.Since(ix.chLastForced) < ix.forcedEvery {
+		return
+	}
+	if _, built := ix.chDyn.Current(); built == ix.socialEpoch || ix.ov == nil {
+		return
+	}
+	h, err := ix.chDyn.BuildFresh(ix.ov.Freeze(), func() bool { return ix.closed.Load() })
+	if err != nil {
+		return
+	}
+	ix.chDyn.Install(h, ix.socialEpoch)
+	ix.publishLocked()
+	ix.chForcedInstalls++
+	ix.chLastForced = time.Now()
+}
+
+// RebuildCH synchronously re-contracts the current working graph and installs
+// the fresh hierarchy as one published epoch, making the *-CH variants serve
+// again immediately (the background loop normally handles this; the
+// synchronous form gives tests and operators a determinism knob, like
+// RebuildDisabledLandmarks). It blocks concurrent writers for one full build
+// but never blocks readers. Reports whether a rebuild was needed and ran.
+func (ix *Index) RebuildCH() bool {
+	if ix.chDyn == nil {
+		return false
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if _, built := ix.chDyn.Current(); built == ix.socialEpoch {
+		return false
+	}
+	g := ix.g0
+	if ix.ov != nil {
+		g = ix.ov.Freeze()
+	}
+	h, err := ix.chDyn.BuildFresh(g, nil)
+	if err != nil {
+		return false
+	}
+	ix.chDyn.Install(h, ix.socialEpoch)
+	ix.publishLocked()
+	return true
 }
 
 // RebuildDisabledLandmarks synchronously recomputes every disabled landmark
@@ -774,6 +1068,24 @@ type SocialStats struct {
 	// RepairedVertices the table entries they rewrote; LandmarkDisables
 	// budget overruns; LandmarkRebuilds full tables installed.
 	LandmarkRepairs, RepairedVertices, LandmarkDisables, LandmarkRebuilds int64
+	// LandmarkForcedInstalls counts landmark tables recomputed and installed
+	// under the writer lock after the asynchronous rebuild lost the install
+	// race 8 times in a row (the rate-limited anti-starvation fallback).
+	LandmarkForcedInstalls int64
+
+	// CHBuilt reports whether the index owns a contraction hierarchy.
+	CHBuilt bool
+	// CHBuiltEpoch is the social epoch the current hierarchy was built (or
+	// last repaired) at; the *-CH variants serve iff it equals SocialEpoch.
+	CHBuiltEpoch uint64
+	// CHRepairs counts in-place hierarchy repairs (decrease-only batches
+	// within the cone budget); CHRecontracted the vertices they
+	// re-contracted; CHRepairFallbacks repair attempts deferred to the
+	// rebuild pipeline (removals, increases or budget overruns);
+	// CHRebuilds full hierarchies installed (async, sync and forced);
+	// CHForcedInstalls the subset installed under the writer lock by the
+	// anti-starvation fallback.
+	CHRepairs, CHRecontracted, CHRepairFallbacks, CHRebuilds, CHForcedInstalls int64
 }
 
 // SocialStats reports the social dimension's counters (zero value for
@@ -793,6 +1105,13 @@ func (ix *Index) SocialStats() SocialStats {
 	if ix.dyn != nil {
 		st.DisabledLandmarks = ix.dyn.View().NumDisabled()
 		st.LandmarkRepairs, st.RepairedVertices, st.LandmarkDisables, st.LandmarkRebuilds = ix.dyn.Stats()
+		st.LandmarkForcedInstalls = ix.lmForcedInstalls
+	}
+	if ix.chDyn != nil {
+		st.CHBuilt = true
+		_, st.CHBuiltEpoch = ix.chDyn.Current()
+		st.CHRepairs, st.CHRecontracted, st.CHRepairFallbacks, st.CHRebuilds = ix.chDyn.Stats()
+		st.CHForcedInstalls = ix.chForcedInstalls
 	}
 	return st
 }

@@ -3,9 +3,13 @@ package aggindex
 import (
 	"math"
 	"math/rand"
+	"sync/atomic"
 	"testing"
+	"time"
 
+	"ssrq/internal/ch"
 	"ssrq/internal/graph"
+	"ssrq/internal/landmark"
 	"ssrq/internal/spatial"
 )
 
@@ -278,5 +282,195 @@ func TestStaticIndexRejectsEdgeOps(t *testing.T) {
 	f.ix.Apply([]Op{{Kind: OpEdgeUpsert, U: 0, V: 1, W: 1}})
 	if f.ix.SocialStats().SocialEpoch != 0 {
 		t.Fatal("static index advanced social epoch")
+	}
+}
+
+// TestSnapshotCarriesHierarchyEpochs pins the CH publication contract:
+// snapshots carry the hierarchy tagged with its build epoch, decrease-only
+// batches keep it fresh via in-place repair, removals leave it stale (with
+// background rebuilds suppressed by Close), and RebuildCH restores it.
+func TestSnapshotCarriesHierarchyEpochs(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	n := 60
+	b := graph.NewBuilder(n)
+	for v := 1; v < n; v++ {
+		_ = b.AddEdge(graph.VertexID(rng.Intn(v)), graph.VertexID(v), 0.1+rng.Float64()*2)
+	}
+	g := b.MustBuild()
+	lm, err := landmark.Select(g, 3, landmark.Farthest, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, err := spatial.NewLayout(spatial.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := make([]spatial.Point, n)
+	located := make([]bool, n)
+	for i := range pts {
+		pts[i] = spatial.Point{X: rng.Float64() * 10, Y: rng.Float64() * 10}
+		located[i] = true
+	}
+	grid, err := spatial.NewGrid(layout, pts, located)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chd, err := ch.NewDynamic(g, ch.Options{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := NewSocial(grid, lm, g, Config{CH: chd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+
+	sn := ix.Snapshot()
+	if sn.Hierarchy() == nil || !sn.HierarchyFresh() || sn.HierarchyEpoch() != 0 {
+		t.Fatalf("construction snapshot: hier=%v fresh=%v epoch=%d", sn.Hierarchy(), sn.HierarchyFresh(), sn.HierarchyEpoch())
+	}
+
+	// Insert batch: repaired in place, still fresh, no rebuild needed.
+	ix.Apply([]Op{{Kind: OpEdgeUpsert, U: 3, V: 40, W: 0.5}, {Kind: OpEdgeUpsert, U: 7, V: 51, W: 0.9}})
+	sn = ix.Snapshot()
+	if !sn.HierarchyFresh() || sn.HierarchyEpoch() != 1 {
+		t.Fatalf("post-insert: fresh=%v epoch=%d", sn.HierarchyFresh(), sn.HierarchyEpoch())
+	}
+	if st := ix.SocialStats(); st.CHRepairs != 1 || st.CHBuiltEpoch != 1 {
+		t.Fatalf("post-insert stats: %+v", st)
+	}
+	// The repaired hierarchy answers the mutated graph exactly.
+	cur := sn.SocialGraph()
+	for probe := 0; probe < 20; probe++ {
+		s, tgt := graph.VertexID(rng.Intn(n)), graph.VertexID(rng.Intn(n))
+		want := cur.DijkstraTo(s, tgt)
+		got, _ := sn.Hierarchy().Dist(s, tgt)
+		if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("repaired hierarchy Dist(%d,%d)=%v want %v", s, tgt, got, want)
+		}
+	}
+
+	// Removal with background rebuilds suppressed: deterministically stale.
+	ix.Close()
+	ix.Apply([]Op{{Kind: OpEdgeRemove, U: 3, V: 40}})
+	sn = ix.Snapshot()
+	if sn.HierarchyFresh() || sn.HierarchyEpoch() != 1 || sn.SocialEpoch() != 2 {
+		t.Fatalf("post-removal: fresh=%v built=%d social=%d", sn.HierarchyFresh(), sn.HierarchyEpoch(), sn.SocialEpoch())
+	}
+
+	if !ix.RebuildCH() {
+		t.Fatal("RebuildCH declined a stale hierarchy")
+	}
+	sn = ix.Snapshot()
+	if !sn.HierarchyFresh() {
+		t.Fatal("hierarchy stale after RebuildCH")
+	}
+	cur = sn.SocialGraph()
+	for probe := 0; probe < 20; probe++ {
+		s, tgt := graph.VertexID(rng.Intn(n)), graph.VertexID(rng.Intn(n))
+		want := cur.DijkstraTo(s, tgt)
+		got, _ := sn.Hierarchy().Dist(s, tgt)
+		if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("rebuilt hierarchy Dist(%d,%d)=%v want %v", s, tgt, got, want)
+		}
+	}
+}
+
+// TestForcedInstallBoundsLandmarkStarvation deterministically reproduces the
+// install-starvation regime: the testBeforeInstall seam applies one edge op
+// between every rebuild recompute and its install attempt, so the optimistic
+// path loses the epoch race every single time. After the 8th consecutive
+// loss the loop must fall back to the forced install under the writer lock
+// (rate limit effectively off), restore every landmark, and count the event
+// — the disabled window is bounded instead of starving forever.
+func TestForcedInstallBoundsLandmarkStarvation(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	f := mkSocialFixture(t, rng, 80, 3, 4, 2, Config{
+		RepairBudget:          1, // effective ops disable landmarks immediately
+		ForcedInstallInterval: time.Nanosecond,
+	})
+	defer f.ix.Close()
+	churn := rand.New(rand.NewSource(99))
+	f.ix.testBeforeInstall = func() {
+		u := churn.Int31n(80)
+		v := churn.Int31n(80)
+		if u == v {
+			v = (v + 1) % 80
+		}
+		f.ix.Apply([]Op{{Kind: OpEdgeUpsert, U: u, V: v, W: 0.1 + churn.Float64()}})
+	}
+	// Disable at least one landmark to kick the rebuild loop.
+	f.ix.Apply(randomEdgeOps(rng, 80, 6))
+	deadline := time.Now().Add(20 * time.Second)
+	for f.ix.SocialStats().LandmarkForcedInstalls == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	st := f.ix.SocialStats()
+	if st.LandmarkForcedInstalls == 0 {
+		t.Fatal("permanently lost install race never escalated to a forced install")
+	}
+	// The forced install restored every landmark in one event; with the seam
+	// no optimistic install can ever have succeeded.
+	if st.LandmarkRebuilds != st.LandmarkForcedInstalls {
+		t.Fatalf("optimistic installs slipped through the seam: rebuilds=%d forced=%d",
+			st.LandmarkRebuilds, st.LandmarkForcedInstalls)
+	}
+	verifySocialInvariants(t, f)
+}
+
+// TestForcedInstallRateLimited: the first exhaustion may force immediately
+// (a starving system should not wait out the interval before its first
+// relief), but with a long interval every later exhaustion must give up (old
+// behavior) instead of forcing again — the fallback is one event per
+// interval.
+func TestForcedInstallRateLimited(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	f := mkSocialFixture(t, rng, 60, 3, 4, 2, Config{
+		RepairBudget:          1,
+		ForcedInstallInterval: time.Hour,
+	})
+	defer f.ix.Close()
+	churn := rand.New(rand.NewSource(77))
+	var seamCalls atomic.Int64
+	f.ix.testBeforeInstall = func() {
+		seamCalls.Add(1)
+		u := churn.Int31n(60)
+		v := churn.Int31n(60)
+		if u == v {
+			v = (v + 1) % 60
+		}
+		f.ix.Apply([]Op{{Kind: OpEdgeUpsert, U: u, V: v, W: 0.1 + churn.Float64()}})
+	}
+	f.ix.Apply(randomEdgeOps(rng, 60, 6))
+	deadline := time.Now().Add(20 * time.Second)
+	for f.ix.SocialStats().LandmarkForcedInstalls == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	first := f.ix.SocialStats().LandmarkForcedInstalls
+	if first == 0 {
+		t.Fatal("first exhaustion never forced an install")
+	}
+	// Two more exhaustion rounds (the seam loses every race, so 8 calls = one
+	// round): the hour-long interval must block any further forced event.
+	// External churn keeps disabling landmarks and re-kicking the loop, which
+	// would otherwise (correctly) exit after the forced install restored all.
+	target := seamCalls.Load() + 16
+	for seamCalls.Load() < target && time.Now().Before(deadline) {
+		f.ix.Apply(randomEdgeOps(rng, 60, 2))
+		time.Sleep(time.Millisecond)
+	}
+	if seamCalls.Load() < target {
+		t.Fatal("rebuild loop stopped attempting")
+	}
+	f.ix.Close() // drain the loop before reading counters race-free
+	if got := f.ix.SocialStats().LandmarkForcedInstalls; got != first {
+		t.Fatalf("forced installs grew %d -> %d within the interval", first, got)
+	}
+	// The window is closed by the synchronous rebuild instead.
+	if f.ix.RebuildDisabledLandmarks() == 0 {
+		t.Fatal("no landmarks left to rebuild — seam never disabled any")
+	}
+	if got := f.ix.SocialStats().DisabledLandmarks; got != 0 {
+		t.Fatalf("%d landmarks disabled after sync rebuild", got)
 	}
 }

@@ -1,0 +1,264 @@
+package ch
+
+import (
+	"fmt"
+
+	"ssrq/internal/graph"
+)
+
+// EdgeChange describes one effective base-graph edge mutation, the unit the
+// repair path reasons about. HadOld/HasNew distinguish insertion (false/true),
+// deletion (true/false) and reweight (true/true).
+type EdgeChange struct {
+	U, V   graph.VertexID
+	OldW   float64
+	HadOld bool
+	NewW   float64
+	HasNew bool
+}
+
+// decreaseOnly reports whether the change can only shrink graph distances: an
+// insertion, or a reweight downwards. Equal-weight rewrites count too (they
+// change nothing).
+func (c EdgeChange) decreaseOnly() bool {
+	return c.HasNew && (!c.HadOld || c.NewW <= c.OldW)
+}
+
+// Dynamic maintains an epoch-tagged contraction hierarchy under social edge
+// churn — the CH mirror of landmark.Dynamic. It is writer-side state: all
+// methods must be externally serialized (the aggregate index calls them under
+// its writer lock); hierarchies handed out by Current are immutable and safe
+// for unlimited concurrent queries.
+//
+// Each hierarchy carries the social epoch of the graph it was built on.
+// Readers (via the published aggindex Snapshot) serve CH queries only while
+// the snapshot's social epoch equals the hierarchy's build epoch; otherwise
+// the variants are refused and a background rebuild (or the bounded in-place
+// repair below) restores freshness.
+//
+// Repair strategy per batch of edge changes:
+//
+//   - insertions / weight decreases: distances can only shrink, so every
+//     witness path that justified omitting a shortcut in the previous build
+//     still exists (and only got shorter). The hierarchy is re-derived by
+//     replaying the previous contraction order: vertices whose adjacency is
+//     untouched replay their recorded shortcuts verbatim (no witness
+//     searches), while vertices in the dirty cone — changed endpoints plus
+//     every vertex whose row a re-contraction rewrote — are re-contracted
+//     with fresh witness searches. The cone is bounded by the repair budget;
+//     past it the repair aborts and the caller falls back to a full rebuild.
+//     Note the budget bounds only the witness-search work (the part of a
+//     build that is super-linear and dominates on dense graphs); every
+//     repair additionally pays a linear replay floor — O(n + m + shortcuts)
+//     to clone the adjacency and re-apply recorded shortcuts — comparable to
+//     one landmark Dijkstra, and it runs under the owner's writer lock.
+//     Deployments where even that floor is too much per edge batch should
+//     disable repair (budget < 0) and let every churn epoch take the
+//     asynchronous rebuild path instead.
+//
+//   - deletions / weight increases: a removed edge may have been the witness
+//     path that justified omitting a shortcut *anywhere* in the graph, and
+//     that dependency is not recorded (witness search spaces are ephemeral).
+//     Repair therefore always reports failure and the caller schedules the
+//     asynchronous full rebuild — exactly the asymmetry of the landmark
+//     layer, where increaseRepair is the expensive direction.
+type Dynamic struct {
+	opts   Options
+	budget int // max re-contracted vertices per repair; <= 0 disables repair
+
+	h     *CH
+	epoch uint64
+
+	// Counters (writer-side; read via Stats under the owner's lock).
+	repairs      int64 // in-place repairs that completed within budget
+	recontracted int64 // vertices re-contracted across all repairs
+	fallbacks    int64 // repair attempts that deferred to a full rebuild
+	installs     int64 // full hierarchies installed (rebuilds + forced)
+}
+
+// DefaultRepairBudget caps how many vertices one in-place repair may
+// re-contract before deferring to a full rebuild.
+const DefaultRepairBudget = 512
+
+// NewDynamic builds the initial hierarchy over g (social epoch 0) and wraps
+// it for dynamic maintenance. repairBudget caps the re-contraction cone per
+// repair; 0 selects DefaultRepairBudget, negative disables in-place repair
+// entirely (every churn epoch defers to the rebuild path).
+func NewDynamic(g *graph.Graph, opts Options, repairBudget int) (*Dynamic, error) {
+	if opts.WitnessSettleLimit == 0 {
+		opts.WitnessSettleLimit = DefaultOptions().WitnessSettleLimit
+	}
+	if opts.MaxContractDegree == 0 {
+		opts.MaxContractDegree = DefaultOptions().MaxContractDegree
+	}
+	if repairBudget == 0 {
+		repairBudget = DefaultRepairBudget
+	}
+	h, err := Build(g, opts)
+	if err != nil {
+		return nil, fmt.Errorf("ch: initial build: %w", err)
+	}
+	return &Dynamic{opts: opts, budget: repairBudget, h: h}, nil
+}
+
+// Current returns the latest hierarchy and the social epoch it was built at.
+func (d *Dynamic) Current() (*CH, uint64) { return d.h, d.epoch }
+
+// BuildFresh contracts g from scratch with the wrapper's options. It runs
+// without any lock (the expensive part of the rebuild pipeline); stop makes
+// it abort early with ErrInterrupted during shutdown.
+func (d *Dynamic) BuildFresh(g *graph.Graph, stop func() bool) (*CH, error) {
+	return BuildInterruptible(g, d.opts, stop)
+}
+
+// Install publishes h (freshly built against the graph of social epoch
+// `epoch`) as the current hierarchy. The caller must guarantee the match.
+func (d *Dynamic) Install(h *CH, epoch uint64) {
+	d.h = h
+	d.epoch = epoch
+	d.installs++
+}
+
+// Stats reports the maintenance counters.
+func (d *Dynamic) Stats() (repairs, recontracted, fallbacks, installs int64) {
+	return d.repairs, d.recontracted, d.fallbacks, d.installs
+}
+
+// Repair attempts to advance the current hierarchy to newEpoch in place by
+// replaying the previous contraction order on g (the post-change graph),
+// re-contracting only the dirty cone. It returns true on success — the
+// caller's next publish carries a fresh hierarchy with no refusal window —
+// and false when the batch contains a deletion/increase, the cone blows the
+// budget, or repair is disabled; the hierarchy is then left untouched at its
+// old epoch and the caller schedules a full rebuild.
+//
+// The caller must pass the complete set of effective changes between the
+// hierarchy's build epoch and newEpoch (in practice: repair is attempted only
+// when the hierarchy is exactly one epoch behind, with that epoch's batch).
+func (d *Dynamic) Repair(g *graph.Graph, changes []EdgeChange, newEpoch uint64) bool {
+	if d.budget <= 0 || d.h.rec == nil {
+		d.fallbacks++
+		return false
+	}
+	for _, c := range changes {
+		if !c.HadOld && !c.HasNew {
+			continue
+		}
+		if !c.decreaseOnly() {
+			d.fallbacks++
+			return false
+		}
+	}
+	n := g.NumVertices()
+	if n != d.h.n {
+		d.fallbacks++
+		return false
+	}
+	rec := d.h.rec
+
+	// Replay adjacency, seeded from the post-change graph.
+	adj := make([][]edge, n)
+	for v := 0; v < n; v++ {
+		nbrs, ws := g.Neighbors(graph.VertexID(v))
+		row := make([]edge, len(nbrs))
+		for i := range nbrs {
+			row[i] = edge{nbrs[i], ws[i]}
+		}
+		adj[v] = row
+	}
+	dirty := make([]bool, n)
+	for _, c := range changes {
+		if c.HadOld && c.HasNew && c.NewW == c.OldW {
+			continue
+		}
+		dirty[c.U] = true
+		dirty[c.V] = true
+	}
+
+	// Replay the old contraction order. Ranks, core membership and the order
+	// itself are reused (any fixed order yields a correct hierarchy; the
+	// order only tunes performance, and periodic full rebuilds re-optimize
+	// it). No priority queue, no deleted-neighbors bookkeeping.
+	b := &builder{
+		g:          g,
+		adj:        adj,
+		contracted: make([]bool, n),
+		core:       rec.core,
+		rank:       d.h.rank,
+		settleCap:  d.opts.WitnessSettleLimit,
+		degCap:     d.opts.MaxContractDegree,
+		wDist:      make([]float64, n),
+		wMark:      make([]uint32, n),
+		scRec:      make([][]shortcut, n),
+		order:      rec.order,
+	}
+	cone := 0
+	for _, v := range rec.order {
+		sc := rec.sc[v]
+		if dirty[v] {
+			cone++
+			if cone > d.budget {
+				d.fallbacks++
+				return false
+			}
+			sc = b.simulate(v)
+			// Any difference against the recorded shortcuts rewrites a
+			// higher-ranked vertex's row: that vertex joins the cone before
+			// its own turn (shortcut endpoints always outrank the middle).
+			markShortcutDiff(dirty, rec.sc[v], sc)
+		}
+		b.replayContract(v, sc)
+		b.scRec[v] = sc
+	}
+	nh, err := b.finish(d.h.coreRank, d.h.coreSize)
+	if err != nil {
+		d.fallbacks++
+		return false
+	}
+	d.h = nh
+	d.epoch = newEpoch
+	d.repairs++
+	d.recontracted += int64(cone)
+	return true
+}
+
+// replayContract marks v contracted and applies a known shortcut set —
+// contract without the priority bookkeeping the replay never reads.
+func (b *builder) replayContract(v graph.VertexID, sc []shortcut) {
+	b.contracted[v] = true
+	for _, s := range sc {
+		b.addOrImprove(s.u, s.w, s.dist)
+		b.addOrImprove(s.w, s.u, s.dist)
+		b.shortcuts++
+	}
+}
+
+// markShortcutDiff marks dirty the endpoints of every shortcut present in
+// exactly one of the two sets (or present in both with different weights) —
+// the vertices whose adjacency the re-contraction rewrote relative to the
+// recorded build. Both lists hold each unordered pair once with u < w, so a
+// pair map suffices.
+func markShortcutDiff(dirty []bool, old, fresh []shortcut) {
+	if len(old) == 0 && len(fresh) == 0 {
+		return
+	}
+	type pair struct{ u, w graph.VertexID }
+	om := make(map[pair]float64, len(old))
+	for _, s := range old {
+		om[pair{s.u, s.w}] = s.dist
+	}
+	for _, s := range fresh {
+		k := pair{s.u, s.w}
+		if d, ok := om[k]; ok && d == s.dist {
+			delete(om, k)
+			continue
+		}
+		delete(om, k)
+		dirty[s.u] = true
+		dirty[s.w] = true
+	}
+	for k := range om {
+		dirty[k.u] = true
+		dirty[k.w] = true
+	}
+}

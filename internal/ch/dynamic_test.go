@@ -1,0 +1,203 @@
+package ch
+
+import (
+	"math/rand"
+	"testing"
+
+	"ssrq/internal/graph"
+)
+
+// applyChange mutates an overlay per one EdgeChange and returns the change
+// (test helper keeping model and overlay in lock step).
+func applyChange(t *testing.T, ov *graph.Overlay, c EdgeChange) {
+	t.Helper()
+	var err error
+	if c.HasNew {
+		_, err = ov.SetEdge(c.U, c.V, c.NewW)
+	} else {
+		_, err = ov.RemoveEdge(c.U, c.V)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randDecrease draws a random insertion or downward reweight against ov.
+func randDecrease(rng *rand.Rand, ov *graph.Overlay, n int) (EdgeChange, bool) {
+	u, v := graph.VertexID(rng.Intn(n)), graph.VertexID(rng.Intn(n))
+	if u == v {
+		return EdgeChange{}, false
+	}
+	old, had := ov.EdgeWeight(u, v)
+	c := EdgeChange{U: u, V: v, OldW: old, HadOld: had, HasNew: true}
+	if had {
+		c.NewW = old * (0.2 + 0.8*rng.Float64()) // strictly not above old
+	} else {
+		c.NewW = 0.1 + rng.Float64()*9.9
+	}
+	return c, true
+}
+
+// TestRepairMatchesFreshBuild is the incremental-repair exactness property:
+// after every repaired batch of insertions/decreases, the repaired hierarchy
+// must answer exactly like a from-scratch Build on the mutated graph (both
+// are checked against the Dijkstra oracle, so "equals a fresh Build" is
+// equality of the distances both must produce).
+func TestRepairMatchesFreshBuild(t *testing.T) {
+	trials := 10
+	if testing.Short() {
+		trials = 3
+	}
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(3100 + trial)))
+		n := 20 + rng.Intn(60)
+		g0 := randomGraph(rng, n, rng.Intn(2*n))
+		opts := Options{WitnessSettleLimit: 1 + rng.Intn(120), MaxContractDegree: 4 + rng.Intn(48)}
+		d, err := NewDynamic(g0, opts, 1<<30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ov := graph.NewOverlay(g0)
+		epoch := uint64(0)
+		for round := 0; round < 5; round++ {
+			var batch []EdgeChange
+			for len(batch) < 1+rng.Intn(6) {
+				c, ok := randDecrease(rng, ov, n)
+				if !ok {
+					continue
+				}
+				applyChange(t, ov, c)
+				batch = append(batch, c)
+			}
+			cur := ov.Freeze()
+			epoch++
+			if !d.Repair(cur, batch, epoch) {
+				t.Fatalf("trial %d round %d: decrease-only repair refused", trial, round)
+			}
+			h, gotEpoch := d.Current()
+			if gotEpoch != epoch {
+				t.Fatalf("repair left epoch %d, want %d", gotEpoch, epoch)
+			}
+			fresh, err := Build(cur, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for probe := 0; probe < 30; probe++ {
+				s := graph.VertexID(rng.Intn(n))
+				tgt := graph.VertexID(rng.Intn(n))
+				want := cur.DijkstraTo(s, tgt)
+				got, _ := h.Dist(s, tgt)
+				if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+					t.Fatalf("trial %d round %d: repaired Dist(%d,%d) = %v, want %v", trial, round, s, tgt, got, want)
+				}
+				fromFresh, _ := fresh.Dist(s, tgt)
+				if diff := fromFresh - want; diff > 1e-9 || diff < -1e-9 {
+					t.Fatalf("trial %d round %d: fresh Dist(%d,%d) = %v, want %v", trial, round, s, tgt, fromFresh, want)
+				}
+			}
+		}
+		repairs, _, fallbacks, _ := d.Stats()
+		if repairs != 5 || fallbacks != 0 {
+			t.Fatalf("stats: repairs=%d fallbacks=%d, want 5/0", repairs, fallbacks)
+		}
+	}
+}
+
+// TestRepairRefusesRemovalsAndIncreases: deletions and upward reweights can
+// break recorded witness omissions non-locally, so the repair path must defer
+// them to the rebuild pipeline and leave the hierarchy untouched.
+func TestRepairRefusesRemovalsAndIncreases(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	g := randomGraph(rng, 40, 60)
+	d, err := NewDynamic(g, Options{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, beforeEpoch := d.Current()
+	nbrs, ws := g.Neighbors(0)
+	removal := EdgeChange{U: 0, V: nbrs[0], OldW: ws[0], HadOld: true, HasNew: false}
+	if d.Repair(g, []EdgeChange{removal}, 1) {
+		t.Fatal("removal repaired in place")
+	}
+	increase := EdgeChange{U: 0, V: nbrs[0], OldW: ws[0], HadOld: true, NewW: ws[0] * 2, HasNew: true}
+	if d.Repair(g, []EdgeChange{increase}, 1) {
+		t.Fatal("weight increase repaired in place")
+	}
+	if h, e := d.Current(); h != before || e != beforeEpoch {
+		t.Fatal("failed repair mutated the current hierarchy")
+	}
+	if _, _, fallbacks, _ := d.Stats(); fallbacks != 2 {
+		t.Fatalf("fallbacks = %d, want 2", fallbacks)
+	}
+}
+
+// TestRepairBudgetFallsBack: a tiny cone budget must refuse rather than
+// truncate, leaving the old hierarchy intact and correct on the old graph.
+func TestRepairBudgetFallsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	g := randomGraph(rng, 60, 120)
+	d, err := NewDynamic(g, Options{}, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov := graph.NewOverlay(g)
+	c, _ := randDecrease(rng, ov, 60)
+	applyChange(t, ov, c)
+	if d.Repair(ov.Freeze(), []EdgeChange{c}, 1) {
+		t.Fatal("repair ran with a disabled budget")
+	}
+	// Old hierarchy still answers the *old* graph exactly (snapshot safety).
+	h, _ := d.Current()
+	for probe := 0; probe < 20; probe++ {
+		s, tgt := graph.VertexID(rng.Intn(60)), graph.VertexID(rng.Intn(60))
+		want := g.DijkstraTo(s, tgt)
+		got, _ := h.Dist(s, tgt)
+		if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("old hierarchy drifted: Dist(%d,%d)=%v want %v", s, tgt, got, want)
+		}
+	}
+}
+
+// TestRepairedHierarchyStaysRepairable: repairs must chain — each generation
+// carries a usable record for the next decrease batch.
+func TestRepairedHierarchyStaysRepairable(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	g := randomGraph(rng, 50, 100)
+	d, err := NewDynamic(g, Options{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov := graph.NewOverlay(g)
+	for i := 0; i < 12; i++ {
+		c, ok := randDecrease(rng, ov, 50)
+		if !ok {
+			continue
+		}
+		applyChange(t, ov, c)
+		cur := ov.Freeze()
+		if !d.Repair(cur, []EdgeChange{c}, uint64(i+1)) {
+			t.Fatalf("repair %d refused", i)
+		}
+		h, _ := d.Current()
+		for probe := 0; probe < 10; probe++ {
+			s, tgt := graph.VertexID(rng.Intn(50)), graph.VertexID(rng.Intn(50))
+			want := cur.DijkstraTo(s, tgt)
+			got, _ := h.Dist(s, tgt)
+			if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("repair %d: Dist(%d,%d)=%v want %v", i, s, tgt, got, want)
+			}
+		}
+	}
+}
+
+// TestBuildInterruptible: a stop that fires immediately aborts with
+// ErrInterrupted; a nil stop behaves like Build.
+func TestBuildInterruptible(t *testing.T) {
+	g := randomGraph(rand.New(rand.NewSource(7)), 30, 40)
+	if _, err := BuildInterruptible(g, Options{}, func() bool { return true }); err != ErrInterrupted {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	if _, err := BuildInterruptible(g, Options{}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ssrq/internal/aggindex"
 	"ssrq/internal/ch"
@@ -105,6 +106,20 @@ type Options struct {
 	// OverlayCompactThreshold is the edge-overlay delta size that triggers
 	// folding the delta back into a pure CSR (default max(1024, n/8)).
 	OverlayCompactThreshold int
+	// CHRepairBudget caps how many vertices one in-place contraction-
+	// hierarchy repair may re-contract (witness-search work, the dominant
+	// super-linear build cost) after a decrease-only edge batch before
+	// deferring to the background full rebuild (default 512). Each repair
+	// additionally pays a linear O(n+m+shortcuts) replay pass under the
+	// writer lock — roughly one landmark Dijkstra; set a negative budget to
+	// disable in-place repair and route every churn epoch to the background
+	// rebuild instead. Only meaningful with BuildCH.
+	CHRepairBudget int
+	// ForcedInstallInterval rate-limits the install-under-writer-lock
+	// fallback that bounds landmark/CH rebuild starvation under sustained
+	// churn: at most one forced install event per structure per interval
+	// (default 2s; negative disables forced installs).
+	ForcedInstallInterval time.Duration
 }
 
 func (o *Options) setDefaults() {
@@ -157,13 +172,12 @@ const (
 // epoch per call) or the asynchronous MoveUserAsync pipeline, which
 // coalesces queued moves into batched epochs (see Updater).
 type Engine struct {
-	ds        *dataset.Dataset
-	lm        *landmark.Set
-	grid      *spatial.Grid
-	agg       *aggindex.Index
-	hierarchy *ch.CH
-	cache     *socialCache
-	opts      Options
+	ds    *dataset.Dataset
+	lm    *landmark.Set
+	grid  *spatial.Grid
+	agg   *aggindex.Index
+	cache *socialCache
+	opts  Options
 
 	pools sync.Pool // *queryPools, reused across queries
 
@@ -200,10 +214,23 @@ func NewEngine(ds *dataset.Dataset, opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: grid: %w", err)
 	}
-	agg, err := aggindex.NewSocial(grid, lm, ds.G, aggindex.Config{
-		RepairBudget:     opts.LandmarkRepairBudget,
-		CompactThreshold: opts.OverlayCompactThreshold,
-	})
+	cfg := aggindex.Config{
+		RepairBudget:          opts.LandmarkRepairBudget,
+		CompactThreshold:      opts.OverlayCompactThreshold,
+		ForcedInstallInterval: opts.ForcedInstallInterval,
+	}
+	if opts.BuildCH {
+		// The hierarchy is built against the construction graph (social epoch
+		// 0) and handed to the aggregate index, which owns its survival under
+		// churn: in-place repair for decrease-only batches, background
+		// rebuilds otherwise, published per-epoch through the Snapshot.
+		chd, err := ch.NewDynamic(ds.G, ch.Options{WitnessSettleLimit: opts.CHWitnessLimit}, opts.CHRepairBudget)
+		if err != nil {
+			return nil, fmt.Errorf("core: contraction hierarchy: %w", err)
+		}
+		cfg.CH = chd
+	}
+	agg, err := aggindex.NewSocial(grid, lm, ds.G, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("core: aggregate index: %w", err)
 	}
@@ -214,13 +241,6 @@ func NewEngine(ds *dataset.Dataset, opts Options) (*Engine, error) {
 		agg:   agg,
 		cache: newSocialCache(opts.CacheT),
 		opts:  opts,
-	}
-	if opts.BuildCH {
-		h, err := ch.Build(ds.G, ch.Options{WitnessSettleLimit: opts.CHWitnessLimit})
-		if err != nil {
-			return nil, fmt.Errorf("core: contraction hierarchy: %w", err)
-		}
-		e.hierarchy = h
 	}
 	e.pools.New = func() any {
 		return &queryPools{
@@ -388,15 +408,20 @@ func (e *Engine) Query(algo Algorithm, q graph.VertexID, prm Params) (*Result, e
 }
 
 // chReady gates the contraction-hierarchy variants: they need a built
-// hierarchy, and the hierarchy describes the construction-time graph — after
-// any social churn its distances are wrong, so the variants are refused
-// rather than silently inexact (rebuilds are an explicit, expensive choice).
+// hierarchy, and it must have been built (or repaired) at exactly the
+// snapshot's social epoch — a hierarchy from another epoch describes a
+// different graph and would be silently inexact. Between a churn batch and
+// the repair/rebuild that catches the hierarchy up, the variants are refused
+// with both epochs, so callers can tell transient staleness (rebuild racing
+// churn, retry after RebuildCH or the background loop settles) from a
+// missing hierarchy.
 func (e *Engine) chReady(sn *aggindex.Snapshot, algo Algorithm) error {
-	if e.hierarchy == nil {
+	if sn.Hierarchy() == nil {
 		return fmt.Errorf("core: %v requires Options.BuildCH", algo)
 	}
-	if sn.SocialEpoch() != 0 {
-		return fmt.Errorf("core: %v unavailable: contraction hierarchy is stale after social churn (social epoch %d)", algo, sn.SocialEpoch())
+	if !sn.HierarchyFresh() {
+		return fmt.Errorf("core: %v unavailable: contraction hierarchy built at social epoch %d, snapshot at social epoch %d (rebuild pending)",
+			algo, sn.HierarchyEpoch(), sn.SocialEpoch())
 	}
 	return nil
 }
@@ -417,6 +442,13 @@ func (e *Engine) SupportsEdgeChurn() bool { return e.agg.SupportsEdgeChurn() }
 // synchronous form gives tests and operators a determinism knob). Returns
 // how many landmarks were rebuilt.
 func (e *Engine) RebuildLandmarks() int { return e.agg.RebuildDisabledLandmarks() }
+
+// RebuildCH synchronously re-contracts the current social graph and installs
+// the fresh hierarchy, making the *-CH variants serve again immediately (the
+// background rebuild normally handles this; the synchronous form gives tests
+// and operators a determinism knob). Reports whether a rebuild was needed
+// and ran; false also when the engine was built without BuildCH.
+func (e *Engine) RebuildCH() bool { return e.agg.RebuildCH() }
 
 // AddFriend inserts (or reweights) the undirected friendship (u,v) with
 // normalized weight w and publishes the change as one epoch before

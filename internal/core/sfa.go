@@ -18,6 +18,7 @@ import (
 // lose to one shared incremental Dijkstra.
 func (e *Engine) runSFA(sn *aggindex.Snapshot, q graph.VertexID, prm Params, st *Stats, useCH bool) []Entry {
 	g := sn.Grid()
+	hier := sn.Hierarchy() // chReady guaranteed it fresh when useCH
 	it := graph.NewDijkstraIterator(sn.SocialGraph(), q)
 	r := newTopK(prm.K)
 	for {
@@ -30,7 +31,7 @@ func (e *Engine) runSFA(sn *aggindex.Snapshot, q graph.VertexID, prm Params, st 
 			continue
 		}
 		if useCH {
-			p, _ = e.hierarchy.Dist(q, v)
+			p, _ = hier.Dist(q, v)
 			st.CHQueries++
 		}
 		d := g.EuclideanDist(q, v)

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -413,28 +414,63 @@ func TestEdgeChurnRejectedBeyondLandmarkCap(t *testing.T) {
 	}
 }
 
-// TestCHVariantsRefuseStaleHierarchy: after any social churn the CH-backed
-// variants must error rather than serve distances from the old graph.
-func TestCHVariantsRefuseStaleHierarchy(t *testing.T) {
+// TestCHVariantsRepairServeAndRefuse pins the CH availability contract under
+// churn: an insertion is repaired in place (the variants keep serving, and
+// exactly); a removal makes the hierarchy stale — with background rebuilds
+// suppressed (Close), the variants deterministically refuse, naming both
+// epochs — and a synchronous RebuildCH restores exact service.
+func TestCHVariantsRepairServeAndRefuse(t *testing.T) {
 	rng := rand.New(rand.NewSource(79))
 	ds := mkDataset(t, rng, 50, 0, false)
 	e := mkEngine(t, ds, Options{BuildCH: true})
-	defer e.Close()
 	q := locatedUsers(ds)[0]
 	prm := Params{K: 3, Alpha: 0.5}
 	if _, err := e.Query(SFACH, q, prm); err != nil {
 		t.Fatalf("pre-churn SFACH: %v", err)
 	}
+
+	// Insertion: the decrease-only repair path keeps the hierarchy current —
+	// no refusal window at all.
 	if err := e.AddFriend(0, 25, 0.4); err != nil {
 		t.Fatal(err)
 	}
+	sn := e.Snapshot()
+	if !sn.HierarchyFresh() {
+		t.Fatalf("hierarchy stale after insert: built %d, social %d", sn.HierarchyEpoch(), sn.SocialEpoch())
+	}
+	if st := e.SocialStats(); st.CHRepairs == 0 {
+		t.Fatal("insert did not go through the in-place repair path")
+	}
+	want, err := e.Query(BruteForce, q, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, algo := range []Algorithm{SFACH, SPACH, TSACH} {
-		if _, err := e.Query(algo, q, prm); err == nil {
+		got, err := e.Query(algo, q, prm)
+		if err != nil {
+			t.Fatalf("%v after repaired insert: %v", algo, err)
+		}
+		sameRanking(t, algo.String()+" post-insert", got, want)
+	}
+
+	// Removal: no in-place repair. Close first so the background rebuild
+	// cannot race the assertions — the refusal is then deterministic.
+	e.Close()
+	if err := e.RemoveFriend(0, 25); err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []Algorithm{SFACH, SPACH, TSACH} {
+		_, err := e.Query(algo, q, prm)
+		if err == nil {
 			t.Fatalf("%v served on a stale hierarchy", algo)
+		}
+		if !strings.Contains(err.Error(), "built at social epoch 1") ||
+			!strings.Contains(err.Error(), "social epoch 2") {
+			t.Fatalf("%v staleness error does not report both epochs: %v", algo, err)
 		}
 	}
 	// Non-CH algorithms keep serving, and exactly.
-	want, err := e.Query(BruteForce, q, prm)
+	want, err = e.Query(BruteForce, q, prm)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -443,6 +479,21 @@ func TestCHVariantsRefuseStaleHierarchy(t *testing.T) {
 		t.Fatal(err)
 	}
 	sameRanking(t, "AIS post-churn", got, want)
+
+	// Synchronous rebuild restores exact CH service.
+	if !e.RebuildCH() {
+		t.Fatal("RebuildCH reported nothing to do on a stale hierarchy")
+	}
+	if e.RebuildCH() {
+		t.Fatal("second RebuildCH rebuilt a fresh hierarchy")
+	}
+	for _, algo := range []Algorithm{SFACH, SPACH, TSACH} {
+		got, err := e.Query(algo, q, prm)
+		if err != nil {
+			t.Fatalf("%v after RebuildCH: %v", algo, err)
+		}
+		sameRanking(t, algo.String()+" post-rebuild", got, want)
+	}
 }
 
 // TestAISCacheInvalidatedByEdgeChurn: §5.4 lists memoized on the old graph

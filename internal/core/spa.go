@@ -19,6 +19,7 @@ func (e *Engine) runSPA(sn *aggindex.Snapshot, q graph.VertexID, prm Params, st 
 	nn := g.NewNN(g.Point(q))
 	r := newTopK(prm.K)
 
+	hier := sn.Hierarchy() // chReady guaranteed it fresh when useCH
 	var fwd *graph.DijkstraIterator
 	if !useCH {
 		fwd = graph.NewDijkstraIterator(sn.SocialGraph(), q)
@@ -26,7 +27,7 @@ func (e *Engine) runSPA(sn *aggindex.Snapshot, q graph.VertexID, prm Params, st 
 	socialDist := func(v graph.VertexID) float64 {
 		if useCH {
 			st.CHQueries++
-			d, _ := e.hierarchy.Dist(q, v)
+			d, _ := hier.Dist(q, v)
 			return d
 		}
 		for {

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"ssrq/internal/aggindex"
+	"ssrq/internal/ch"
 	"ssrq/internal/graph"
 	"ssrq/internal/pqueue"
 )
@@ -177,7 +178,7 @@ func (e *Engine) runTSA(sn *aggindex.Snapshot, q graph.VertexID, prm Params, st 
 	}
 
 	if cfg.useCH {
-		e.tsaPhase2CH(q, prm, st, r, cand, tp)
+		e.tsaPhase2CH(sn.Hierarchy(), q, prm, st, r, cand, tp)
 	} else {
 		e.tsaPhase2Social(q, prm, st, r, cand, soc, tp, socDone)
 	}
@@ -211,7 +212,7 @@ func (e *Engine) tsaPhase2Social(q graph.VertexID, prm Params, st *Stats, r *top
 // cheapest-Euclidean-first with independent CH point-to-point queries, no
 // social stream continuation. t_p stays frozen at its phase-1 value, so θ′
 // grows only through t′_d.
-func (e *Engine) tsaPhase2CH(q graph.VertexID, prm Params, st *Stats, r *topK,
+func (e *Engine) tsaPhase2CH(hier *ch.CH, q graph.VertexID, prm Params, st *Stats, r *topK,
 	cand *candidateSet, tp float64) {
 	for {
 		u, d, ok := cand.PopMinD()
@@ -222,7 +223,7 @@ func (e *Engine) tsaPhase2CH(q graph.VertexID, prm Params, st *Stats, r *topK,
 			return
 		}
 		st.CHQueries++
-		p, _ := e.hierarchy.Dist(q, u)
+		p, _ := hier.Dist(q, u)
 		r.Consider(Entry{ID: u, F: combine(prm.Alpha, p, d), P: p, D: d})
 	}
 }

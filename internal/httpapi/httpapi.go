@@ -66,8 +66,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 
 var algoByName = map[string]ssrq.Algorithm{
 	"SFA": ssrq.SFA, "SPA": ssrq.SPA, "TSA": ssrq.TSA, "TSA-QC": ssrq.TSAQC,
+	"TSA-NL":  ssrq.TSANoLandmark,
 	"AIS-BID": ssrq.AISBID, "AIS-": ssrq.AISMinus, "AIS": ssrq.AIS,
 	"AIS-CACHE": ssrq.AISCache, "BRUTE": ssrq.BruteForce,
+	"SFA-CH": ssrq.SFACH, "SPA-CH": ssrq.SPACH, "TSA-CH": ssrq.TSACH,
 }
 
 // queryResponse is the wire form of a ranked result.
@@ -462,15 +464,24 @@ type statsResponse struct {
 	AppliedBatches   int64  `json:"applied_batches"`
 	CoalescedUpdates int64  `json:"coalesced_updates"`
 
-	SocialEpoch       uint64 `json:"social_epoch"`
-	EdgeAdds          int64  `json:"edge_adds"`
-	EdgeRemoves       int64  `json:"edge_removes"`
-	EdgeReweights     int64  `json:"edge_reweights"`
-	PatchedVertices   int    `json:"patched_vertices"`
-	Compactions       int64  `json:"compactions"`
-	DisabledLandmarks int    `json:"disabled_landmarks"`
-	LandmarkRepairs   int64  `json:"landmark_repairs"`
-	LandmarkRebuilds  int64  `json:"landmark_rebuilds"`
+	SocialEpoch            uint64 `json:"social_epoch"`
+	EdgeAdds               int64  `json:"edge_adds"`
+	EdgeRemoves            int64  `json:"edge_removes"`
+	EdgeReweights          int64  `json:"edge_reweights"`
+	PatchedVertices        int    `json:"patched_vertices"`
+	Compactions            int64  `json:"compactions"`
+	DisabledLandmarks      int    `json:"disabled_landmarks"`
+	LandmarkRepairs        int64  `json:"landmark_repairs"`
+	LandmarkRebuilds       int64  `json:"landmark_rebuilds"`
+	LandmarkForcedInstalls int64  `json:"landmark_forced_installs"`
+
+	CHBuilt          bool   `json:"ch_built"`
+	CHBuiltEpoch     uint64 `json:"ch_built_epoch"`
+	CHFresh          bool   `json:"ch_fresh"`
+	CHRepairs        int64  `json:"ch_repairs"`
+	CHRepairFallback int64  `json:"ch_repair_fallbacks"`
+	CHRebuilds       int64  `json:"ch_rebuilds"`
+	CHForcedInstalls int64  `json:"ch_forced_installs"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -485,15 +496,24 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		AppliedBatches:   us.AppliedBatches,
 		CoalescedUpdates: us.CoalescedUpdates,
 
-		SocialEpoch:       ss.SocialEpoch,
-		EdgeAdds:          ss.EdgeAdds,
-		EdgeRemoves:       ss.EdgeRemoves,
-		EdgeReweights:     ss.EdgeReweights,
-		PatchedVertices:   ss.PatchedVertices,
-		Compactions:       ss.Compactions,
-		DisabledLandmarks: ss.DisabledLandmarks,
-		LandmarkRepairs:   ss.LandmarkRepairs,
-		LandmarkRebuilds:  ss.LandmarkRebuilds,
+		SocialEpoch:            ss.SocialEpoch,
+		EdgeAdds:               ss.EdgeAdds,
+		EdgeRemoves:            ss.EdgeRemoves,
+		EdgeReweights:          ss.EdgeReweights,
+		PatchedVertices:        ss.PatchedVertices,
+		Compactions:            ss.Compactions,
+		DisabledLandmarks:      ss.DisabledLandmarks,
+		LandmarkRepairs:        ss.LandmarkRepairs,
+		LandmarkRebuilds:       ss.LandmarkRebuilds,
+		LandmarkForcedInstalls: ss.LandmarkForcedInstalls,
+
+		CHBuilt:          ss.CHBuilt,
+		CHBuiltEpoch:     ss.CHBuiltEpoch,
+		CHFresh:          ss.CHBuilt && ss.CHBuiltEpoch == ss.SocialEpoch,
+		CHRepairs:        ss.CHRepairs,
+		CHRepairFallback: ss.CHRepairFallbacks,
+		CHRebuilds:       ss.CHRebuilds,
+		CHForcedInstalls: ss.CHForcedInstalls,
 	})
 }
 

@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"ssrq"
 )
@@ -419,5 +421,88 @@ func TestStatsReportsEpochAndPending(t *testing.T) {
 	}
 	if st.Epoch == 0 || st.AppliedUpdates == 0 || st.AppliedBatches == 0 {
 		t.Fatalf("pipeline stats missing: %+v", st)
+	}
+}
+
+// TestCHVariantsOverHTTP: the Fig. 8 CH variants are routable by name; a
+// friendship insertion is repaired in place (no refusal window, ch_fresh
+// stays true); after a removal the variants either refuse with 422 (stale
+// hierarchy, transiently) or serve — and the background rebuild must restore
+// service shortly; /stats reports the CH maintenance counters throughout.
+func TestCHVariantsOverHTTP(t *testing.T) {
+	ds, err := ssrq.Synthesize("twitter", 300, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := ssrq.NewEngine(ds, &ssrq.Options{BuildCH: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	s := New(eng)
+
+	for _, algo := range []string{"SFA-CH", "SPA-CH", "TSA-CH", "TSA-NL"} {
+		if rec := do(t, s, "GET", "/query?q=0&k=3&algo="+algo, nil); rec.Code != http.StatusOK {
+			t.Fatalf("algo %s = %d: %s", algo, rec.Code, rec.Body)
+		}
+	}
+
+	stats := func() map[string]any {
+		rec := do(t, s, "GET", "/stats", nil)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("stats = %d", rec.Code)
+		}
+		var m map[string]any
+		if err := json.Unmarshal(rec.Body.Bytes(), &m); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	if m := stats(); m["ch_built"] != true || m["ch_fresh"] != true {
+		t.Fatalf("pre-churn stats: ch_built=%v ch_fresh=%v", m["ch_built"], m["ch_fresh"])
+	}
+
+	// Insertion through /edges with flush: repaired in place — by the time
+	// the response lands, the published hierarchy is already current.
+	rec := do(t, s, "POST", "/edges", edgesRequest{
+		Edges: []edgeItem{{U: 1, V: 200, W: 0.5}}, Flush: true,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("edges insert = %d: %s", rec.Code, rec.Body)
+	}
+	m := stats()
+	if m["ch_fresh"] != true || m["ch_repairs"].(float64) < 1 {
+		t.Fatalf("post-insert stats: ch_fresh=%v ch_repairs=%v", m["ch_fresh"], m["ch_repairs"])
+	}
+	if rec := do(t, s, "GET", "/query?q=0&k=3&algo=TSA-CH", nil); rec.Code != http.StatusOK {
+		t.Fatalf("TSA-CH after repaired insert = %d: %s", rec.Code, rec.Body)
+	}
+
+	// Removal: the hierarchy goes stale until the background rebuild lands.
+	// Immediately after, a CH query may refuse (422) or already serve; within
+	// a generous window it must serve again.
+	rec = do(t, s, "POST", "/edges", edgesRequest{
+		Edges: []edgeItem{{U: 1, V: 200, Remove: true}}, Flush: true,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("edges remove = %d: %s", rec.Code, rec.Body)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		rec := do(t, s, "GET", "/query?q=0&k=3&algo=TSA-CH", nil)
+		if rec.Code == http.StatusOK {
+			break
+		}
+		if rec.Code != http.StatusUnprocessableEntity ||
+			!strings.Contains(rec.Body.String(), "contraction hierarchy") {
+			t.Fatalf("TSA-CH mid-rebuild = %d: %s", rec.Code, rec.Body)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("background rebuild never restored TSA-CH: %s", rec.Body)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if m := stats(); m["ch_fresh"] != true || m["ch_rebuilds"].(float64) < 1 {
+		t.Fatalf("post-rebuild stats: ch_fresh=%v ch_rebuilds=%v", m["ch_fresh"], m["ch_rebuilds"])
 	}
 }

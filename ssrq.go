@@ -28,6 +28,7 @@ package ssrq
 
 import (
 	"fmt"
+	"time"
 
 	"ssrq/internal/core"
 	"ssrq/internal/dataset"
@@ -253,6 +254,19 @@ type Options struct {
 	// modified adjacency) that triggers compaction back into a flat CSR
 	// (default max(1024, n/8)).
 	OverlayCompactThreshold int
+	// CHRepairBudget caps how many vertices one in-place contraction-
+	// hierarchy repair may re-contract after a batch of friendship
+	// insertions/strengthenings before deferring to the background full
+	// rebuild (default 512). The budget bounds the witness-search work; each
+	// repair also pays a linear replay pass (~one landmark Dijkstra) under
+	// the writer lock, so very large deployments may prefer a negative value
+	// (disables in-place repair, every churn epoch rebuilds in the
+	// background). Only meaningful with BuildCH.
+	CHRepairBudget int
+	// ForcedInstallInterval rate-limits the install-under-writer-lock
+	// fallback that bounds landmark/CH rebuild starvation under sustained
+	// churn (default 2s; negative disables forced installs).
+	ForcedInstallInterval time.Duration
 }
 
 // Engine answers SSRQ queries over one dataset. The engine is safe for
@@ -290,6 +304,8 @@ func NewEngine(d *Dataset, opts *Options) (*Engine, error) {
 		UpdateMaxBatch:          o.UpdateMaxBatch,
 		LandmarkRepairBudget:    o.LandmarkRepairBudget,
 		OverlayCompactThreshold: o.OverlayCompactThreshold,
+		CHRepairBudget:          o.CHRepairBudget,
+		ForcedInstallInterval:   o.ForcedInstallInterval,
 	})
 	if err != nil {
 		return nil, err
@@ -509,6 +525,14 @@ func (e *Engine) SupportsEdgeChurn() bool { return e.eng.SupportsEdgeChurn() }
 // churn disabled (the background rebuilder normally handles this). Returns
 // how many landmarks were rebuilt.
 func (e *Engine) RebuildLandmarks() int { return e.eng.RebuildLandmarks() }
+
+// RebuildCH synchronously re-contracts the current social graph so the
+// SFACH/SPACH/TSACH variants serve again immediately after churn (the
+// background rebuilder normally handles this; friendship insertions and
+// strengthenings are even repaired in place with no refusal window at all).
+// Reports whether a rebuild was needed and ran; always false on engines
+// built without Options.BuildCH.
+func (e *Engine) RebuildCH() bool { return e.eng.RebuildCH() }
 
 // Precompute materializes §5.4 social-distance lists for the given query
 // users so AISCache answers without a cold build.
