@@ -12,10 +12,11 @@
 //	ssrq-bench -exp churn -movers 0,2,8          # latency vs mover count
 //	ssrq-bench -exp churn -mrate 500             # throttle movers to 500 moves/s each
 //	ssrq-bench -exp socialchurn -erate 0,500,5000 # latency vs edge-update rate
+//	ssrq-bench -exp shard -shards 1,4,16          # sharded fan-out latency + pruning
 //
 // Experiments: table2 fig7a fig7b fig8 fig9 fig10 fig11 fig12 fig13 fig14a
-// fig14b throughput churn socialchurn all. Scales: small | medium | large
-// (see internal/exp).
+// fig14b throughput churn socialchurn shard all. Scales: small | medium |
+// large (see internal/exp).
 package main
 
 import (
@@ -63,6 +64,22 @@ func parseRates(raw string) ([]float64, error) {
 	return out, nil
 }
 
+// parseShards parses a comma-separated list of shard counts.
+func parseShards(raw string) ([]int, error) {
+	if raw == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(raw, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad -shards entry %q", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
 // run is the whole program minus process concerns; it returns the exit code.
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("ssrq-bench", flag.ContinueOnError)
@@ -77,6 +94,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		movers   = fs.String("movers", "", "comma-separated mover counts for -exp churn (default 0,1,4)")
 		mrate    = fs.Float64("mrate", 0, "moves/sec per mover for -exp churn (0 = unthrottled)")
 		erate    = fs.String("erate", "", "comma-separated edge-update rates/sec for -exp socialchurn (0 = off, negative = unthrottled; default 0,200,2000)")
+		shards   = fs.String("shards", "", "comma-separated shard counts for -exp shard (default 1,2,4,8)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -100,6 +118,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
+	shardCounts, err := parseShards(*shards)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
 
 	fmt.Fprintf(stdout, "ssrq-bench: exp=%s scale=%s seed=%d queries=%d ch=%v\n",
 		*expID, sc.Name, *seed, sc.NumQueries, *withCH)
@@ -111,6 +134,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	suite.ChurnMovers = moverCounts
 	suite.ChurnRate = *mrate
 	suite.EdgeRates = edgeRates
+	suite.ShardCounts = shardCounts
 	start := time.Now()
 	if err := suite.Run(*expID, *withCH); err != nil {
 		fmt.Fprintln(stderr, "ssrq-bench:", err)

@@ -19,6 +19,11 @@
 //
 //	ssrq-server -data fsq.gob -addr :8080
 //	ssrq-server -preset gowalla -n 20000 -parallel 8
+//	ssrq-server -preset gowalla -n 100000 -shards 8   # spatially partitioned
+//
+// With -shards N the engine is spatially partitioned: queries fan out in
+// parallel across per-region indexes with bound-based shard pruning, updates
+// route to the owning shard, and /stats gains per-shard counters.
 package main
 
 import (
@@ -42,6 +47,7 @@ type serverConfig struct {
 	addr     string
 	parallel int
 	buildCH  bool
+	shards   int
 }
 
 // parseFlags parses the command line; separated from main so tests can
@@ -57,6 +63,7 @@ func parseFlags(args []string, stderr io.Writer) (*serverConfig, error) {
 	fs.StringVar(&cfg.addr, "addr", ":8080", "listen address")
 	fs.IntVar(&cfg.parallel, "parallel", 0, "default worker count for POST /batch (0 = GOMAXPROCS)")
 	fs.BoolVar(&cfg.buildCH, "ch", false, "build a contraction hierarchy so the SFA-CH/SPA-CH/TSA-CH variants serve (survives edge churn: in-place repair for insertions, background rebuild otherwise)")
+	fs.IntVar(&cfg.shards, "shards", 1, "spatially partition the engine across this many shards (parallel fan-out queries, per-shard update pipelines, per-shard /stats; 1 = monolithic)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -79,7 +86,7 @@ func buildServer(cfg *serverConfig) (*httpapi.Server, *ssrq.Dataset, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	eng, err := ssrq.NewEngine(ds, &ssrq.Options{Seed: cfg.seed, BuildCH: cfg.buildCH})
+	eng, err := ssrq.NewEngine(ds, &ssrq.Options{Seed: cfg.seed, BuildCH: cfg.buildCH, Shards: cfg.shards})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -99,8 +106,8 @@ func main() {
 		os.Exit(1)
 	}
 	st := ds.Stats()
-	log.Printf("ssrq-server: %s (%d users, %d edges) listening on %s (batch parallelism %d)",
-		st.Name, st.NumVertices, st.NumEdges, cfg.addr, cfg.parallel)
+	log.Printf("ssrq-server: %s (%d users, %d edges) listening on %s (batch parallelism %d, %d shard(s))",
+		st.Name, st.NumVertices, st.NumEdges, cfg.addr, cfg.parallel, cfg.shards)
 	if err := http.ListenAndServe(cfg.addr, srv); err != nil {
 		log.Fatal(err)
 	}

@@ -81,6 +81,58 @@ func TestBuildServerAndServe(t *testing.T) {
 	}
 }
 
+// TestBuildShardedServer: -shards builds the partitioned engine end to end
+// and /stats exposes the per-shard section.
+func TestBuildShardedServer(t *testing.T) {
+	cfg, err := parseFlags([]string{"-preset", "gowalla", "-n", "400", "-shards", "4"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.shards != 4 {
+		t.Fatalf("shards = %d", cfg.shards)
+	}
+	srv, _, err := buildServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/query?q=0&k=3")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: %v %v", err, resp)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: %v %v", err, resp)
+	}
+	var st struct {
+		NumShards int `json:"num_shards"`
+		Shards    []struct {
+			Cells      int `json:"cells"`
+			NumLocated int `json:"num_located"`
+		} `json:"shards"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.NumShards != 4 || len(st.Shards) != 4 {
+		t.Fatalf("stats shards = %d (%d entries), want 4", st.NumShards, len(st.Shards))
+	}
+
+	// An invalid shard count must fail construction, not limp along.
+	bad, err := parseFlags([]string{"-preset", "gowalla", "-n", "400", "-shards", "100000"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := buildServer(bad); err == nil {
+		t.Fatal("absurd shard count accepted")
+	}
+}
+
 func TestBuildServerBadDataset(t *testing.T) {
 	cfg, err := parseFlags([]string{"-data", "/nonexistent/path.gob"}, io.Discard)
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"ssrq/internal/aggindex"
 	"ssrq/internal/graph"
 	"ssrq/internal/pqueue"
+	"ssrq/internal/spatial"
 )
 
 // aisConfig selects the AIS flavor evaluated in Fig. 10.
@@ -41,10 +42,9 @@ func aisTie(level int16, idx int32) int64 {
 // AIS-BID, a fresh bidirectional search each time. Membership, occupancy
 // and summaries all come from the query's snapshot sn, so the Lemma-2
 // bounds are always evaluated against the membership they were built for.
-func (e *Engine) runAIS(sn *aggindex.Snapshot, q graph.VertexID, prm Params, st *Stats, cfg aisConfig) []Entry {
+func (e *Engine) runAIS(sn *aggindex.Snapshot, q graph.VertexID, qpt spatial.Point, bound float64, prm Params, st *Stats, cfg aisConfig) []Entry {
 	g := sn.Grid()
 	soc, lm := sn.SocialGraph(), sn.Landmarks()
-	qpt := g.Point(q)
 	qvec := lm.VertexVector(q)
 	layout := g.Layout()
 	alpha := prm.Alpha
@@ -66,7 +66,7 @@ func (e *Engine) runAIS(sn *aggindex.Snapshot, q graph.VertexID, prm Params, st 
 		evalDist = fb.dist
 	}
 
-	r := newTopK(prm.K)
+	r := newTopKBound(prm.K, bound)
 	h := pqueue.NewHeap[aisItem](256)
 	var childBuf []int32
 

@@ -26,14 +26,14 @@ type BatchResult struct {
 	Elapsed time.Duration
 }
 
-// QueryBatch answers a batch of queries on a pool of workers and returns the
-// outcomes in input order. workers <= 0 selects GOMAXPROCS. Each query runs
-// through the ordinary Query path — per-query scratch comes from the
-// engine's sync.Pool, and each query loads its own snapshot epoch, so
-// location updates published mid-batch become visible to the batch's later
-// queries without ever blocking any of them. A failed query records its
-// error in its slot without affecting the rest of the batch.
-func (e *Engine) QueryBatch(queries []BatchQuery, workers int) []BatchResult {
+// RunBatch answers a batch of queries on a pool of workers and returns the
+// outcomes in input order — the one implementation of the batch contract,
+// shared by Engine.QueryBatch and the sharded engine (their clamping and
+// error semantics must never drift apart; TestQueryBatchClampsBothFlavors
+// pins both). workers <= 0 selects GOMAXPROCS; worker counts beyond the
+// batch size clamp to it. A failed query records its error in its slot
+// without affecting the rest of the batch.
+func RunBatch(queries []BatchQuery, workers int, query func(BatchQuery) (*Result, error)) []BatchResult {
 	out := make([]BatchResult, len(queries))
 	if len(queries) == 0 {
 		return out
@@ -44,11 +44,14 @@ func (e *Engine) QueryBatch(queries []BatchQuery, workers int) []BatchResult {
 	if workers > len(queries) {
 		workers = len(queries)
 	}
+	run := func(i int) {
+		start := time.Now()
+		out[i].Result, out[i].Err = query(queries[i])
+		out[i].Elapsed = time.Since(start)
+	}
 	if workers == 1 {
-		for i, bq := range queries {
-			start := time.Now()
-			out[i].Result, out[i].Err = e.Query(bq.Algo, bq.Q, bq.Params)
-			out[i].Elapsed = time.Since(start)
+		for i := range queries {
+			run(i)
 		}
 		return out
 	}
@@ -63,13 +66,22 @@ func (e *Engine) QueryBatch(queries []BatchQuery, workers int) []BatchResult {
 				if i >= len(queries) {
 					return
 				}
-				bq := queries[i]
-				start := time.Now()
-				out[i].Result, out[i].Err = e.Query(bq.Algo, bq.Q, bq.Params)
-				out[i].Elapsed = time.Since(start)
+				run(i)
 			}
 		}()
 	}
 	wg.Wait()
 	return out
+}
+
+// QueryBatch answers a batch of queries on a pool of workers and returns the
+// outcomes in input order (see RunBatch for the contract). Each query runs
+// through the ordinary Query path — per-query scratch comes from the
+// engine's sync.Pool, and each query loads its own snapshot epoch, so
+// location updates published mid-batch become visible to the batch's later
+// queries without ever blocking any of them.
+func (e *Engine) QueryBatch(queries []BatchQuery, workers int) []BatchResult {
+	return RunBatch(queries, workers, func(bq BatchQuery) (*Result, error) {
+		return e.Query(bq.Algo, bq.Q, bq.Params)
+	})
 }

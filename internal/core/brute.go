@@ -3,13 +3,15 @@ package core
 import (
 	"ssrq/internal/aggindex"
 	"ssrq/internal/graph"
+	"ssrq/internal/spatial"
 )
 
 // runBrute is the exhaustive reference: one full Dijkstra from the query
 // vertex, then a linear scan scoring every user against the snapshot's
 // locations. Used for cross-validation and as an honest lower bound on what
-// indexing must beat.
-func (e *Engine) runBrute(sn *aggindex.Snapshot, q graph.VertexID, prm Params, st *Stats) []Entry {
+// indexing must beat. The seed bound is deliberately ignored: brute force
+// always reports its full local top-k, so it stays a bound-free oracle.
+func (e *Engine) runBrute(sn *aggindex.Snapshot, q graph.VertexID, qpt spatial.Point, _ float64, prm Params, st *Stats) []Entry {
 	g := sn.Grid()
 	sp := sn.SocialGraph().Dijkstra(q)
 	st.SocialPops += e.ds.NumUsers()
@@ -20,7 +22,7 @@ func (e *Engine) runBrute(sn *aggindex.Snapshot, q graph.VertexID, prm Params, s
 			continue
 		}
 		p := sp.Dist[v]
-		d := g.EuclideanDist(q, id)
+		d := spatialDist(g, qpt, id)
 		r.Consider(Entry{ID: id, F: combine(prm.Alpha, p, d), P: p, D: d})
 	}
 	return r.Sorted()

@@ -5,6 +5,7 @@ import (
 
 	"ssrq/internal/aggindex"
 	"ssrq/internal/graph"
+	"ssrq/internal/spatial"
 )
 
 // socialCache implements §5.4's graph-distance pre-computation: for a query
@@ -116,13 +117,13 @@ func (e *Engine) ResetCache(t int) {
 // list entries arrive in ascending social distance, so θ = α·p applies — and
 // falls back to full AIS when the list is exhausted inconclusively (§5.4).
 // Spatial distances come from the query's snapshot.
-func (e *Engine) runAISCache(sn *aggindex.Snapshot, q graph.VertexID, prm Params, st *Stats) []Entry {
+func (e *Engine) runAISCache(sn *aggindex.Snapshot, q graph.VertexID, qpt spatial.Point, bound float64, prm Params, st *Stats) []Entry {
 	g := sn.Grid()
 	list, complete := e.cache.get(sn.SocialGraph(), sn.SocialEpoch(), q)
-	r := newTopK(prm.K)
+	r := newTopKBound(prm.K, bound)
 	for _, cn := range list {
 		st.CacheHits++
-		d := g.EuclideanDist(q, cn.V)
+		d := spatialDist(g, qpt, cn.V)
 		r.Consider(Entry{ID: cn.V, F: combine(prm.Alpha, cn.P, d), P: cn.P, D: d})
 		if theta := prm.Alpha * cn.P; theta >= r.Fk() {
 			return r.Sorted()
@@ -133,5 +134,5 @@ func (e *Engine) runAISCache(sn *aggindex.Snapshot, q graph.VertexID, prm Params
 		return r.Sorted()
 	}
 	st.FellBack = true
-	return e.runAIS(sn, q, prm, st, aisConfig{sharing: true, delayed: true})
+	return e.runAIS(sn, q, qpt, bound, prm, st, aisConfig{sharing: true, delayed: true})
 }

@@ -122,6 +122,15 @@ type Options struct {
 	ForcedInstallInterval time.Duration
 }
 
+// WithDefaults returns a copy with every zero field replaced by its default.
+// Compositions that must agree with an engine's derived geometry (the
+// sharded engine's partition layout, for one) resolve the options the same
+// way NewEngine will before deriving anything from them.
+func (o Options) WithDefaults() Options {
+	o.setDefaults()
+	return o
+}
+
 func (o *Options) setDefaults() {
 	if o.GridS == 0 {
 		o.GridS = 10
@@ -274,12 +283,14 @@ func (e *Engine) Snapshot() *aggindex.Snapshot { return e.agg.Snapshot() }
 // Options returns the options the engine was built with (defaults filled).
 func (e *Engine) Options() Options { return e.opts }
 
-// validateUpdate rejects malformed updates before they can reach the index:
+// ValidateUpdate rejects malformed updates before they can reach the index:
 // out-of-range users, non-finite coordinates (a NaN point would silently
 // corrupt grid membership via CellIndex clamping), and malformed edge ops
 // (self-loops, non-positive or non-finite weights, or edge churn on an
 // engine whose landmark count exceeds dynamic-maintenance support).
-func (e *Engine) validateUpdate(u Update) error {
+// Exported so compositions that route updates across engines (the sharded
+// engine) can reject a whole batch before any routing decision is made.
+func (e *Engine) ValidateUpdate(u Update) error {
 	n := e.ds.NumUsers()
 	switch u.Kind {
 	case aggindex.OpLocation:
@@ -316,7 +327,7 @@ func (e *Engine) validateUpdate(u Update) error {
 // copy-on-write cost across a batch.
 func (e *Engine) MoveUser(id int32, to spatial.Point) error {
 	u := Update{ID: id, To: to}
-	if err := e.validateUpdate(u); err != nil {
+	if err := e.ValidateUpdate(u); err != nil {
 		return err
 	}
 	e.agg.Apply([]Update{u})
@@ -327,7 +338,7 @@ func (e *Engine) MoveUser(id int32, to spatial.Point) error {
 // one epoch. Never blocks queries.
 func (e *Engine) RemoveUserLocation(id int32) error {
 	u := Update{ID: id, Remove: true}
-	if err := e.validateUpdate(u); err != nil {
+	if err := e.ValidateUpdate(u); err != nil {
 		return err
 	}
 	e.agg.Apply([]Update{u})
@@ -339,7 +350,7 @@ func (e *Engine) RemoveUserLocation(id int32) error {
 // validation error nothing is applied.
 func (e *Engine) ApplyUpdates(ops []Update) error {
 	for _, u := range ops {
-		if err := e.validateUpdate(u); err != nil {
+		if err := e.ValidateUpdate(u); err != nil {
 			return err
 		}
 	}
@@ -363,44 +374,67 @@ func (e *Engine) Query(algo Algorithm, q graph.VertexID, prm Params) (*Result, e
 	if !g.Located(q) {
 		return nil, fmt.Errorf("core: query user %d has no known location", q)
 	}
+	return e.QueryOn(sn, algo, q, g.Point(q), math.Inf(1), prm)
+}
+
+// QueryOn answers an SSRQ against an explicit snapshot with an explicit
+// query location and an optional seed bound — the primitive the sharded
+// engine's fan-out is built on. Unlike Query it does not require q to be
+// located in sn's grid: qpt stands in for the query location, so a shard
+// that does not own the query user can still rank its own users against the
+// owner shard's coordinates. Social distances always start from vertex q of
+// sn's social graph, which every shard replicates in full, so they are exact
+// regardless of ownership.
+//
+// bound seeds the interim kth ranking value (+Inf for none): unseen users
+// provably *strictly worse* than the bound are abandoned early. Entries tying
+// the bound are still reported, so a caller merging several QueryOn results
+// under a running global threshold loses nothing to the tiebreak.
+func (e *Engine) QueryOn(sn *aggindex.Snapshot, algo Algorithm, q graph.VertexID, qpt spatial.Point, bound float64, prm Params) (*Result, error) {
+	if err := prm.Validate(); err != nil {
+		return nil, err
+	}
+	if q < 0 || int(q) >= sn.Grid().NumUsers() {
+		return nil, fmt.Errorf("core: query user %d out of range [0,%d)", q, sn.Grid().NumUsers())
+	}
 	res := &Result{Query: q, Params: prm}
 	st := &res.Stats
 	switch algo {
 	case SFA:
-		res.Entries = e.runSFA(sn, q, prm, st, false)
+		res.Entries = e.runSFA(sn, q, qpt, bound, prm, st, false)
 	case SFACH:
 		if err := e.chReady(sn, algo); err != nil {
 			return nil, err
 		}
-		res.Entries = e.runSFA(sn, q, prm, st, true)
+		res.Entries = e.runSFA(sn, q, qpt, bound, prm, st, true)
 	case SPA:
-		res.Entries = e.runSPA(sn, q, prm, st, false)
+		res.Entries = e.runSPA(sn, q, qpt, bound, prm, st, false)
 	case SPACH:
 		if err := e.chReady(sn, algo); err != nil {
 			return nil, err
 		}
-		res.Entries = e.runSPA(sn, q, prm, st, true)
+		res.Entries = e.runSPA(sn, q, qpt, bound, prm, st, true)
 	case TSA:
-		res.Entries = e.runTSA(sn, q, prm, st, tsaConfig{prune: true})
+		res.Entries = e.runTSA(sn, q, qpt, bound, prm, st, tsaConfig{prune: true})
 	case TSAQC:
-		res.Entries = e.runTSA(sn, q, prm, st, tsaConfig{prune: true, quickCombine: true})
+		res.Entries = e.runTSA(sn, q, qpt, bound, prm, st, tsaConfig{prune: true, quickCombine: true})
 	case TSANoLandmark:
-		res.Entries = e.runTSA(sn, q, prm, st, tsaConfig{})
+		res.Entries = e.runTSA(sn, q, qpt, bound, prm, st, tsaConfig{})
 	case TSACH:
 		if err := e.chReady(sn, algo); err != nil {
 			return nil, err
 		}
-		res.Entries = e.runTSA(sn, q, prm, st, tsaConfig{prune: true, useCH: true})
+		res.Entries = e.runTSA(sn, q, qpt, bound, prm, st, tsaConfig{prune: true, useCH: true})
 	case AISBID:
-		res.Entries = e.runAIS(sn, q, prm, st, aisConfig{sharing: false, delayed: false})
+		res.Entries = e.runAIS(sn, q, qpt, bound, prm, st, aisConfig{sharing: false, delayed: false})
 	case AISMinus:
-		res.Entries = e.runAIS(sn, q, prm, st, aisConfig{sharing: true, delayed: false})
+		res.Entries = e.runAIS(sn, q, qpt, bound, prm, st, aisConfig{sharing: true, delayed: false})
 	case AIS:
-		res.Entries = e.runAIS(sn, q, prm, st, aisConfig{sharing: true, delayed: true})
+		res.Entries = e.runAIS(sn, q, qpt, bound, prm, st, aisConfig{sharing: true, delayed: true})
 	case AISCache:
-		res.Entries = e.runAISCache(sn, q, prm, st)
+		res.Entries = e.runAISCache(sn, q, qpt, bound, prm, st)
 	case BruteForce:
-		res.Entries = e.runBrute(sn, q, prm, st)
+		res.Entries = e.runBrute(sn, q, qpt, bound, prm, st)
 	default:
 		return nil, fmt.Errorf("core: unknown algorithm %v", algo)
 	}
@@ -457,7 +491,7 @@ func (e *Engine) RebuildCH() bool { return e.agg.RebuildCH() }
 // blocks queries.
 func (e *Engine) AddFriend(u, v int32, w float64) error {
 	op := Update{Kind: aggindex.OpEdgeUpsert, U: u, V: v, W: w}
-	if err := e.validateUpdate(op); err != nil {
+	if err := e.ValidateUpdate(op); err != nil {
 		return err
 	}
 	e.agg.Apply([]Update{op})
@@ -468,7 +502,7 @@ func (e *Engine) AddFriend(u, v int32, w float64) error {
 // absent) and publishes the change as one epoch. Never blocks queries.
 func (e *Engine) RemoveFriend(u, v int32) error {
 	op := Update{Kind: aggindex.OpEdgeRemove, U: u, V: v}
-	if err := e.validateUpdate(op); err != nil {
+	if err := e.ValidateUpdate(op); err != nil {
 		return err
 	}
 	e.agg.Apply([]Update{op})
@@ -480,7 +514,7 @@ func (e *Engine) RemoveFriend(u, v int32) error {
 // the same unordered pair coalesce to the newest.
 func (e *Engine) AddFriendAsync(u, v int32, w float64) error {
 	op := Update{Kind: aggindex.OpEdgeUpsert, U: u, V: v, W: w}
-	if err := e.validateUpdate(op); err != nil {
+	if err := e.ValidateUpdate(op); err != nil {
 		return err
 	}
 	return e.ensureUpdater().enqueue(op)
@@ -489,10 +523,37 @@ func (e *Engine) AddFriendAsync(u, v int32, w float64) error {
 // RemoveFriendAsync enqueues an edge removal on the update pipeline.
 func (e *Engine) RemoveFriendAsync(u, v int32) error {
 	op := Update{Kind: aggindex.OpEdgeRemove, U: u, V: v}
-	if err := e.validateUpdate(op); err != nil {
+	if err := e.ValidateUpdate(op); err != nil {
 		return err
 	}
 	return e.ensureUpdater().enqueue(op)
+}
+
+// UserLocation returns a user's current (normalized) coordinates as of the
+// latest published epoch; ok is false when unknown or out of range.
+func (e *Engine) UserLocation(id int32) (spatial.Point, bool) {
+	g := e.agg.Snapshot().Grid()
+	if id < 0 || int(id) >= g.NumUsers() || !g.Located(id) {
+		return spatial.Point{}, false
+	}
+	return g.Point(id), true
+}
+
+// NumLocated returns how many users have an indexed location in the latest
+// published epoch.
+func (e *Engine) NumLocated() int { return e.agg.Snapshot().Grid().NumLocated() }
+
+// LiveSocialGraph returns the social graph of the latest published epoch.
+func (e *Engine) LiveSocialGraph() *graph.Graph { return e.agg.Snapshot().SocialGraph() }
+
+// SpatialKNN returns the k spatially-nearest located users to q, excluding q
+// itself (a pure one-domain query). Lock-free against the latest epoch.
+func (e *Engine) SpatialKNN(q int32, k int) ([]spatial.Neighbor, error) {
+	g := e.agg.Snapshot().Grid()
+	if q < 0 || int(q) >= g.NumUsers() || !g.Located(q) {
+		return nil, fmt.Errorf("core: user %d has no known location", q)
+	}
+	return g.KNN(g.Point(q), k, func(id int32) bool { return id == q }), nil
 }
 
 func (e *Engine) getPools() *queryPools  { return e.pools.Get().(*queryPools) }

@@ -11,6 +11,8 @@ package core
 import (
 	"fmt"
 	"math"
+
+	"ssrq/internal/spatial"
 )
 
 // Params are the per-query SSRQ parameters (Table 3).
@@ -47,3 +49,15 @@ func combine(alpha, p, d float64) float64 {
 
 // finite reports whether f is a real ranking value.
 func finite(f float64) bool { return !math.IsInf(f, 1) && !math.IsNaN(f) }
+
+// spatialDist returns the Euclidean distance from the query location qpt to
+// user v's position in the snapshot grid, +Inf when v has no location (the
+// paper's convention). The query location is threaded explicitly rather than
+// read off the grid because in a sharded engine q is located in exactly one
+// shard's grid while the fan-out evaluates every shard's users.
+func spatialDist(g *spatial.Snapshot, qpt spatial.Point, v int32) float64 {
+	if !g.Located(v) {
+		return math.Inf(1)
+	}
+	return g.Point(v).Dist(qpt)
+}

@@ -43,8 +43,12 @@ func (s Stats) PopRatio(n int) float64 {
 	return float64(s.Pops()) / float64(n)
 }
 
-func (s *Stats) add(o Stats) {
+// Add accumulates another execution's counters (used by batch aggregation
+// and the sharded engine's fan-out, which reports the work of all shards a
+// query touched as one Stats).
+func (s *Stats) Add(o Stats) {
 	s.SocialPops += o.SocialPops
+	s.ReversePops += o.ReversePops
 	s.SpatialPops += o.SpatialPops
 	s.IndexUserPops += o.IndexUserPops
 	s.IndexCellPops += o.IndexCellPops
@@ -88,11 +92,27 @@ func (r *Result) IDSet() map[int32]bool {
 // heap.
 type topK struct {
 	k       int
+	bound   float64 // external f_k ceiling (+Inf when unseeded)
 	entries []Entry // ascending (F, ID)
 }
 
 func newTopK(k int) *topK {
-	return &topK{k: k, entries: make([]Entry, 0, k)}
+	return newTopKBound(k, math.Inf(1))
+}
+
+// newTopKBound seeds the interim result with an externally-known kth ranking
+// value (the sharded engine's running global threshold). The searches then
+// terminate as soon as unseen users provably cannot beat the seed. The seed
+// is applied with *strict* semantics — Fk reports the next representable
+// float above it — because an entry tying the global kth score exactly could
+// still win its ID tiebreak; only entries strictly worse than the seed are
+// safe to abandon.
+func newTopKBound(k int, bound float64) *topK {
+	t := &topK{k: k, bound: math.Inf(1), entries: make([]Entry, 0, k)}
+	if !math.IsInf(bound, 1) && !math.IsNaN(bound) {
+		t.bound = math.Nextafter(bound, math.Inf(1))
+	}
+	return t
 }
 
 func entryLess(a, b Entry) bool {
@@ -103,12 +123,13 @@ func entryLess(a, b Entry) bool {
 }
 
 // Fk returns the current k-th ranking value: +Inf while fewer than k entries
-// qualify (so no bound can terminate a search prematurely).
+// qualify (so no bound can terminate a search prematurely), capped by the
+// external seed bound when one was provided.
 func (t *topK) Fk() float64 {
 	if len(t.entries) < t.k {
-		return math.Inf(1)
+		return t.bound
 	}
-	return t.entries[len(t.entries)-1].F
+	return math.Min(t.entries[len(t.entries)-1].F, t.bound)
 }
 
 // Consider offers an entry; it is inserted when it beats the current

@@ -3,12 +3,14 @@ package core
 import (
 	"ssrq/internal/aggindex"
 	"ssrq/internal/graph"
+	"ssrq/internal/spatial"
 )
 
 // runSFA is the Social First Algorithm (§4.1): expand Dijkstra around v_q,
 // evaluate every settled user (Euclidean distance is trivial to attach), and
 // stop once θ = α·p(last settled) can no longer beat f_k. Spatial reads go
-// through the query's snapshot sn.
+// through the query's snapshot sn, with qpt standing in for the query
+// location (q itself need not be located in sn — see Engine.QueryOn).
 //
 // With useCH (the SFA-CH variant of Fig. 8), every social distance is
 // re-derived through a Contraction Hierarchies point-to-point query instead
@@ -16,11 +18,11 @@ import (
 // for its ascending-distance ordering and termination bound. The variant
 // demonstrates the paper's point: on social networks, per-target CH queries
 // lose to one shared incremental Dijkstra.
-func (e *Engine) runSFA(sn *aggindex.Snapshot, q graph.VertexID, prm Params, st *Stats, useCH bool) []Entry {
+func (e *Engine) runSFA(sn *aggindex.Snapshot, q graph.VertexID, qpt spatial.Point, bound float64, prm Params, st *Stats, useCH bool) []Entry {
 	g := sn.Grid()
 	hier := sn.Hierarchy() // chReady guaranteed it fresh when useCH
 	it := graph.NewDijkstraIterator(sn.SocialGraph(), q)
-	r := newTopK(prm.K)
+	r := newTopKBound(prm.K, bound)
 	for {
 		v, p, ok := it.Next()
 		if !ok {
@@ -34,7 +36,7 @@ func (e *Engine) runSFA(sn *aggindex.Snapshot, q graph.VertexID, prm Params, st 
 			p, _ = hier.Dist(q, v)
 			st.CHQueries++
 		}
-		d := g.EuclideanDist(q, v)
+		d := spatialDist(g, qpt, v)
 		r.Consider(Entry{ID: v, F: combine(prm.Alpha, p, d), P: p, D: d})
 		if theta := prm.Alpha * it.LastKey(); theta >= r.Fk() {
 			break

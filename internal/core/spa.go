@@ -3,6 +3,7 @@ package core
 import (
 	"ssrq/internal/aggindex"
 	"ssrq/internal/graph"
+	"ssrq/internal/spatial"
 )
 
 // runSPA is the Spatial First Approach (§4.1): stream users by ascending
@@ -14,10 +15,10 @@ import (
 // v_q, expanded just far enough to settle each requested target ("shortest
 // paths produced incrementally, all with v_q as source"). SPA-CH replaces it
 // with an independent CH query per target (Fig. 8).
-func (e *Engine) runSPA(sn *aggindex.Snapshot, q graph.VertexID, prm Params, st *Stats, useCH bool) []Entry {
+func (e *Engine) runSPA(sn *aggindex.Snapshot, q graph.VertexID, qpt spatial.Point, bound float64, prm Params, st *Stats, useCH bool) []Entry {
 	g := sn.Grid()
-	nn := g.NewNN(g.Point(q))
-	r := newTopK(prm.K)
+	nn := g.NewNN(qpt)
+	r := newTopKBound(prm.K, bound)
 
 	hier := sn.Hierarchy() // chReady guaranteed it fresh when useCH
 	var fwd *graph.DijkstraIterator

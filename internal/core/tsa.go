@@ -7,6 +7,7 @@ import (
 	"ssrq/internal/ch"
 	"ssrq/internal/graph"
 	"ssrq/internal/pqueue"
+	"ssrq/internal/spatial"
 )
 
 // tsaConfig selects the TSA flavor (§4.2).
@@ -79,11 +80,11 @@ func (c *candidateSet) Prune(drop func(u int32, d float64) bool) {
 // θ = α·t_p + (1−α)·t_d. Phase 2 resolves the partially-evaluated candidate
 // set Q, by default continuing only the social search (continuing the NN
 // search "would be a waste of computations").
-func (e *Engine) runTSA(sn *aggindex.Snapshot, q graph.VertexID, prm Params, st *Stats, cfg tsaConfig) []Entry {
+func (e *Engine) runTSA(sn *aggindex.Snapshot, q graph.VertexID, qpt spatial.Point, bound float64, prm Params, st *Stats, cfg tsaConfig) []Entry {
 	g := sn.Grid()
 	soc := graph.NewDijkstraIterator(sn.SocialGraph(), q)
-	nn := g.NewNN(g.Point(q))
-	r := newTopK(prm.K)
+	nn := g.NewNN(qpt)
+	r := newTopKBound(prm.K, bound)
 	cand := newCandidateSet()
 
 	tp, td := 0.0, 0.0
@@ -100,7 +101,7 @@ func (e *Engine) runTSA(sn *aggindex.Snapshot, q graph.VertexID, prm Params, st 
 		if v == q {
 			return
 		}
-		d := g.EuclideanDist(q, v)
+		d := spatialDist(g, qpt, v)
 		r.Consider(Entry{ID: v, F: combine(prm.Alpha, p, d), P: p, D: d})
 		// Algorithm 1 lines 7–8: a candidate reached by the social search is
 		// now fully evaluated and must leave Q.

@@ -223,7 +223,7 @@ func (e *Engine) ensureUpdater() *Updater {
 // barrier.
 func (e *Engine) MoveUserAsync(id int32, to spatial.Point) error {
 	u := Update{ID: id, To: to}
-	if err := e.validateUpdate(u); err != nil {
+	if err := e.ValidateUpdate(u); err != nil {
 		return err
 	}
 	return e.ensureUpdater().enqueue(u)
@@ -233,7 +233,7 @@ func (e *Engine) MoveUserAsync(id int32, to spatial.Point) error {
 // pipeline.
 func (e *Engine) RemoveUserLocationAsync(id int32) error {
 	u := Update{ID: id, Remove: true}
-	if err := e.validateUpdate(u); err != nil {
+	if err := e.ValidateUpdate(u); err != nil {
 		return err
 	}
 	return e.ensureUpdater().enqueue(u)

@@ -66,6 +66,25 @@ func TestQueryUsers(t *testing.T) {
 	}
 }
 
+// TestRunShard drives the sharded-engine experiment at micro scale: it is
+// self-checking (per-cell brute oracle, cross-S equivalence, pruning > 0 at
+// the largest S), so a nil error is the assertion.
+func TestRunShard(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewSuite(microScale, 42, &buf)
+	s.ShardCounts = []int{1, 4}
+	if err := s.RunShard(); err != nil {
+		t.Fatalf("RunShard: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Sharded engine") || !strings.Contains(out, "sh pruned") {
+		t.Fatalf("missing table:\n%s", out)
+	}
+	if len(s.Measurements) != 2 {
+		t.Fatalf("measurements = %d, want 2", len(s.Measurements))
+	}
+}
+
 func TestJaccard(t *testing.T) {
 	a := map[int32]bool{1: true, 2: true, 3: true}
 	b := map[int32]bool{2: true, 3: true, 4: true}

@@ -29,6 +29,9 @@ type Suite struct {
 	// experiment sweeps; 0 = no churner, negative = unthrottled
 	// (default 0, 200, 2000).
 	EdgeRates []float64
+	// ShardCounts are the shard counts the "shard" experiment sweeps
+	// (default 1, 2, 4, 8).
+	ShardCounts []int
 
 	datasets map[string]*dataset.Dataset
 	engines  map[string]*core.Engine
@@ -166,6 +169,8 @@ func (s *Suite) Run(id string, withCH bool) error {
 		return s.RunChurn()
 	case "socialchurn":
 		return s.RunSocialChurn()
+	case "shard":
+		return s.RunShard()
 	case "diag":
 		return s.RunDiagnostics()
 	default:

@@ -38,11 +38,22 @@ var (
 // graph (spatially-local edges mixed with preferential attachment, see
 // GeoSocial) with the target average degree, the paper's degree-product edge
 // weights, Gaussian-city locations, and the preset's located fraction.
+// Equivalent to DatasetFrom with rand.NewSource(seed): the same (preset, n,
+// seed) triple always reproduces the same dataset, byte for byte (the
+// golden-seed regression test pins it).
 func (p Preset) Dataset(n int, seed int64) (*dataset.Dataset, error) {
+	return p.DatasetFrom(n, rand.NewSource(seed))
+}
+
+// DatasetFrom is Dataset with an explicit randomness source — the seam that
+// makes every experiment in this repository seed-reproducible: all
+// randomness in synthesis flows from src and nowhere else (no global rand,
+// no time-based seeding anywhere in gen or exp).
+func (p Preset) DatasetFrom(n int, src rand.Source) (*dataset.Dataset, error) {
 	if n < 10 {
 		return nil, fmt.Errorf("gen: preset dataset needs n ≥ 10, got %d", n)
 	}
-	rng := rand.New(rand.NewSource(seed))
+	rng := rand.New(src)
 
 	m := int(p.AvgDegreeTarget/2 + 0.5)
 	if m < 1 {
@@ -71,9 +82,16 @@ func (p Preset) Dataset(n int, seed int64) (*dataset.Dataset, error) {
 
 // CorrelatedDataset builds the Fig. 14a dataset family: the graph comes from
 // the given preset, but locations follow the correlated synthesis around a
-// chosen query vertex.
+// chosen query vertex. Equivalent to CorrelatedDatasetFrom with
+// rand.NewSource(seed).
 func CorrelatedDataset(base *dataset.Dataset, q graph.VertexID, sign CorrelationSign, seed int64) (*dataset.Dataset, error) {
-	rng := rand.New(rand.NewSource(seed))
+	return CorrelatedDatasetFrom(base, q, sign, rand.NewSource(seed))
+}
+
+// CorrelatedDatasetFrom is CorrelatedDataset with an explicit randomness
+// source.
+func CorrelatedDatasetFrom(base *dataset.Dataset, q graph.VertexID, sign CorrelationSign, src rand.Source) (*dataset.Dataset, error) {
+	rng := rand.New(src)
 	pts, located := CorrelatedLocations(base.G, q, sign, rng)
 	return dataset.New(
 		fmt.Sprintf("%s-%s", base.Name, sign),
@@ -84,8 +102,14 @@ func CorrelatedDataset(base *dataset.Dataset, q graph.VertexID, sign Correlation
 
 // SampledDataset builds a Fig. 14b scalability point: a forest-fire sample
 // of target users from the base dataset, keeping original locations.
+// Equivalent to SampledDatasetFrom with rand.NewSource(seed).
 func SampledDataset(base *dataset.Dataset, target int, seed int64) (*dataset.Dataset, error) {
-	rng := rand.New(rand.NewSource(seed))
+	return SampledDatasetFrom(base, target, rand.NewSource(seed))
+}
+
+// SampledDatasetFrom is SampledDataset with an explicit randomness source.
+func SampledDatasetFrom(base *dataset.Dataset, target int, src rand.Source) (*dataset.Dataset, error) {
+	rng := rand.New(src)
 	raw := base.G.ScaleWeights(base.Norms.Social)
 	sub, oldIDs, err := ForestFireSample(raw, target, 0.4, rng)
 	if err != nil {

@@ -482,12 +482,33 @@ type statsResponse struct {
 	CHRepairFallback int64  `json:"ch_repair_fallbacks"`
 	CHRebuilds       int64  `json:"ch_rebuilds"`
 	CHForcedInstalls int64  `json:"ch_forced_installs"`
+
+	// Sharding section (absent on monolithic engines): fan-out pruning
+	// counters plus one entry per shard.
+	NumShards     int             `json:"num_shards,omitempty"`
+	ShardsQueried int64           `json:"shards_queried,omitempty"`
+	ShardsPruned  int64           `json:"shards_pruned,omitempty"`
+	ShardsEmpty   int64           `json:"shards_empty,omitempty"`
+	Shards        []shardStatJSON `json:"shards,omitempty"`
+}
+
+// shardStatJSON is the wire form of one shard's live state.
+type shardStatJSON struct {
+	Shard             int    `json:"shard"`
+	Cells             int    `json:"cells"`
+	NumLocated        int    `json:"num_located"`
+	Epoch             uint64 `json:"epoch"`
+	SocialEpoch       uint64 `json:"social_epoch"`
+	PendingUpdates    int64  `json:"pending_updates"`
+	AppliedBatches    int64  `json:"applied_batches"`
+	DisabledLandmarks int    `json:"disabled_landmarks"`
+	PrunedQueries     int64  `json:"pruned_queries"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	us := s.eng.UpdateStats()
 	ss := s.eng.SocialStats()
-	writeJSON(w, statsResponse{
+	resp := statsResponse{
 		DatasetStats:     s.eng.DatasetStats(),
 		Epoch:            us.Epoch,
 		SnapshotAgeMs:    us.SnapshotAge.Milliseconds(),
@@ -514,7 +535,29 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		CHRepairFallback: ss.CHRepairFallbacks,
 		CHRebuilds:       ss.CHRebuilds,
 		CHForcedInstalls: ss.CHForcedInstalls,
-	})
+	}
+	if shards := s.eng.ShardStats(); shards != nil {
+		fs := s.eng.FanoutStats()
+		resp.NumShards = s.eng.NumShards()
+		resp.ShardsQueried = fs.ShardsQueried
+		resp.ShardsPruned = fs.ShardsPruned
+		resp.ShardsEmpty = fs.ShardsEmpty
+		resp.Shards = make([]shardStatJSON, len(shards))
+		for i, st := range shards {
+			resp.Shards[i] = shardStatJSON{
+				Shard:             st.Shard,
+				Cells:             st.Cells,
+				NumLocated:        st.NumLocated,
+				Epoch:             st.Epoch,
+				SocialEpoch:       st.SocialEpoch,
+				PendingUpdates:    st.PendingUpdates,
+				AppliedBatches:    st.AppliedBatches,
+				DisabledLandmarks: st.DisabledLandmarks,
+				PrunedQueries:     st.PrunedQueries,
+			}
+		}
+	}
+	writeJSON(w, resp)
 }
 
 func intParam(r *http.Request, name string, def int) (int, error) {

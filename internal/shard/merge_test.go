@@ -1,0 +1,136 @@
+package shard
+
+import (
+	"encoding/binary"
+	"math"
+	"sort"
+	"testing"
+
+	"ssrq/internal/core"
+)
+
+// mergeOracle is sort-and-truncate: concatenate, order by (F, ID), keep the
+// first occurrence of each ID, cut at k.
+func mergeOracle(k int, lists ...[]core.Entry) []core.Entry {
+	var all []core.Entry
+	for _, l := range lists {
+		all = append(all, l...)
+	}
+	sort.SliceStable(all, func(a, b int) bool {
+		if all[a].F != all[b].F {
+			return all[a].F < all[b].F
+		}
+		return all[a].ID < all[b].ID
+	})
+	seen := make(map[int32]struct{})
+	var out []core.Entry
+	for _, e := range all {
+		if _, dup := seen[e.ID]; dup {
+			continue
+		}
+		seen[e.ID] = struct{}{}
+		out = append(out, e)
+		if len(out) == k {
+			break
+		}
+	}
+	return out
+}
+
+func assertMergeEqual(t *testing.T, got, want []core.Entry) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("merged %d entries, want %d\n got:  %+v\n want: %+v", len(got), len(want), got, want)
+	}
+	for i := range got {
+		if got[i].ID != want[i].ID || got[i].F != want[i].F {
+			t.Fatalf("rank %d: got (id=%d f=%v), want (id=%d f=%v)", i, got[i].ID, got[i].F, want[i].ID, want[i].F)
+		}
+	}
+}
+
+func TestMergeTopKBasics(t *testing.T) {
+	a := []core.Entry{{ID: 1, F: 0.1}, {ID: 5, F: 0.5}, {ID: 9, F: 0.9}}
+	b := []core.Entry{{ID: 2, F: 0.2}, {ID: 3, F: 0.3}}
+	got := MergeTopK(4, a, b)
+	assertMergeEqual(t, got, []core.Entry{{ID: 1, F: 0.1}, {ID: 2, F: 0.2}, {ID: 3, F: 0.3}, {ID: 5, F: 0.5}})
+
+	if out := MergeTopK(0, a, b); len(out) != 0 {
+		t.Fatalf("k=0 returned %d entries", len(out))
+	}
+	if out := MergeTopK(10); len(out) != 0 {
+		t.Fatalf("no lists returned %d entries", len(out))
+	}
+	if out := MergeTopK(10, nil, []core.Entry{}); len(out) != 0 {
+		t.Fatalf("empty lists returned %d entries", len(out))
+	}
+	// k beyond the union size returns everything.
+	assertMergeEqual(t, MergeTopK(100, a, b), mergeOracle(100, a, b))
+}
+
+func TestMergeTopKTiesAndDuplicates(t *testing.T) {
+	// Equal F breaks by ID, exactly like the engines' interim results.
+	a := []core.Entry{{ID: 7, F: 0.4}, {ID: 8, F: 0.4}}
+	b := []core.Entry{{ID: 2, F: 0.4}, {ID: 9, F: 0.4}}
+	assertMergeEqual(t, MergeTopK(3, a, b), []core.Entry{{ID: 2, F: 0.4}, {ID: 7, F: 0.4}, {ID: 8, F: 0.4}})
+
+	// A duplicate ID (transient dual-located mover) keeps its better entry.
+	a = []core.Entry{{ID: 4, F: 0.2}, {ID: 6, F: 0.6}}
+	b = []core.Entry{{ID: 4, F: 0.5}, {ID: 5, F: 0.55}}
+	assertMergeEqual(t, MergeTopK(3, a, b), []core.Entry{{ID: 4, F: 0.2}, {ID: 5, F: 0.55}, {ID: 6, F: 0.6}})
+}
+
+// FuzzShardMerge: random per-shard result lists (sorted, as the engines
+// produce them) merged through the k-way heap must equal sort-and-truncate.
+func FuzzShardMerge(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}, uint8(3), uint8(2))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0}, uint8(1), uint8(4))
+	f.Add([]byte{255, 1, 9, 255, 1, 9, 3, 7, 0}, uint8(5), uint8(3))
+	f.Fuzz(func(t *testing.T, data []byte, kRaw, nRaw uint8) {
+		k := int(kRaw%40) + 1
+		nLists := int(nRaw%9) + 1
+		lists := make([][]core.Entry, nLists)
+		// Decode 4-byte records: (id byte, pad, f uint16) distributed
+		// round-robin — small ID and score spaces force ties and cross-list
+		// duplicates.
+		for i := 0; i+4 <= len(data); i += 4 {
+			id := int32(data[i])
+			fval := float64(binary.LittleEndian.Uint16(data[i+2:i+4])%512) / 256
+			li := (i / 4) % nLists
+			lists[li] = append(lists[li], core.Entry{ID: id, F: fval, P: fval, D: 0})
+		}
+		for _, l := range lists {
+			sort.SliceStable(l, func(a, b int) bool {
+				if l[a].F != l[b].F {
+					return l[a].F < l[b].F
+				}
+				return l[a].ID < l[b].ID
+			})
+			// Per-shard lists never contain duplicate IDs; drop them the way
+			// a topK would (keep the best-ranked).
+		}
+		for li, l := range lists {
+			seen := make(map[int32]struct{})
+			dedup := l[:0]
+			for _, e := range l {
+				if _, dup := seen[e.ID]; dup {
+					continue
+				}
+				seen[e.ID] = struct{}{}
+				dedup = append(dedup, e)
+			}
+			lists[li] = dedup
+		}
+
+		got := MergeTopK(k, lists...)
+		want := mergeOracle(k, lists...)
+		if len(got) != len(want) {
+			t.Fatalf("merged %d entries, want %d (k=%d lists=%d)", len(got), len(want), k, nLists)
+		}
+		for i := range got {
+			if got[i].ID != want[i].ID || math.Abs(got[i].F-want[i].F) != 0 {
+				t.Fatalf("rank %d: got (id=%d f=%v), want (id=%d f=%v)", i, got[i].ID, got[i].F, want[i].ID, want[i].F)
+			}
+		}
+	})
+}

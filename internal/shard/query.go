@@ -1,0 +1,221 @@
+package shard
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"ssrq/internal/aggindex"
+	"ssrq/internal/core"
+	"ssrq/internal/graph"
+	"ssrq/internal/spatial"
+)
+
+// Query answers an SSRQ by parallel fan-out: the query user's home shard is
+// searched first (on geo-clustered data it holds most of the answer), its
+// kth score becomes the global threshold, and the remaining shards run in
+// parallel with that threshold as a seed bound — skipped entirely when their
+// best-possible combined Lemma-2 score cannot strictly beat it. A k-way
+// merge combines the per-shard lists.
+//
+// Each shard executes against its own published snapshot, so a fan-out
+// observes one consistent epoch per shard (not one global epoch — the
+// cross-shard view is only as consistent as independently-published indexes
+// can be, and the merge deduplicates the one anomaly that can cause, a
+// mid-relocation user visible twice). Once the engine is quiescent (Flush),
+// results are exactly the monolithic engine's, ID tiebreaks included: the
+// seed bound abandons only strictly-worse candidates, and the merge
+// comparator is the engines' own (F, ID) order.
+func (se *Engine) Query(algo core.Algorithm, q graph.VertexID, prm core.Params) (*core.Result, error) {
+	if err := prm.Validate(); err != nil {
+		return nil, err
+	}
+	if q < 0 || int(q) >= se.ds.NumUsers() {
+		return nil, fmt.Errorf("shard: query user %d out of range [0,%d)", q, se.ds.NumUsers())
+	}
+	se.queries.Add(1)
+	home, hsn := se.locateHome(q, true)
+	if home < 0 {
+		return nil, fmt.Errorf("shard: query user %d has no known location", q)
+	}
+	qpt := hsn.Grid().Point(q)
+	se.shardsQueried.Add(1)
+	hres, err := se.shards[home].QueryOn(hsn, algo, q, qpt, math.Inf(1), prm)
+	if err != nil {
+		return nil, err
+	}
+	if len(se.shards) == 1 {
+		return hres, nil
+	}
+	se.fanouts.Add(1)
+
+	// The home shard's kth score is the global threshold for the fan-out.
+	// With fewer than k home entries there is no threshold yet: every other
+	// shard must be searched unbounded.
+	bound := math.Inf(1)
+	if len(hres.Entries) == prm.K {
+		bound = hres.Entries[prm.K-1].F
+	}
+
+	results := make([]*core.Result, len(se.shards))
+	errs := make([]error, len(se.shards))
+	var wg sync.WaitGroup
+	for s := range se.shards {
+		if s == home {
+			continue
+		}
+		sn := se.shards[s].Snapshot()
+		if sn.Grid().NumLocated() == 0 {
+			se.shardsEmpty.Add(1)
+			continue
+		}
+		if lb := shardLowerBound(sn, q, qpt, prm.Alpha); lb > bound {
+			// No user of this shard can strictly beat the current kth score,
+			// and a tie would lose only to an entry already held: skip the
+			// whole shard.
+			se.shardsPruned.Add(1)
+			se.prunedBy[s].Add(1)
+			continue
+		}
+		se.shardsQueried.Add(1)
+		wg.Add(1)
+		go func(s int, sn *aggindex.Snapshot) {
+			defer wg.Done()
+			results[s], errs[s] = se.shards[s].QueryOn(sn, algo, q, qpt, bound, prm)
+		}(s, sn)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	lists := make([][]core.Entry, 0, len(se.shards))
+	lists = append(lists, hres.Entries)
+	stats := hres.Stats
+	for _, r := range results {
+		if r != nil {
+			lists = append(lists, r.Entries)
+			stats.Add(r.Stats)
+		}
+	}
+	return &core.Result{
+		Query:   q,
+		Params:  prm,
+		Entries: MergeTopK(prm.K, lists...),
+		Stats:   stats,
+	}, nil
+}
+
+// locateHome finds the shard whose published snapshot locates q, preferring
+// the owner map (the common case) and falling back to a scan for the
+// transient window where a routed move has not yet been applied. A
+// cross-shard move is a remove on one pipeline and an insert on another, so
+// there is a window where *no* snapshot locates a continuously-located
+// mover. With flushPending, when the owner map says a shard should hold q
+// but its snapshot does not yet, the destination pipeline is drained once
+// so a *query* for q never spuriously errors with "no known location" —
+// query paths opt into that bounded wait, while plain reads
+// (UserLocation) stay non-blocking and may transiently miss a
+// mid-relocation user. (Third parties mid-relocation can likewise be
+// transiently absent from — or, in the inverse interleaving, duplicated
+// across — other users' fan-outs; the merge deduplicates the latter.)
+// Returns (-1, nil) when no shard locates the user. q must be in range.
+func (se *Engine) locateHome(q graph.VertexID, flushPending bool) (int, *aggindex.Snapshot) {
+	if o := se.owner[q].Load(); o >= 0 {
+		sn := se.shards[o].Snapshot()
+		if sn.Grid().Located(q) {
+			return int(o), sn
+		}
+		if flushPending {
+			// Routed but not yet applied: drain the destination pipeline and
+			// re-read. Rare (only mid-relocation queriers), bounded.
+			se.shards[o].Flush()
+			if sn = se.shards[o].Snapshot(); sn.Grid().Located(q) {
+				return int(o), sn
+			}
+		}
+	}
+	for s := range se.shards {
+		sn := se.shards[s].Snapshot()
+		if sn.Grid().Located(q) {
+			return s, sn
+		}
+	}
+	return -1, nil
+}
+
+// shardLowerBound is the shard-level admission test: the minimum over the
+// shard's occupied top-level cells of the combined Lemma-2 lower bound
+// α·p̲ + (1−α)·d̲ — a lower bound on the f value of *every* user the shard
+// locates, computed against the shard's own snapshot (its summaries and
+// landmark tables describe exactly its membership). +Inf when the shard is
+// empty or provably unreachable.
+func shardLowerBound(sn *aggindex.Snapshot, q graph.VertexID, qpt spatial.Point, alpha float64) float64 {
+	g := sn.Grid()
+	layout := g.Layout()
+	qvec := sn.Landmarks().VertexVector(q)
+	best := math.Inf(1)
+	for idx := int32(0); idx < int32(layout.NumCells(0)); idx++ {
+		if g.CountAt(0, idx) == 0 {
+			continue
+		}
+		p := sn.SocialLowerBound(0, idx, qvec)
+		d := layout.CellRect(0, idx).MinDist(qpt)
+		if f := alpha*p + (1-alpha)*d; f < best {
+			best = f
+		}
+	}
+	return best
+}
+
+// QueryBatch answers a batch of queries on a pool of workers with exactly
+// core.Engine.QueryBatch's contract (one shared implementation —
+// core.RunBatch — so the clamping and error semantics cannot drift).
+func (se *Engine) QueryBatch(queries []core.BatchQuery, workers int) []core.BatchResult {
+	return core.RunBatch(queries, workers, func(bq core.BatchQuery) (*core.Result, error) {
+		return se.Query(bq.Algo, bq.Q, bq.Params)
+	})
+}
+
+// Precompute eagerly builds §5.4 social-distance lists for the given query
+// users on every shard (each shard serves AISCache from its own memo).
+func (se *Engine) Precompute(users []graph.VertexID) {
+	for _, sh := range se.shards {
+		sh.Precompute(users)
+	}
+}
+
+// SpatialKNN returns the k spatially-nearest located users to q across all
+// shards (pure one-domain query): per-shard KNN against each published
+// snapshot, merged by ascending (distance, ID).
+func (se *Engine) SpatialKNN(q int32, k int) ([]spatial.Neighbor, error) {
+	if q < 0 || int(q) >= se.ds.NumUsers() {
+		return nil, fmt.Errorf("shard: user %d out of range [0,%d)", q, se.ds.NumUsers())
+	}
+	home, hsn := se.locateHome(q, true)
+	if home < 0 {
+		return nil, fmt.Errorf("shard: user %d has no known location", q)
+	}
+	qpt := hsn.Grid().Point(q)
+	var all []spatial.Neighbor
+	for _, sh := range se.shards {
+		g := sh.Snapshot().Grid()
+		all = append(all, g.KNN(qpt, k, func(id int32) bool { return id == q })...)
+	}
+	sortNeighbors(all)
+	out := make([]spatial.Neighbor, 0, k)
+	seen := make(map[int32]struct{}, k)
+	for _, nb := range all {
+		if _, dup := seen[nb.ID]; dup {
+			continue
+		}
+		seen[nb.ID] = struct{}{}
+		out = append(out, nb)
+		if len(out) == k {
+			break
+		}
+	}
+	return out, nil
+}

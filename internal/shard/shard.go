@@ -1,0 +1,286 @@
+// Package shard implements the spatially-partitioned SSRQ engine: users are
+// split across S spatially-contiguous shards by a space-filling-curve
+// assignment of grid leaf cells, and every shard owns a complete, independent
+// core.Engine — its own grid, AIS aggregate index, updater pipeline, epochs,
+// and landmark/CH maintenance loops — built over a Restrict'ed view of one
+// shared dataset. Queries fan out in parallel and are combined by a k-way
+// merge; updates route to the shard owning the user's current location.
+//
+// The decomposition trades the two dimensions differently:
+//
+//   - The spatial dimension is PARTITIONED: each user's location is indexed
+//     by exactly one shard, so grid maintenance, AIS summaries and epoch
+//     publication scale out across shards instead of contending on one
+//     writer lock.
+//   - The social dimension is REPLICATED: every shard holds the full social
+//     graph and its own landmark tables, and edge updates are broadcast to
+//     all shards (a cross-shard friendship is therefore present in both
+//     endpoints' shards — and everyone else's). Replication is what keeps
+//     social distances exact: shortest paths route through arbitrary
+//     vertices, so any partition of the graph would change the metric.
+//
+// Urban geo-social graphs are strongly geo-clustered (Herrera-Yagüe et al.,
+// "The anatomy of urban social networks"), which is what makes the spatial
+// cut effective: most of a user's top-k lives in their own shard, and the
+// fan-out prunes remote shards whose best-possible Lemma-2 score cannot beat
+// the running kth score (cf. Elsisy et al. on partial friend-locality
+// knowledge pruning cross-region work).
+//
+// Equivalence with the monolithic engine is exact, not approximate: the
+// per-shard searches run the unmodified paper algorithms against their own
+// snapshots (core.Engine.QueryOn threads the owner shard's query location
+// through), the seed bound is applied strictly so ID tiebreaks survive, and
+// the metamorphic/differential harness in internal/core asserts
+// sharded == unsharded == brute under interleaved churn.
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"ssrq/internal/core"
+	"ssrq/internal/dataset"
+	"ssrq/internal/spatial"
+)
+
+// MaxShards bounds the shard count; fan-out spawns one goroutine per
+// unpruned shard, so the cap keeps a single query's parallelism sane.
+const MaxShards = 64
+
+// Engine is the sharded composition. It satisfies the same query/update
+// surface as core.Engine (the root ssrq package programs against the shared
+// subset), so callers choose between one monolithic index and S partitioned
+// ones with a constructor argument.
+type Engine struct {
+	ds        *dataset.Dataset
+	layout    *spatial.Layout
+	cellShard []int32 // leaf cell -> owning shard
+	cellsOf   []int   // shard -> number of leaf cells owned
+	shards    []*core.Engine
+	opts      core.Options
+
+	// owner[id] is the shard whose grid currently locates the user (-1 when
+	// unlocated). Routing decisions for one user serialize on a striped lock
+	// so a cross-shard move's remove+insert pair is enqueued atomically with
+	// the owner update; the per-shard FIFO pipelines then preserve that
+	// order through to application.
+	owner []atomic.Int32
+	locks [64]sync.Mutex
+	// closed refuses new async routing; it is set and the shards are closed
+	// under all stripes, so an async op is either fully routed before the
+	// shards close (and drained everywhere — replicas stay convergent) or
+	// refused entirely. No half-delivered broadcast can straddle Close.
+	closed atomic.Bool
+
+	// Fan-out counters (see FanoutStats).
+	queries       atomic.Int64
+	fanouts       atomic.Int64
+	shardsQueried atomic.Int64
+	shardsPruned  atomic.Int64
+	shardsEmpty   atomic.Int64
+	prunedBy      []atomic.Int64
+}
+
+// New partitions the dataset across numShards spatially-contiguous shards
+// and builds one complete core.Engine per shard. The partition assigns grid
+// leaf cells to shards along a Z-order (Morton) space-filling curve, cutting
+// the curve into segments of approximately equal construction-time occupancy,
+// so shards start balanced and stay spatially contiguous along the curve.
+// Every shard shares the parent dataset's graph, coordinates, normalization
+// and bounds (dataset.Restrict), so per-shard scores are identical to the
+// monolithic engine's.
+func New(ds *dataset.Dataset, numShards int, opts core.Options) (*Engine, error) {
+	if ds == nil {
+		return nil, fmt.Errorf("shard: nil dataset")
+	}
+	opts = opts.WithDefaults()
+	layout, err := spatial.NewLayout(ds.PaddedBounds(), opts.GridS, opts.GridLevels)
+	if err != nil {
+		return nil, fmt.Errorf("shard: grid layout: %w", err)
+	}
+	numCells := layout.NumCells(layout.LeafLevel())
+	if numShards < 1 || numShards > MaxShards {
+		return nil, fmt.Errorf("shard: %d shards out of [1,%d]", numShards, MaxShards)
+	}
+	if numShards > numCells {
+		return nil, fmt.Errorf("shard: %d shards exceed %d grid leaf cells", numShards, numCells)
+	}
+
+	se := &Engine{
+		ds:        ds,
+		layout:    layout,
+		cellShard: partition(layout, ds, numShards),
+		cellsOf:   make([]int, numShards),
+		opts:      opts,
+		owner:     make([]atomic.Int32, ds.NumUsers()),
+		prunedBy:  make([]atomic.Int64, numShards),
+	}
+	for _, s := range se.cellShard {
+		se.cellsOf[s]++
+	}
+
+	// Per-shard located masks and the initial owner map.
+	leaf := layout.LeafLevel()
+	keep := make([][]bool, numShards)
+	for s := range keep {
+		keep[s] = make([]bool, ds.NumUsers())
+	}
+	for id := 0; id < ds.NumUsers(); id++ {
+		if !ds.Located[id] {
+			se.owner[id].Store(-1)
+			continue
+		}
+		s := se.cellShard[layout.CellIndex(leaf, ds.Pts[id])]
+		keep[s][id] = true
+		se.owner[id].Store(s)
+	}
+
+	// The per-shard builds are independent (each touches only its own
+	// Restrict'ed view) but each pays full landmark-table — and optionally
+	// CH — construction over the replicated graph, so build them in
+	// parallel: sharded startup then costs about one monolith build of
+	// wall-clock on a machine with ≥ numShards cores.
+	se.shards = make([]*core.Engine, numShards)
+	errs := make([]error, numShards)
+	var wg sync.WaitGroup
+	for s := 0; s < numShards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			dsS, err := ds.Restrict(keep[s])
+			if err != nil {
+				errs[s] = fmt.Errorf("shard %d: %w", s, err)
+				return
+			}
+			eng, err := core.NewEngine(dsS, opts)
+			if err != nil {
+				errs[s] = fmt.Errorf("shard %d: %w", s, err)
+				return
+			}
+			se.shards[s] = eng
+		}(s)
+	}
+	wg.Wait()
+	for s, err := range errs {
+		if err != nil {
+			// Release the shards that did build before failing out.
+			for _, sh := range se.shards {
+				if sh != nil {
+					sh.Close()
+				}
+			}
+			return nil, errs[s]
+		}
+	}
+	return se, nil
+}
+
+// partition maps every leaf cell to a shard: cells are ordered along the
+// Z-order curve and the curve is cut into numShards contiguous segments of
+// approximately equal weight, where a cell's weight is dominated by its
+// construction-time occupancy with a +1 cell-count term so empty regions
+// still split evenly.
+func partition(layout *spatial.Layout, ds *dataset.Dataset, numShards int) []int32 {
+	leaf := layout.LeafLevel()
+	numCells := layout.NumCells(leaf)
+	occ := make([]int64, numCells)
+	for id := 0; id < ds.NumUsers(); id++ {
+		if ds.Located[id] {
+			occ[layout.CellIndex(leaf, ds.Pts[id])]++
+		}
+	}
+	dim := layout.Dim(leaf)
+	order := make([]int32, numCells)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return mortonOf(order[a], dim) < mortonOf(order[b], dim)
+	})
+
+	// Weighted equal-share cuts along the curve. The occupancy term is scaled
+	// by the cell count so it dominates whenever any user exists; the +1 term
+	// breaks the all-empty degenerate case into equal cell counts.
+	var total int64
+	for _, c := range order {
+		total += occ[c]*int64(numCells) + 1
+	}
+	cellShard := make([]int32, numCells)
+	var acc int64
+	s := int32(0)
+	for i, c := range order {
+		if int(s) < numShards-1 {
+			// Advance to the next shard once this one holds its share, or when
+			// exactly one cell must be left for each remaining shard.
+			if acc*int64(numShards) >= total*int64(s+1) || numCells-i <= numShards-1-int(s) {
+				s++
+			}
+		}
+		cellShard[c] = s
+		acc += occ[c]*int64(numCells) + 1
+	}
+	return cellShard
+}
+
+// mortonOf interleaves the bits of a leaf cell's (x, y) grid coordinates —
+// the Z-order index that makes curve-contiguous cell runs spatially compact.
+func mortonOf(idx int32, dim int) uint64 {
+	x, y := uint32(int(idx)%dim), uint32(int(idx)/dim)
+	return spread(x) | spread(y)<<1
+}
+
+// spread inserts a zero bit between each of the low 32 bits of v.
+func spread(v uint32) uint64 {
+	x := uint64(v)
+	x = (x | x<<16) & 0x0000ffff0000ffff
+	x = (x | x<<8) & 0x00ff00ff00ff00ff
+	x = (x | x<<4) & 0x0f0f0f0f0f0f0f0f
+	x = (x | x<<2) & 0x3333333333333333
+	x = (x | x<<1) & 0x5555555555555555
+	return x
+}
+
+// shardOfPoint returns the shard owning the region containing p.
+func (se *Engine) shardOfPoint(p spatial.Point) int32 {
+	return se.cellShard[se.layout.CellIndex(se.layout.LeafLevel(), p)]
+}
+
+// NumShards returns the shard count.
+func (se *Engine) NumShards() int { return len(se.shards) }
+
+// Dataset returns the shared parent dataset (construction-time state; live
+// locations come from the owning shard's snapshot).
+func (se *Engine) Dataset() *dataset.Dataset { return se.ds }
+
+// Options returns the per-shard engine options (defaults resolved).
+func (se *Engine) Options() core.Options { return se.opts }
+
+// ShardOfUser returns the shard currently locating the user, -1 when the
+// user has no indexed location.
+func (se *Engine) ShardOfUser(id int32) int {
+	if id < 0 || int(id) >= len(se.owner) {
+		return -1
+	}
+	return int(se.owner[id].Load())
+}
+
+// CellShard returns the shard owning grid leaf cell idx (partition
+// introspection for stats and tests).
+func (se *Engine) CellShard(idx int32) int { return int(se.cellShard[idx]) }
+
+// lockFor returns the routing lock stripe for a user.
+func (se *Engine) lockFor(id int32) *sync.Mutex {
+	return &se.locks[int(id)&(len(se.locks)-1)]
+}
+
+// lockForEdge returns the routing lock stripe for an unordered user pair —
+// edge broadcasts serialize on it so every shard sees ops for one edge in
+// the same order.
+func (se *Engine) lockForEdge(u, v int32) *sync.Mutex {
+	if u > v {
+		u, v = v, u
+	}
+	return &se.locks[int(u^v*31)&(len(se.locks)-1)]
+}

@@ -1,0 +1,415 @@
+package shard
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"ssrq/internal/core"
+	"ssrq/internal/dataset"
+	"ssrq/internal/gen"
+	"ssrq/internal/graph"
+	"ssrq/internal/spatial"
+)
+
+// clusteredDataset synthesizes a geo-clustered paper-substitute dataset (the
+// workload sharding targets).
+func clusteredDataset(t testing.TB, n int, seed int64) *dataset.Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	edges, pts, located, err := gen.GeoSocial(gen.GeoSocialConfig{
+		N: n, M: 4, PLocal: 0.6, Cities: 6, LocatedFrac: 0.8,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := gen.BuildGraph(n, edges, gen.DegreeProductWeights(n, edges))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := dataset.New("clustered", g, pts, located)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func locatedUsers(ds *dataset.Dataset) []graph.VertexID {
+	var out []graph.VertexID
+	for v := 0; v < ds.NumUsers(); v++ {
+		if ds.Located[v] {
+			out = append(out, graph.VertexID(v))
+		}
+	}
+	return out
+}
+
+// sameEntries asserts exact agreement: same IDs in the same order with
+// bit-comparable scores (both engines run identical arithmetic).
+func sameEntries(t *testing.T, label string, got, want []core.Entry) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d entries, want %d\n got:  %+v\n want: %+v", label, len(got), len(want), got, want)
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		if g.ID != w.ID || math.Abs(g.F-w.F) > 1e-12 {
+			t.Fatalf("%s: rank %d got (id=%d f=%v), want (id=%d f=%v)", label, i, g.ID, g.F, w.ID, w.F)
+		}
+	}
+}
+
+// TestShardedMatchesUnshardedStatic: on a quiescent engine every algorithm
+// must return exactly the monolithic result for every shard count.
+func TestShardedMatchesUnshardedStatic(t *testing.T) {
+	ds := clusteredDataset(t, 400, 11)
+	opts := core.Options{GridS: 4, GridLevels: 2, NumLandmarks: 4, CacheT: 30, Seed: 11}
+	mono, err := core.NewEngine(ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mono.Close()
+	users := locatedUsers(ds)
+	algos := []core.Algorithm{core.SFA, core.SPA, core.TSA, core.TSAQC, core.TSANoLandmark,
+		core.AISBID, core.AISMinus, core.AIS, core.AISCache, core.BruteForce}
+	for _, S := range []int{1, 2, 4, 8} {
+		se, err := New(ds, S, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(S)))
+		for probe := 0; probe < 6; probe++ {
+			q := users[rng.Intn(len(users))]
+			prm := core.Params{K: 1 + rng.Intn(15), Alpha: 0.05 + 0.9*rng.Float64()}
+			want, err := mono.Query(core.BruteForce, q, prm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, algo := range algos {
+				got, err := se.Query(algo, q, prm)
+				if err != nil {
+					t.Fatalf("S=%d %v: %v", S, algo, err)
+				}
+				sameEntries(t, fmt.Sprintf("S=%d %v q=%d k=%d α=%.3f", S, algo, q, prm.K, prm.Alpha), got.Entries, want.Entries)
+			}
+		}
+		se.Close()
+	}
+}
+
+// TestShardedCHVariants: the *-CH variants serve through the fan-out when
+// every shard's hierarchy is fresh, and match brute exactly.
+func TestShardedCHVariants(t *testing.T) {
+	ds := clusteredDataset(t, 150, 13)
+	opts := core.Options{GridS: 3, GridLevels: 2, NumLandmarks: 3, Seed: 13, BuildCH: true}
+	se, err := New(ds, 3, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer se.Close()
+	users := locatedUsers(ds)
+	prm := core.Params{K: 5, Alpha: 0.4}
+	want, err := se.Query(core.BruteForce, users[0], prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []core.Algorithm{core.SFACH, core.SPACH, core.TSACH} {
+		got, err := se.Query(algo, users[0], prm)
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		sameEntries(t, algo.String(), got.Entries, want.Entries)
+	}
+	// An edge removal staleness-refuses the variants until RebuildCH catches
+	// every shard up (removals cannot be repaired in place).
+	se.Close() // suppress background rebuilds for determinism
+	nbrs, _ := se.LiveSocialGraph().Neighbors(users[0])
+	if len(nbrs) == 0 {
+		t.Fatal("query user has no neighbors to remove")
+	}
+	if err := se.RemoveFriend(int32(users[0]), nbrs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := se.Query(core.TSACH, users[0], prm); err == nil {
+		t.Fatal("TSA-CH served on stale shard hierarchies")
+	}
+	if !se.RebuildCH() {
+		t.Fatal("RebuildCH found nothing to rebuild")
+	}
+	if _, err := se.Query(core.TSACH, users[0], prm); err != nil {
+		t.Fatalf("TSA-CH after RebuildCH: %v", err)
+	}
+}
+
+// TestCrossShardRouting: moves that cross shard boundaries relocate
+// ownership, never duplicate a user, and keep sharded results equal to a
+// monolithic engine replaying the same ops.
+func TestCrossShardRouting(t *testing.T) {
+	ds := clusteredDataset(t, 300, 17)
+	opts := core.Options{GridS: 4, GridLevels: 2, NumLandmarks: 4, Seed: 17, UpdateMaxBatch: 8}
+	mono, err := core.NewEngine(ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mono.Close()
+	se, err := New(ds, 4, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer se.Close()
+
+	rng := rand.New(rand.NewSource(23))
+	users := locatedUsers(ds)
+	b := ds.Bounds()
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 40; i++ {
+			id := int32(users[rng.Intn(len(users))])
+			switch rng.Intn(10) {
+			case 0:
+				if err := se.RemoveUserLocationAsync(id); err != nil {
+					t.Fatal(err)
+				}
+				if err := mono.RemoveUserLocationAsync(id); err != nil {
+					t.Fatal(err)
+				}
+			default:
+				to := spatial.Point{
+					X: b.MinX + rng.Float64()*b.Width(),
+					Y: b.MinY + rng.Float64()*b.Height(),
+				}
+				if err := se.MoveUserAsync(id, to); err != nil {
+					t.Fatal(err)
+				}
+				if err := mono.MoveUserAsync(id, to); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		se.Flush()
+		mono.Flush()
+
+		if got, want := se.NumLocated(), mono.NumLocated(); got != want {
+			t.Fatalf("round %d: sharded locates %d users, monolith %d", round, got, want)
+		}
+		// Ownership invariant: every user is located in exactly the shard the
+		// owner map names, and nowhere else.
+		for v := 0; v < ds.NumUsers(); v++ {
+			ownerShard := se.ShardOfUser(int32(v))
+			locatedIn := -1
+			for s, sh := range se.shards {
+				if sh.Snapshot().Grid().Located(int32(v)) {
+					if locatedIn >= 0 {
+						t.Fatalf("round %d: user %d located in shards %d and %d", round, v, locatedIn, s)
+					}
+					locatedIn = s
+				}
+			}
+			if locatedIn != ownerShard {
+				t.Fatalf("round %d: user %d owner=%d but located in %d", round, v, ownerShard, locatedIn)
+			}
+		}
+		for probe := 0; probe < 3; probe++ {
+			q := users[rng.Intn(len(users))]
+			if _, ok := mono.UserLocation(int32(q)); !ok {
+				continue
+			}
+			prm := core.Params{K: 8, Alpha: 0.3}
+			want, err := mono.Query(core.AIS, q, prm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := se.Query(core.AIS, q, prm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameEntries(t, fmt.Sprintf("round %d q=%d", round, q), got.Entries, want.Entries)
+		}
+	}
+}
+
+// TestShardPruning: on a clustered workload with a spatially-dominant
+// ranking, remote shards must be skipped by the Lemma-2 bound.
+func TestShardPruning(t *testing.T) {
+	ds := clusteredDataset(t, 600, 29)
+	se, err := New(ds, 8, core.Options{GridS: 5, GridLevels: 2, NumLandmarks: 4, Seed: 29})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer se.Close()
+	users := locatedUsers(ds)
+	for _, q := range users[:40] {
+		if _, err := se.Query(core.AIS, q, core.Params{K: 5, Alpha: 0.3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs := se.FanoutStats()
+	if fs.ShardsPruned == 0 {
+		t.Fatalf("no shards pruned on a clustered workload: %+v", fs)
+	}
+	var perShard int64
+	for _, st := range se.ShardStats() {
+		perShard += st.PrunedQueries
+	}
+	if perShard != fs.ShardsPruned {
+		t.Fatalf("per-shard pruned sum %d != total %d", perShard, fs.ShardsPruned)
+	}
+}
+
+// TestShardedQueryBatchClamps: workers <= 0 and workers > len(queries) must
+// clamp on the sharded engine exactly like the monolithic one.
+func TestShardedQueryBatchClamps(t *testing.T) {
+	ds := clusteredDataset(t, 120, 31)
+	se, err := New(ds, 2, core.Options{GridS: 3, GridLevels: 1, NumLandmarks: 3, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer se.Close()
+	users := locatedUsers(ds)
+	batch := make([]core.BatchQuery, 3)
+	for i := range batch {
+		batch[i] = core.BatchQuery{Algo: core.AIS, Q: users[i], Params: core.Params{K: 4, Alpha: 0.5}}
+	}
+	for _, workers := range []int{-5, 0, 1, 2, 3, 1000} {
+		out := se.QueryBatch(batch, workers)
+		if len(out) != len(batch) {
+			t.Fatalf("workers=%d: %d results", workers, len(out))
+		}
+		for i, r := range out {
+			if r.Err != nil || r.Result == nil {
+				t.Fatalf("workers=%d slot %d: %v", workers, i, r.Err)
+			}
+		}
+	}
+	if out := se.QueryBatch(nil, 4); len(out) != 0 {
+		t.Fatalf("empty batch returned %d results", len(out))
+	}
+}
+
+// TestNewValidation pins the constructor's error surface.
+func TestNewValidation(t *testing.T) {
+	ds := clusteredDataset(t, 60, 37)
+	if _, err := New(nil, 2, core.Options{}); err == nil {
+		t.Fatal("nil dataset accepted")
+	}
+	if _, err := New(ds, 0, core.Options{}); err == nil {
+		t.Fatal("0 shards accepted")
+	}
+	if _, err := New(ds, MaxShards+1, core.Options{}); err == nil {
+		t.Fatal("too many shards accepted")
+	}
+	// More shards than leaf cells (2x2 grid, 1 level = 4 cells).
+	if _, err := New(ds, 8, core.Options{GridS: 2, GridLevels: 1}); err == nil {
+		t.Fatal("shards > cells accepted")
+	}
+	se, err := New(ds, 4, core.Options{GridS: 3, GridLevels: 1, NumLandmarks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer se.Close()
+	if _, err := se.Query(core.AIS, -1, core.Params{K: 3, Alpha: 0.5}); err == nil {
+		t.Fatal("negative query user accepted")
+	}
+	if _, err := se.Query(core.AIS, graph.VertexID(ds.NumUsers()), core.Params{K: 3, Alpha: 0.5}); err == nil {
+		t.Fatal("out-of-range query user accepted")
+	}
+	if err := se.MoveUser(5, spatial.Point{X: math.NaN(), Y: 0}); err == nil {
+		t.Fatal("NaN move accepted")
+	}
+	if err := se.AddFriend(3, 3, 1); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+}
+
+// TestPartitionCoversAllCells: every leaf cell maps to a valid shard and
+// every shard owns at least one cell.
+func TestPartitionCoversAllCells(t *testing.T) {
+	ds := clusteredDataset(t, 200, 41)
+	for _, S := range []int{1, 2, 4, 8, 16} {
+		se, err := New(ds, S, core.Options{GridS: 5, GridLevels: 2, NumLandmarks: 2, Seed: 41})
+		if err != nil {
+			t.Fatal(err)
+		}
+		owned := make([]int, S)
+		for idx := range se.cellShard {
+			s := se.CellShard(int32(idx))
+			if s < 0 || s >= S {
+				t.Fatalf("S=%d: cell %d maps to shard %d", S, idx, s)
+			}
+			owned[s]++
+		}
+		for s, c := range owned {
+			if c == 0 {
+				t.Fatalf("S=%d: shard %d owns no cells", S, s)
+			}
+		}
+		se.Close()
+	}
+}
+
+// TestConcurrentEdgeBroadcastConvergence: concurrent async writers of
+// overlapping edges must leave every shard's replicated graph identical —
+// the pair-stripe serialization guarantees all shards receive ops for one
+// edge in the same order (this test fails without it, with shards
+// disagreeing on last-write-wins).
+func TestConcurrentEdgeBroadcastConvergence(t *testing.T) {
+	ds := clusteredDataset(t, 100, 47)
+	se, err := New(ds, 4, core.Options{GridS: 3, GridLevels: 1, NumLandmarks: 2, Seed: 47, UpdateMaxBatch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer se.Close()
+
+	const writers = 4
+	var wg sync.WaitGroup
+	errCh := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(900 + w)))
+			for i := 0; i < 150; i++ {
+				// A tiny pair space maximizes same-edge contention.
+				u, v := rng.Int31n(8), rng.Int31n(8)
+				if u == v {
+					continue
+				}
+				var err error
+				if rng.Intn(4) == 0 {
+					err = se.RemoveFriendAsync(u, v)
+				} else {
+					err = se.AddFriendAsync(u, v, 0.05+rng.Float64())
+				}
+				if err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	se.Flush()
+
+	// Every shard's published graph must agree edge for edge.
+	ref := se.shards[0].LiveSocialGraph()
+	for s := 1; s < se.NumShards(); s++ {
+		g := se.shards[s].LiveSocialGraph()
+		if g.NumEdges() != ref.NumEdges() {
+			t.Fatalf("shard %d has %d edges, shard 0 has %d", s, g.NumEdges(), ref.NumEdges())
+		}
+		for u := int32(0); u < 8; u++ {
+			for v := u + 1; v < 8; v++ {
+				w0, ok0 := ref.EdgeWeight(u, v)
+				ws, oks := g.EdgeWeight(u, v)
+				if ok0 != oks || (ok0 && w0 != ws) {
+					t.Fatalf("shards 0 and %d diverge on edge (%d,%d): (%v,%v) vs (%v,%v)", s, u, v, w0, ok0, ws, oks)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,216 @@
+package shard
+
+import (
+	"sort"
+
+	"ssrq/internal/core"
+	"ssrq/internal/graph"
+	"ssrq/internal/spatial"
+)
+
+// ShardStat is one shard's live state, the per-shard section of /stats.
+type ShardStat struct {
+	// Shard is the shard index; Cells how many grid leaf cells it owns.
+	Shard int
+	Cells int
+	// NumLocated is the shard's current located-user count.
+	NumLocated int
+	// Epoch / SocialEpoch are the shard's published index versions.
+	Epoch       uint64
+	SocialEpoch uint64
+	// PendingUpdates / AppliedBatches describe the shard's updater pipeline.
+	PendingUpdates int64
+	AppliedBatches int64
+	// DisabledLandmarks is the shard's current landmark-maintenance debt.
+	DisabledLandmarks int
+	// PrunedQueries counts fan-outs that skipped this shard by bound.
+	PrunedQueries int64
+}
+
+// ShardStats returns a point-in-time view of every shard.
+func (se *Engine) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(se.shards))
+	for s, sh := range se.shards {
+		us := sh.UpdateStats()
+		out[s] = ShardStat{
+			Shard:             s,
+			Cells:             se.cellsOf[s],
+			NumLocated:        sh.NumLocated(),
+			Epoch:             us.Epoch,
+			SocialEpoch:       us.SocialEpoch,
+			PendingUpdates:    us.PendingUpdates,
+			AppliedBatches:    us.AppliedBatches,
+			DisabledLandmarks: sh.SocialStats().DisabledLandmarks,
+			PrunedQueries:     se.prunedBy[s].Load(),
+		}
+	}
+	return out
+}
+
+// FanoutStats counts the fan-out pruning behaviour across all queries.
+type FanoutStats struct {
+	// Queries is the total query count; Fanouts how many ran on more than
+	// one shard's engine (always Queries on a multi-shard engine).
+	Queries int64
+	Fanouts int64
+	// ShardsQueried / ShardsPruned / ShardsEmpty partition the per-query
+	// shard visits: searched, skipped because their best-possible Lemma-2
+	// score could not beat the running kth score, or skipped as empty.
+	ShardsQueried int64
+	ShardsPruned  int64
+	ShardsEmpty   int64
+}
+
+// FanoutStats returns the accumulated fan-out counters.
+func (se *Engine) FanoutStats() FanoutStats {
+	return FanoutStats{
+		Queries:       se.queries.Load(),
+		Fanouts:       se.fanouts.Load(),
+		ShardsQueried: se.shardsQueried.Load(),
+		ShardsPruned:  se.shardsPruned.Load(),
+		ShardsEmpty:   se.shardsEmpty.Load(),
+	}
+}
+
+// UpdateStats aggregates the shards' pipeline state: epochs and op counters
+// sum (each shard publishes independently), the snapshot age is the oldest
+// shard's (the staleness bound a reader can observe), and the social epoch
+// is the furthest shard's (edge batches broadcast, so shards differ only by
+// in-flight batches).
+func (se *Engine) UpdateStats() core.UpdateStats {
+	var agg core.UpdateStats
+	for _, sh := range se.shards {
+		us := sh.UpdateStats()
+		agg.Epoch += us.Epoch
+		if us.SocialEpoch > agg.SocialEpoch {
+			agg.SocialEpoch = us.SocialEpoch
+		}
+		if us.SnapshotAge > agg.SnapshotAge {
+			agg.SnapshotAge = us.SnapshotAge
+		}
+		agg.PendingUpdates += us.PendingUpdates
+		agg.AppliedUpdates += us.AppliedUpdates
+		agg.AppliedBatches += us.AppliedBatches
+		agg.CoalescedUpdates += us.CoalescedUpdates
+	}
+	return agg
+}
+
+// SocialStats reports the social dimension. Graph-shape fields (edge counts,
+// overlay size, per-op counters) come from shard 0 — edge ops broadcast, so
+// every shard's graph converges to the same shape and per-op counters count
+// each logical op once. Maintenance counters (repairs, disables, rebuilds,
+// forced installs, CH work) are summed across shards: each shard maintains
+// its own landmark tables and hierarchy, and the sum is the real work the
+// replication costs.
+func (se *Engine) SocialStats() core.SocialStats {
+	agg := se.shards[0].SocialStats()
+	agg.DisabledLandmarks = 0
+	agg.LandmarkRepairs, agg.RepairedVertices, agg.LandmarkDisables, agg.LandmarkRebuilds = 0, 0, 0, 0
+	agg.LandmarkForcedInstalls = 0
+	agg.CHRepairs, agg.CHRecontracted, agg.CHRepairFallbacks, agg.CHRebuilds, agg.CHForcedInstalls = 0, 0, 0, 0, 0
+	// Per-shard epoch counters advance independently (each shard batches the
+	// broadcast edge stream its own way), so raw built/social epochs are not
+	// comparable ACROSS shards: freshness is a per-shard predicate, and the
+	// aggregate encodes "every shard fresh" by aligning CHBuiltEpoch with the
+	// aggregate SocialEpoch (callers compare the two for ch_fresh).
+	chAllFresh := true
+	for s, sh := range se.shards {
+		st := sh.SocialStats()
+		if st.SocialEpoch > agg.SocialEpoch {
+			agg.SocialEpoch = st.SocialEpoch
+		}
+		if st.CHBuilt && st.CHBuiltEpoch != st.SocialEpoch {
+			chAllFresh = false
+		}
+		if s == 0 || st.CHBuiltEpoch < agg.CHBuiltEpoch {
+			agg.CHBuiltEpoch = st.CHBuiltEpoch
+		}
+		agg.DisabledLandmarks += st.DisabledLandmarks
+		agg.LandmarkRepairs += st.LandmarkRepairs
+		agg.RepairedVertices += st.RepairedVertices
+		agg.LandmarkDisables += st.LandmarkDisables
+		agg.LandmarkRebuilds += st.LandmarkRebuilds
+		agg.LandmarkForcedInstalls += st.LandmarkForcedInstalls
+		agg.CHRepairs += st.CHRepairs
+		agg.CHRecontracted += st.CHRecontracted
+		agg.CHRepairFallbacks += st.CHRepairFallbacks
+		agg.CHRebuilds += st.CHRebuilds
+		agg.CHForcedInstalls += st.CHForcedInstalls
+	}
+	if agg.CHBuilt {
+		if chAllFresh {
+			agg.CHBuiltEpoch = agg.SocialEpoch
+		} else if agg.CHBuiltEpoch == agg.SocialEpoch {
+			// A stale shard's raw built epoch may coincide with the aggregate
+			// social epoch; force the inequality staleness is reported by. A
+			// stale shard implies at least one social batch landed, so the
+			// aggregate social epoch is ≥ 1.
+			agg.CHBuiltEpoch = agg.SocialEpoch - 1
+		}
+	}
+	return agg
+}
+
+// SupportsEdgeChurn reports whether the shards accept edge updates (uniform
+// across shards: same landmark configuration everywhere).
+func (se *Engine) SupportsEdgeChurn() bool { return se.shards[0].SupportsEdgeChurn() }
+
+// RebuildLandmarks synchronously restores disabled landmarks on every shard;
+// returns the total rebuilt.
+func (se *Engine) RebuildLandmarks() int {
+	total := 0
+	for _, sh := range se.shards {
+		total += sh.RebuildLandmarks()
+	}
+	return total
+}
+
+// RebuildCH synchronously re-contracts every stale shard hierarchy; reports
+// whether any shard rebuilt.
+func (se *Engine) RebuildCH() bool {
+	any := false
+	for _, sh := range se.shards {
+		if sh.RebuildCH() {
+			any = true
+		}
+	}
+	return any
+}
+
+// UserLocation returns a user's current (normalized) coordinates from the
+// owning shard's published snapshot; ok is false when unlocated.
+func (se *Engine) UserLocation(id int32) (spatial.Point, bool) {
+	if id < 0 || int(id) >= se.ds.NumUsers() {
+		return spatial.Point{}, false
+	}
+	home, hsn := se.locateHome(graph.VertexID(id), false)
+	if home < 0 {
+		return spatial.Point{}, false
+	}
+	return hsn.Grid().Point(id), true
+}
+
+// NumLocated sums the shards' located-user counts.
+func (se *Engine) NumLocated() int {
+	total := 0
+	for _, sh := range se.shards {
+		total += sh.NumLocated()
+	}
+	return total
+}
+
+// LiveSocialGraph returns the latest published social graph (shard 0's —
+// the graph is replicated and shards differ only by in-flight broadcasts).
+func (se *Engine) LiveSocialGraph() *graph.Graph { return se.shards[0].LiveSocialGraph() }
+
+// sortNeighbors orders by ascending (Dist, ID) — the spatial analogue of
+// the entries' (F, ID) order.
+func sortNeighbors(nbrs []spatial.Neighbor) {
+	sort.Slice(nbrs, func(a, b int) bool {
+		if nbrs[a].Dist != nbrs[b].Dist {
+			return nbrs[a].Dist < nbrs[b].Dist
+		}
+		return nbrs[a].ID < nbrs[b].ID
+	})
+}

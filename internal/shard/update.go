@@ -1,0 +1,252 @@
+package shard
+
+import (
+	"fmt"
+
+	"ssrq/internal/core"
+	"ssrq/internal/spatial"
+)
+
+// Update routing. Location ops go to the shard owning the target region; a
+// move that crosses a shard boundary becomes a removal on the old owner plus
+// an insertion on the new one, with the owner map updated under the user's
+// routing lock so concurrent movers of the same user cannot interleave into
+// a doubly-located state. Edge ops are broadcast to every shard (the social
+// graph is replicated — see the package comment).
+//
+// Ordering is the invariant everything hangs on: for any one user, the
+// per-shard application order must match the routing order, or a
+// remove+insert pair from a cross-shard move could invert and leave the user
+// located twice (or nowhere) permanently. Two mechanisms provide it:
+//
+//   - Asynchronous ops enqueue onto the owning shards' FIFO pipelines while
+//     holding a routing lock — the user's stripe for location ops, the
+//     unordered pair's stripe for edge broadcasts — so the pipeline order
+//     per shard is the routing order, and concurrent writers of one edge
+//     cannot deliver their broadcasts in different orders to different
+//     shards (which would diverge the replicated graphs permanently).
+//   - Synchronous batches take every routing lock (in index order — no
+//     deadlock), flush each shard they are about to write (draining async
+//     ops routed earlier), and only then apply directly. Holding all stripes
+//     freezes async routing for the duration, so nothing can slip between
+//     the flush and the apply.
+//
+// Cross-shard atomicity is deliberately out of scope for a partitioned
+// engine: each shard publishes its own epochs, queries are per-shard
+// snapshot-consistent, and the merge deduplicates the transient window where
+// a mid-relocation user is visible in two shards at once.
+
+// validate rejects a malformed update before any routing decision is made.
+// Shard 0 stands in for all shards: every shard shares the same user range,
+// landmark count and churn support.
+func (se *Engine) validate(op core.Update) error {
+	return se.shards[0].ValidateUpdate(op)
+}
+
+// enqueueRouted routes one already-validated op onto the owning shards'
+// asynchronous pipelines. The closed re-check under the stripe makes async
+// routing atomic with respect to Close: Close sets the flag and closes the
+// shards while holding every stripe, so a route either completes before
+// the barrier (and Close's drain applies it on every shard) or observes
+// closed and touches nothing — a multi-shard op can never half-land.
+func (se *Engine) enqueueRouted(op core.Update) error {
+	if op.Kind != core.OpLocation {
+		// The whole broadcast runs under the pair's stripe: concurrent
+		// writers of the same edge serialize here, so every shard's pipeline
+		// receives their ops in the same order (last write wins uniformly),
+		// and a synchronous batch holding all stripes cannot interleave with
+		// a half-delivered broadcast.
+		mu := se.lockForEdge(op.U, op.V)
+		mu.Lock()
+		defer mu.Unlock()
+		if se.closed.Load() {
+			return fmt.Errorf("shard: engine closed")
+		}
+		for _, sh := range se.shards {
+			var err error
+			if op.Kind == core.OpEdgeRemove {
+				err = sh.RemoveFriendAsync(op.U, op.V)
+			} else {
+				err = sh.AddFriendAsync(op.U, op.V, op.W)
+			}
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	mu := se.lockFor(op.ID)
+	mu.Lock()
+	defer mu.Unlock()
+	if se.closed.Load() {
+		return fmt.Errorf("shard: engine closed")
+	}
+	old := se.owner[op.ID].Load()
+	if op.Remove {
+		if old < 0 {
+			return nil // already unlocated: nothing owns the user
+		}
+		se.owner[op.ID].Store(-1)
+		return se.shards[old].RemoveUserLocationAsync(op.ID)
+	}
+	dst := se.shardOfPoint(op.To)
+	if old >= 0 && old != dst {
+		if err := se.shards[old].RemoveUserLocationAsync(op.ID); err != nil {
+			return err
+		}
+	}
+	se.owner[op.ID].Store(dst)
+	return se.shards[dst].MoveUserAsync(op.ID, op.To)
+}
+
+// routeInto routes one already-validated op into per-shard batches, updating
+// the owner map. Caller holds every routing lock.
+func (se *Engine) routeInto(per [][]core.Update, op core.Update) {
+	if op.Kind != core.OpLocation {
+		for s := range per {
+			per[s] = append(per[s], op)
+		}
+		return
+	}
+	old := se.owner[op.ID].Load()
+	if op.Remove {
+		if old >= 0 {
+			per[old] = append(per[old], op)
+			se.owner[op.ID].Store(-1)
+		}
+		return
+	}
+	dst := se.shardOfPoint(op.To)
+	if old >= 0 && old != dst {
+		per[old] = append(per[old], core.Update{ID: op.ID, Remove: true})
+	}
+	per[dst] = append(per[dst], op)
+	se.owner[op.ID].Store(dst)
+}
+
+// lockAllStripes / unlockAllStripes freeze asynchronous routing for the
+// duration of a synchronous batch. Acquisition in index order keeps the
+// stripes deadlock-free against single-stripe async routers.
+func (se *Engine) lockAllStripes() {
+	for i := range se.locks {
+		se.locks[i].Lock()
+	}
+}
+
+func (se *Engine) unlockAllStripes() {
+	for i := len(se.locks) - 1; i >= 0; i-- {
+		se.locks[i].Unlock()
+	}
+}
+
+// ApplyUpdates validates the whole batch, routes every op, and applies each
+// shard's share as one published epoch per shard before returning
+// (read-your-writes). On a validation error nothing is applied. Works after
+// Close, like the monolithic engine's synchronous path.
+func (se *Engine) ApplyUpdates(ops []core.Update) error {
+	for _, op := range ops {
+		if err := se.validate(op); err != nil {
+			return err
+		}
+	}
+	se.lockAllStripes()
+	defer se.unlockAllStripes()
+	per := make([][]core.Update, len(se.shards))
+	for _, op := range ops {
+		se.routeInto(per, op)
+	}
+	for s, batch := range per {
+		if len(batch) == 0 {
+			continue
+		}
+		// Drain async ops routed before this batch so the shard applies its
+		// stream in routing order; stripes are held, so nothing new arrives.
+		se.shards[s].Flush()
+		if err := se.shards[s].ApplyUpdates(batch); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MoveUser relocates a user synchronously (normalized coordinates).
+func (se *Engine) MoveUser(id int32, to spatial.Point) error {
+	return se.ApplyUpdates([]core.Update{{ID: id, To: to}})
+}
+
+// RemoveUserLocation drops a user's location synchronously.
+func (se *Engine) RemoveUserLocation(id int32) error {
+	return se.ApplyUpdates([]core.Update{{ID: id, Remove: true}})
+}
+
+// MoveUserAsync enqueues a relocation on the owning shard's pipeline.
+func (se *Engine) MoveUserAsync(id int32, to spatial.Point) error {
+	op := core.Update{ID: id, To: to}
+	if err := se.validate(op); err != nil {
+		return err
+	}
+	return se.enqueueRouted(op)
+}
+
+// RemoveUserLocationAsync enqueues a location removal.
+func (se *Engine) RemoveUserLocationAsync(id int32) error {
+	op := core.Update{ID: id, Remove: true}
+	if err := se.validate(op); err != nil {
+		return err
+	}
+	return se.enqueueRouted(op)
+}
+
+// AddFriend inserts (or reweights) a friendship on every shard, one
+// published epoch per shard, before returning.
+func (se *Engine) AddFriend(u, v int32, w float64) error {
+	return se.ApplyUpdates([]core.Update{{Kind: core.OpEdgeUpsert, U: u, V: v, W: w}})
+}
+
+// RemoveFriend deletes a friendship on every shard.
+func (se *Engine) RemoveFriend(u, v int32) error {
+	return se.ApplyUpdates([]core.Update{{Kind: core.OpEdgeRemove, U: u, V: v}})
+}
+
+// AddFriendAsync enqueues a friendship upsert on every shard's pipeline.
+func (se *Engine) AddFriendAsync(u, v int32, w float64) error {
+	op := core.Update{Kind: core.OpEdgeUpsert, U: u, V: v, W: w}
+	if err := se.validate(op); err != nil {
+		return err
+	}
+	return se.enqueueRouted(op)
+}
+
+// RemoveFriendAsync enqueues a friendship removal on every shard's pipeline.
+func (se *Engine) RemoveFriendAsync(u, v int32) error {
+	op := core.Update{Kind: core.OpEdgeRemove, U: u, V: v}
+	if err := se.validate(op); err != nil {
+		return err
+	}
+	return se.enqueueRouted(op)
+}
+
+// Flush blocks until every update enqueued before the call has been applied
+// and published by its shard — the read-your-writes barrier across the whole
+// partitioned engine.
+func (se *Engine) Flush() {
+	for _, sh := range se.shards {
+		sh.Flush()
+	}
+}
+
+// Close drains and stops every shard's update pipeline and background
+// maintenance, holding every routing stripe throughout so in-flight async
+// routes finish (and drain on every shard) before the shards shut down and
+// later ones are refused whole — see enqueueRouted. Idempotent; queries
+// and synchronous mutation keep working afterwards (stale structures then
+// stay stale until an explicit RebuildLandmarks/RebuildCH, exactly like
+// the monolithic engine).
+func (se *Engine) Close() {
+	se.lockAllStripes()
+	defer se.unlockAllStripes()
+	se.closed.Store(true)
+	for _, sh := range se.shards {
+		sh.Close()
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"ssrq/internal/gen"
 	"ssrq/internal/graph"
 	"ssrq/internal/landmark"
+	"ssrq/internal/shard"
 	"ssrq/internal/spatial"
 )
 
@@ -267,6 +268,44 @@ type Options struct {
 	// fallback that bounds landmark/CH rebuild starvation under sustained
 	// churn (default 2s; negative disables forced installs).
 	ForcedInstallInterval time.Duration
+	// Shards spatially partitions the engine: users are split across this
+	// many spatially-contiguous shards (space-filling-curve assignment of
+	// grid regions), each owning its own complete index and update pipeline.
+	// Queries fan out in parallel with bound-based shard pruning and a k-way
+	// merge; results are exactly the unsharded engine's. 0 or 1 selects the
+	// single monolithic index. The social graph is replicated per shard
+	// (edge updates broadcast), so sharding scales the spatial dimension and
+	// query parallelism, at a memory/edge-churn cost linear in Shards.
+	Shards int
+}
+
+// engineAPI is the query/update surface shared by the monolithic
+// core.Engine and the spatially-partitioned shard.Engine; the root Engine
+// programs exclusively against it, so the two are interchangeable behind
+// Options.Shards.
+type engineAPI interface {
+	Query(algo core.Algorithm, q graph.VertexID, prm core.Params) (*core.Result, error)
+	QueryBatch(queries []core.BatchQuery, workers int) []core.BatchResult
+	ApplyUpdates(ops []core.Update) error
+	MoveUserAsync(id int32, to spatial.Point) error
+	RemoveUserLocationAsync(id int32) error
+	RemoveUserLocation(id int32) error
+	AddFriend(u, v int32, w float64) error
+	RemoveFriend(u, v int32) error
+	AddFriendAsync(u, v int32, w float64) error
+	RemoveFriendAsync(u, v int32) error
+	Flush()
+	Close()
+	SocialStats() core.SocialStats
+	SupportsEdgeChurn() bool
+	RebuildLandmarks() int
+	RebuildCH() bool
+	Precompute(users []graph.VertexID)
+	UpdateStats() core.UpdateStats
+	UserLocation(id int32) (spatial.Point, bool)
+	NumLocated() int
+	LiveSocialGraph() *graph.Graph
+	SpatialKNN(q int32, k int) ([]spatial.Neighbor, error)
 }
 
 // Engine answers SSRQ queries over one dataset. The engine is safe for
@@ -277,8 +316,13 @@ type Options struct {
 // updates. Updates are either synchronous (MoveUser/ApplyUpdates publish a
 // new epoch before returning) or asynchronous (MoveUserAsync feeds a
 // batching pipeline; Flush is the read-your-writes barrier).
+//
+// With Options.Shards ≥ 2 the engine is spatially partitioned: each shard
+// owns a complete index over its region's users, queries fan out in
+// parallel with bound-based shard pruning, and updates route to the owning
+// shard — same API, same results, S-way write and query scaling.
 type Engine struct {
-	eng *core.Engine
+	eng engineAPI
 	d   *Dataset
 }
 
@@ -292,7 +336,7 @@ func NewEngine(d *Dataset, opts *Options) (*Engine, error) {
 	if opts != nil {
 		o = *opts
 	}
-	eng, err := core.NewEngine(d.ds, core.Options{
+	copts := core.Options{
 		GridS:                   o.GridS,
 		GridLevels:              o.GridLevels,
 		NumLandmarks:            o.NumLandmarks,
@@ -306,11 +350,53 @@ func NewEngine(d *Dataset, opts *Options) (*Engine, error) {
 		OverlayCompactThreshold: o.OverlayCompactThreshold,
 		CHRepairBudget:          o.CHRepairBudget,
 		ForcedInstallInterval:   o.ForcedInstallInterval,
-	})
+	}
+	var (
+		eng engineAPI
+		err error
+	)
+	if o.Shards >= 2 {
+		eng, err = shard.New(d.ds, o.Shards, copts)
+	} else {
+		eng, err = core.NewEngine(d.ds, copts)
+	}
 	if err != nil {
 		return nil, err
 	}
 	return &Engine{eng: eng, d: d}, nil
+}
+
+// NumShards returns the number of spatial shards (1 for the monolithic
+// engine).
+func (e *Engine) NumShards() int {
+	if se, ok := e.eng.(*shard.Engine); ok {
+		return se.NumShards()
+	}
+	return 1
+}
+
+// ShardStat is one shard's live state (see ShardStats).
+type ShardStat = shard.ShardStat
+
+// FanoutStats counts the sharded engine's fan-out pruning behaviour.
+type FanoutStats = shard.FanoutStats
+
+// ShardStats returns a point-in-time view of every shard, nil for the
+// monolithic engine.
+func (e *Engine) ShardStats() []ShardStat {
+	if se, ok := e.eng.(*shard.Engine); ok {
+		return se.ShardStats()
+	}
+	return nil
+}
+
+// FanoutStats returns the sharded engine's accumulated fan-out counters
+// (zero value for the monolithic engine).
+func (e *Engine) FanoutStats() FanoutStats {
+	if se, ok := e.eng.(*shard.Engine); ok {
+		return se.FanoutStats()
+	}
+	return FanoutStats{}
 }
 
 // Dataset returns the engine's dataset.
@@ -358,11 +444,10 @@ func (e *Engine) QueryBatch(queries []BatchQuery, workers int) []BatchResult {
 // published epoch, so it is safe concurrently with movers (unlike reading
 // the Dataset directly). ok is false when the location is unknown.
 func (e *Engine) UserLocation(id UserID) (Point, bool) {
-	g := e.eng.Snapshot().Grid()
-	if id < 0 || int(id) >= g.NumUsers() || !g.Located(id) {
+	p, ok := e.eng.UserLocation(id)
+	if !ok {
 		return Point{}, false
 	}
-	p := g.Point(id)
 	norm := e.d.ds.Norms.Spatial
 	return Point{X: p.X * norm, Y: p.Y * norm}, true
 }
@@ -372,9 +457,8 @@ func (e *Engine) UserLocation(id UserID) (Point, bool) {
 // run).
 func (e *Engine) DatasetStats() DatasetStats {
 	st := e.d.ds.Stats()
-	sn := e.eng.Snapshot()
-	st.NumLocated = sn.Grid().NumLocated()
-	if g := sn.SocialGraph(); g != nil {
+	st.NumLocated = e.eng.NumLocated()
+	if g := e.eng.LiveSocialGraph(); g != nil {
 		st.NumEdges = g.NumEdges()
 		st.AvgDegree = g.AvgDegree()
 	}
@@ -541,13 +625,12 @@ func (e *Engine) Precompute(users []UserID) { e.eng.Precompute(users) }
 // SpatialKNN returns the k spatially-nearest located users to q (a pure
 // one-domain query, for comparison with SSRQ — cf. Fig. 7b). Lock-free and
 // safe concurrently with location updates: the search runs against one
-// snapshot epoch.
+// snapshot epoch per shard.
 func (e *Engine) SpatialKNN(q UserID, k int) ([]Entry, error) {
-	g := e.eng.Snapshot().Grid()
-	if !g.Located(q) {
+	nbrs, err := e.eng.SpatialKNN(q, k)
+	if err != nil {
 		return nil, fmt.Errorf("ssrq: user %d has no known location", q)
 	}
-	nbrs := g.KNN(g.Point(q), k, func(id int32) bool { return id == int32(q) })
 	out := make([]Entry, len(nbrs))
 	for i, nb := range nbrs {
 		out[i] = Entry{ID: nb.ID, F: nb.Dist, D: nb.Dist}
@@ -559,7 +642,7 @@ func (e *Engine) SpatialKNN(q UserID, k int) ([]Entry, error) {
 // Lock-free and safe concurrently with edge churn: the expansion runs
 // against the latest published social epoch.
 func (e *Engine) SocialKNN(q UserID, k int) []Entry {
-	it := graph.NewDijkstraIterator(e.eng.Snapshot().SocialGraph(), q)
+	it := graph.NewDijkstraIterator(e.eng.LiveSocialGraph(), q)
 	var out []Entry
 	for len(out) < k {
 		v, p, ok := it.Next()

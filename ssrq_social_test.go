@@ -122,9 +122,9 @@ func TestAsyncFriendOpsAndFlush(t *testing.T) {
 }
 
 // edgeExists probes the live social graph through SocialKNN-free plumbing:
-// the engine's snapshot graph.
+// the engine's latest published graph.
 func edgeExists(e *Engine, u, v UserID) (float64, bool) {
-	return e.eng.Snapshot().SocialGraph().EdgeWeight(u, v)
+	return e.eng.LiveSocialGraph().EdgeWeight(u, v)
 }
 
 // TestApplyEdgeUpdatesBulk: one epoch for the whole batch; validation

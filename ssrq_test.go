@@ -321,3 +321,80 @@ func TestMoveUserRejectsNonFinite(t *testing.T) {
 		t.Fatalf("rejected updates moved the user: %v, want %v", got, want)
 	}
 }
+
+// TestShardedEngineRootAPI: Options.Shards selects the partitioned engine
+// behind the same root API — identical results, working update routing, and
+// the shard introspection surface.
+func TestShardedEngineRootAPI(t *testing.T) {
+	ds, err := Synthesize("gowalla", 500, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono, err := NewEngine(ds, &Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mono.Close()
+	sharded, err := NewEngine(ds, &Options{Seed: 5, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sharded.Close()
+
+	if mono.NumShards() != 1 || mono.ShardStats() != nil {
+		t.Fatalf("monolith reports shards: %d %v", mono.NumShards(), mono.ShardStats())
+	}
+	if sharded.NumShards() != 4 || len(sharded.ShardStats()) != 4 {
+		t.Fatalf("sharded engine reports %d shards, %d stats", sharded.NumShards(), len(sharded.ShardStats()))
+	}
+
+	var q UserID = -1
+	for id := 0; id < ds.NumUsers(); id++ {
+		if ds.Located(UserID(id)) {
+			q = UserID(id)
+			break
+		}
+	}
+	want, err := mono.TopK(q, 10, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sharded.TopK(q, 10, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Entries) != len(want.Entries) {
+		t.Fatalf("sharded %d entries, mono %d", len(got.Entries), len(want.Entries))
+	}
+	for i := range got.Entries {
+		if got.Entries[i].ID != want.Entries[i].ID {
+			t.Fatalf("rank %d: sharded id=%d, mono id=%d", i, got.Entries[i].ID, want.Entries[i].ID)
+		}
+	}
+	if fs := sharded.FanoutStats(); fs.Queries == 0 {
+		t.Fatalf("fan-out counters dead: %+v", fs)
+	}
+
+	// Raw-coordinate updates route through the sharded engine identically.
+	if p, ok := sharded.UserLocation(q); !ok {
+		t.Fatal("query user unlocated")
+	} else if err := sharded.MoveUser(q, Point{X: p.X + 10, Y: p.Y + 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sharded.AddFriend(q, q+1, 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sharded.TopK(q, 5, 0.3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sharded.SpatialKNN(q, 5); err != nil {
+		t.Fatal(err)
+	}
+	if got := sharded.SocialKNN(q, 3); len(got) == 0 {
+		t.Fatal("SocialKNN empty")
+	}
+	st := sharded.DatasetStats()
+	if st.NumLocated == 0 || st.NumEdges == 0 {
+		t.Fatalf("live stats dead: %+v", st)
+	}
+}
