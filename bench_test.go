@@ -17,6 +17,7 @@ import (
 	"ssrq/internal/gen"
 	"ssrq/internal/graph"
 	"ssrq/internal/landmark"
+	"ssrq/internal/shard"
 )
 
 const (
@@ -421,6 +422,43 @@ func BenchmarkQueriesUnderConcurrentMovers(b *testing.B) {
 			wg.Wait()
 			be.eng.Flush()
 		})
+	}
+}
+
+// BenchmarkShardedQuery measures the partitioned engine's fan-out query path
+// at several shard counts. The home shard runs first and seeds the shared
+// fan-out threshold; remote shards are pruned when their Lemma-2 admission
+// bound cannot beat it, and the survivors tighten the same threshold
+// concurrently. S=1 is the monolith baseline the fan-out overhead is read
+// against.
+func BenchmarkShardedQuery(b *testing.B) {
+	ds, err := gen.GowallaPreset.Dataset(benchSizes["gowalla"], benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	users := exp.QueryUsers(ds, benchQueryCnt, benchSeed)
+	prm := core.Params{K: exp.DefaultK, Alpha: exp.DefaultAlpha}
+	for _, S := range []int{1, 2, 4} {
+		se, err := shard.New(ds, S, exp.EngineOptions(exp.DefaultS, false, 1, benchSeed))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("S=%d", S), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := users[i%len(users)]
+				if _, err := se.Query(core.AIS, q, prm); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			fs := se.FanoutStats()
+			if fs.Fanouts > 0 {
+				b.ReportMetric(float64(fs.ShardsPruned)/float64(fs.Fanouts), "pruned/fanout")
+			}
+		})
+		se.Close()
 	}
 }
 

@@ -13,6 +13,7 @@
 //	ssrq-bench -exp churn -mrate 500             # throttle movers to 500 moves/s each
 //	ssrq-bench -exp socialchurn -erate 0,500,5000 # latency vs edge-update rate
 //	ssrq-bench -exp shard -shards 1,4,16          # sharded fan-out latency + pruning
+//	ssrq-bench -exp throughput -json out.json     # also emit a machine-readable report
 //
 // Experiments: table2 fig7a fig7b fig8 fig9 fig10 fig11 fig12 fig13 fig14a
 // fig14b throughput churn socialchurn shard all. Scales: small | medium |
@@ -95,6 +96,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		mrate    = fs.Float64("mrate", 0, "moves/sec per mover for -exp churn (0 = unthrottled)")
 		erate    = fs.String("erate", "", "comma-separated edge-update rates/sec for -exp socialchurn (0 = off, negative = unthrottled; default 0,200,2000)")
 		shards   = fs.String("shards", "", "comma-separated shard counts for -exp shard (default 1,2,4,8)")
+		jsonPath = fs.String("json", "", "also write every measurement as a JSON report to this path (- for stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -140,7 +142,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "ssrq-bench:", err)
 		return 1
 	}
-	fmt.Fprintf(stdout, "\ncompleted in %v (%d measurements)\n", time.Since(start).Round(time.Millisecond), len(suite.Measurements))
+	elapsed := time.Since(start)
+	fmt.Fprintf(stdout, "\ncompleted in %v (%d measurements)\n", elapsed.Round(time.Millisecond), len(suite.Measurements))
+	if *jsonPath != "" {
+		report := suite.Report(*expID, *withCH, elapsed)
+		if *jsonPath == "-" {
+			if err := report.WriteJSON(stdout); err != nil {
+				fmt.Fprintln(stderr, "ssrq-bench:", err)
+				return 1
+			}
+		} else {
+			f, err := os.Create(*jsonPath)
+			if err != nil {
+				fmt.Fprintln(stderr, "ssrq-bench:", err)
+				return 1
+			}
+			if err := report.WriteJSON(f); err != nil {
+				f.Close()
+				fmt.Fprintln(stderr, "ssrq-bench:", err)
+				return 1
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(stderr, "ssrq-bench:", err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "json report written to %s\n", *jsonPath)
+		}
+	}
 	return 0
 }
 

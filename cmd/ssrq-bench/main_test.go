@@ -2,8 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"ssrq/internal/exp"
 )
 
 func TestRunThroughputSmoke(t *testing.T) {
@@ -17,6 +22,51 @@ func TestRunThroughputSmoke(t *testing.T) {
 		if !strings.Contains(got, want) {
 			t.Errorf("output missing %q:\n%s", want, got)
 		}
+	}
+}
+
+// TestRunJSONReport: -json must write a parseable report whose points carry
+// the serving-layer fields the CI bench gate reads (latency percentiles and
+// the queries/sec counter).
+func TestRunJSONReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-exp", "throughput", "-scale", "small", "-queries", "4", "-parallel", "2", "-json", path}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, stderr.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep exp.Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report does not parse: %v\n%s", err, raw)
+	}
+	if rep.Exp != "throughput" || rep.Scale != "small" {
+		t.Fatalf("report metadata = %q/%q", rep.Exp, rep.Scale)
+	}
+	if len(rep.Points) == 0 {
+		t.Fatal("report has no points")
+	}
+	for _, p := range rep.Points {
+		if p.Exp != "throughput" || p.Algo != "AIS" {
+			t.Fatalf("point tagged %q/%q", p.Exp, p.Algo)
+		}
+		if p.P50US <= 0 || p.P99US < p.P50US {
+			t.Fatalf("implausible percentiles in %+v", p)
+		}
+		if p.Extra["queries_per_sec"] <= 0 {
+			t.Fatalf("missing queries_per_sec in %+v", p)
+		}
+	}
+	// stdout mode renders the same report.
+	stdout.Reset()
+	if code := run([]string{"-exp", "throughput", "-scale", "small", "-queries", "4", "-parallel", "2", "-json", "-"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run -json - = %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), `"queries_per_sec"`) {
+		t.Error("stdout JSON mode missing measurement payload")
 	}
 }
 

@@ -156,12 +156,38 @@ func (s *Snapshot) MaxSummary(level int, idx int32, j int) float64 {
 // between the query vertex (whose landmark vector is qvec) and every user in
 // the cell. Empty cells return +Inf.
 func (s *Snapshot) SocialLowerBound(level int, idx int32, qvec []float64) float64 {
-	base := int(idx) * s.m
+	return lemma2(s.minSum[level], s.maxSum[level], int(idx)*s.m, s.m, s.disabledLm, qvec)
+}
+
+// SocialLowerBoundsInto evaluates Lemma 2 for every cell of one level in a
+// single flat pass over the summary arrays, appending one bound per cell into
+// dst (resized to the level's cell count). Equivalent to calling
+// SocialLowerBound per cell — the two share the per-cell kernel — but keeps
+// the summary rows hot in cache and lets pooled callers (AIS seeding, the
+// sharded fan-out's admission bound) evaluate a whole level without any
+// per-cell call or allocation.
+func (s *Snapshot) SocialLowerBoundsInto(level int, qvec []float64, dst []float64) []float64 {
 	mins := s.minSum[level]
 	maxs := s.maxSum[level]
+	n := len(mins) / s.m
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	} else {
+		dst = dst[:n]
+	}
+	for idx := 0; idx < n; idx++ {
+		dst[idx] = lemma2(mins, maxs, idx*s.m, s.m, s.disabledLm, qvec)
+	}
+	return dst
+}
+
+// lemma2 is the per-cell Lemma-2 kernel over one cell's summary row
+// (mins/maxs[base : base+m]) — shared by the single-cell and batched entry
+// points so they cannot diverge.
+func lemma2(mins, maxs []float64, base, m int, disabled uint64, qvec []float64) float64 {
 	best := 0.0
-	for j := 0; j < s.m; j++ {
-		if s.disabledLm&(1<<uint(j)) != 0 {
+	for j := 0; j < m; j++ {
+		if disabled&(1<<uint(j)) != 0 {
 			// Landmark table stale under edge churn: its summaries carry no
 			// information until the rebuild re-enables it.
 			continue

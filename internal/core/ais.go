@@ -3,7 +3,6 @@ package core
 import (
 	"ssrq/internal/aggindex"
 	"ssrq/internal/graph"
-	"ssrq/internal/pqueue"
 	"ssrq/internal/spatial"
 )
 
@@ -42,46 +41,41 @@ func aisTie(level int16, idx int32) int64 {
 // AIS-BID, a fresh bidirectional search each time. Membership, occupancy
 // and summaries all come from the query's snapshot sn, so the Lemma-2
 // bounds are always evaluated against the membership they were built for.
-func (e *Engine) runAIS(sn *aggindex.Snapshot, q graph.VertexID, qpt spatial.Point, bound float64, prm Params, st *Stats, cfg aisConfig) []Entry {
+func (e *Engine) runAIS(sn *aggindex.Snapshot, q graph.VertexID, qpt spatial.Point, bound *SharedBound, prm Params, st *Stats, p *queryPools, cfg aisConfig) []Entry {
 	g := sn.Grid()
 	soc, lm := sn.SocialGraph(), sn.Landmarks()
-	qvec := lm.VertexVector(q)
+	p.qvec = lm.AppendVertexVector(p.qvec[:0], q)
+	qvec := p.qvec
 	layout := g.Layout()
 	alpha := prm.Alpha
 
-	pools := e.getPools()
-	defer e.putPools(pools)
-
-	var evalDist func(graph.VertexID) float64
 	var gd *graphDist
+	var fb *freshBidirectional
 	if cfg.sharing {
-		gd = newGraphDist(soc, lm, q, pools.rev, st)
-		gd.fwdEvery = e.opts.FwdEvery
-		evalDist = gd.dist
+		gd = &p.gd
+		gd.reset(soc, lm, q, &p.soc, p.rev, lm.HeuristicToVector(qvec), st, e.opts.FwdEvery)
 	} else {
-		fb := &freshBidirectional{
-			g: soc, lm: lm, q: q, hToQ: lm.HeuristicTo(q),
-			fwdPool: pools.fwd, revPool: pools.rev, st: st,
-		}
-		evalDist = fb.dist
-	}
-
-	r := newTopKBound(prm.K, bound)
-	h := pqueue.NewHeap[aisItem](256)
-	var childBuf []int32
-
-	pushCell := func(level int, idx int32) {
-		if g.CountAt(level, idx) == 0 {
-			return
-		}
-		pLow := sn.SocialLowerBound(level, idx, qvec)
-		dLow := layout.CellRect(level, idx).MinDist(qpt)
-		if key := combine(alpha, pLow, dLow); finite(key) {
-			h.Push(key, aisTie(int16(level), idx), aisItem{int16(level), idx})
+		fb = &freshBidirectional{
+			g: soc, lm: lm, q: q, hToQ: lm.HeuristicToVector(qvec),
+			fwdPool: p.fwd, revPool: p.rev, st: st,
 		}
 	}
+
+	r := p.top.reset(prm.K, bound)
+	h := &p.ais
+	h.Reset()
+
+	// Seed the search with the top grid level, its Lemma-2 bounds evaluated
+	// in one flat batch over the summary arrays.
+	p.cellLow = sn.SocialLowerBoundsInto(0, qvec, p.cellLow)
 	for idx := int32(0); idx < int32(layout.NumCells(0)); idx++ {
-		pushCell(0, idx)
+		if g.CountAt(0, idx) == 0 {
+			continue
+		}
+		dLow := layout.CellRect(0, idx).MinDist(qpt)
+		if key := combine(alpha, p.cellLow[idx], dLow); finite(key) {
+			h.Push(key, aisTie(0, idx), aisItem{0, idx})
+		}
 	}
 
 	for h.Len() > 0 {
@@ -93,9 +87,17 @@ func (e *Engine) runAIS(sn *aggindex.Snapshot, q graph.VertexID, qpt spatial.Poi
 		switch {
 		case item.Value.level != aisUser && int(item.Value.level) < layout.LeafLevel():
 			st.IndexCellPops++
-			childBuf = layout.ChildIndices(int(item.Value.level), item.Value.idx, childBuf[:0])
-			for _, c := range childBuf {
-				pushCell(int(item.Value.level)+1, c)
+			level := int(item.Value.level)
+			p.childBuf = layout.ChildIndices(level, item.Value.idx, p.childBuf[:0])
+			for _, c := range p.childBuf {
+				if g.CountAt(level+1, c) == 0 {
+					continue
+				}
+				pLow := sn.SocialLowerBound(level+1, c, qvec)
+				dLow := layout.CellRect(level+1, c).MinDist(qpt)
+				if key := combine(alpha, pLow, dLow); finite(key) {
+					h.Push(key, aisTie(int16(level+1), c), aisItem{int16(level + 1), c})
+				}
 			}
 		case item.Value.level != aisUser:
 			// Leaf cell: enqueue members by their individual landmark bound.
@@ -126,8 +128,13 @@ func (e *Engine) runAIS(sn *aggindex.Snapshot, q graph.VertexID, qpt spatial.Poi
 					}
 				}
 			}
-			p := evalDist(u)
-			r.Consider(Entry{ID: u, F: combine(alpha, p, d), P: p, D: d})
+			var pd float64
+			if gd != nil {
+				pd = gd.dist(u)
+			} else {
+				pd = fb.dist(u)
+			}
+			r.Consider(Entry{ID: u, F: combine(alpha, pd, d), P: pd, D: d})
 		}
 	}
 	return r.Sorted()

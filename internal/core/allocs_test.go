@@ -1,0 +1,58 @@
+// Allocation-regression guard for the pooled query hot path. Excluded under
+// the race detector: -race instruments every allocation and sync.Pool
+// behaves differently there, so the counts are meaningless.
+//
+//go:build !race
+
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// allocBudgets is the committed per-query allocation budget of the serving
+// path (the CI bench gate enforces the same numbers on the benchmark
+// output). The steady-state cost is the Result struct and its entries copy;
+// AIS additionally materializes one heuristic closure per query.
+var allocBudgets = []struct {
+	algo   Algorithm
+	budget float64
+}{
+	{SFA, 2},
+	{SPA, 2},
+	{TSA, 8},
+	{TSAQC, 8},
+	{AIS, 8},
+	{AISMinus, 8},
+}
+
+// TestQueryAllocBudget: a steady-state query must stay within the committed
+// allocation budget — the pooled scratch (topK entries, iterators, heaps,
+// graph-distance state) covers everything proportional to dataset size, so
+// the zero-alloc property cannot silently erode.
+func TestQueryAllocBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(271))
+	ds := mkDataset(t, rng, 600, 0.1, false)
+	e := mkEngine(t, ds, Options{Seed: 271})
+	defer e.Close()
+	users := locatedUsers(ds)
+	prm := Params{K: 10, Alpha: 0.5}
+
+	for _, tc := range allocBudgets {
+		i := 0
+		// AllocsPerRun runs the body once as warm-up, which charges the
+		// sync.Pool fills and memoized state to no measured run, and pins
+		// GOMAXPROCS to 1 so the pool cannot miss across Ps.
+		avg := testing.AllocsPerRun(50, func() {
+			q := users[i%len(users)]
+			i++
+			if _, err := e.Query(tc.algo, q, prm); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if avg > tc.budget {
+			t.Errorf("%v: %.1f allocs/query exceeds budget %.0f", tc.algo, avg, tc.budget)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestSharedBoundTighten: the bound only ever decreases, regardless of the
+// order Tighten calls arrive in, and non-finite inputs never loosen it.
+func TestSharedBoundTighten(t *testing.T) {
+	sb := NewSharedBound(math.Inf(1))
+	if got := sb.Load(); !math.IsInf(got, 1) {
+		t.Fatalf("fresh bound = %v, want +Inf", got)
+	}
+	sb.Tighten(3.5)
+	if got := sb.Load(); got != 3.5 {
+		t.Fatalf("after Tighten(3.5): %v", got)
+	}
+	sb.Tighten(7.0) // looser: must not move
+	if got := sb.Load(); got != 3.5 {
+		t.Fatalf("loosening Tighten moved the bound to %v", got)
+	}
+	sb.Tighten(math.Inf(1))
+	sb.Tighten(math.NaN())
+	if got := sb.Load(); got != 3.5 {
+		t.Fatalf("non-finite Tighten moved the bound to %v", got)
+	}
+	sb.Tighten(1.25)
+	if got := sb.Load(); got != 1.25 {
+		t.Fatalf("after Tighten(1.25): %v", got)
+	}
+	if nan := NewSharedBound(math.NaN()); !math.IsInf(nan.Load(), 1) {
+		t.Fatalf("NaN seed = %v, want +Inf", nan.Load())
+	}
+}
+
+// TestSharedBoundConcurrentMin: under concurrent CAS contention the bound
+// converges to the global minimum of everything published.
+func TestSharedBoundConcurrentMin(t *testing.T) {
+	sb := NewSharedBound(math.Inf(1))
+	const writers, perWriter = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				// Deterministic values with global minimum exactly 1.0.
+				sb.Tighten(1.0 + float64((w*perWriter+i)%97))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := sb.Load(); got != 1.0 {
+		t.Fatalf("concurrent min = %v, want 1.0", got)
+	}
+}
+
+// TestStatsAddMergesFellBack: FellBack is a property of the whole execution;
+// Add must OR it in from either side, not overwrite or drop it.
+func TestStatsAddMergesFellBack(t *testing.T) {
+	var s Stats
+	s.Add(Stats{FellBack: true, CacheHits: 2})
+	if !s.FellBack {
+		t.Fatal("Add dropped the added execution's FellBack")
+	}
+	s.Add(Stats{CacheHits: 3})
+	if !s.FellBack {
+		t.Fatal("Add cleared an already-set FellBack")
+	}
+	if s.CacheHits != 5 {
+		t.Fatalf("CacheHits = %d, want 5", s.CacheHits)
+	}
+}
+
+// TestTopKSharedBoundStrictness pins the semantics the shard merge depends
+// on: Fk reports the next float above the shared bound (ties must stay
+// admissible for ID tiebreaks), a full topK publishes its kth value, and a
+// partially-filled one publishes nothing.
+func TestTopKSharedBoundStrictness(t *testing.T) {
+	sb := NewSharedBound(math.Inf(1))
+	r := newTopK(2)
+	r.reset(2, sb)
+
+	// Under-filled: Fk is the (strictified) external bound only, and nothing
+	// is published.
+	r.Consider(Entry{ID: 1, F: 0.3})
+	if !math.IsInf(sb.Load(), 1) {
+		t.Fatalf("under-filled topK published %v", sb.Load())
+	}
+	if got := r.Fk(); !math.IsInf(got, 1) {
+		t.Fatalf("under-filled Fk = %v, want +Inf", got)
+	}
+
+	// Filling publishes the kth value.
+	r.Consider(Entry{ID: 2, F: 0.7})
+	if got := sb.Load(); got != 0.7 {
+		t.Fatalf("published bound = %v, want 0.7", got)
+	}
+	// The local kth itself still bounds Fk (the strict ceiling applies to
+	// the *external* bound, not this engine's own fully-evaluated entries).
+	if got := r.Fk(); got != 0.7 {
+		t.Fatalf("Fk = %v, want local kth 0.7", got)
+	}
+
+	// An external engine tightening past this topK's kth caps Fk — strictly
+	// above the bound, because an entry tying it can still win its ID
+	// tiebreak somewhere in the fan-out.
+	sb.Tighten(0.4)
+	if got, want := r.Fk(), math.Nextafter(0.4, math.Inf(1)); got != want {
+		t.Fatalf("Fk after external tighten = %v, want %v", got, want)
+	}
+
+	// Local improvement below the external bound publishes again.
+	r.Consider(Entry{ID: 3, F: 0.1})
+	if got := sb.Load(); got != 0.3 {
+		t.Fatalf("bound after local improvement = %v, want 0.3", got)
+	}
+	if got := r.Fk(); got != 0.3 {
+		t.Fatalf("Fk with local kth below bound = %v, want 0.3", got)
+	}
+
+	// Non-finite entries are never admitted and never published.
+	if r.Consider(Entry{ID: 4, F: math.Inf(1)}) {
+		t.Fatal("admitted a +Inf entry")
+	}
+}

@@ -9,9 +9,10 @@ import (
 // runBrute is the exhaustive reference: one full Dijkstra from the query
 // vertex, then a linear scan scoring every user against the snapshot's
 // locations. Used for cross-validation and as an honest lower bound on what
-// indexing must beat. The seed bound is deliberately ignored: brute force
-// always reports its full local top-k, so it stays a bound-free oracle.
-func (e *Engine) runBrute(sn *aggindex.Snapshot, q graph.VertexID, qpt spatial.Point, _ float64, prm Params, st *Stats) []Entry {
+// indexing must beat. The shared bound is deliberately not taken (note the
+// fresh, unbounded topK): brute force always reports its full local top-k, so
+// it stays a bound-free oracle.
+func (e *Engine) runBrute(sn *aggindex.Snapshot, q graph.VertexID, qpt spatial.Point, prm Params, st *Stats) []Entry {
 	g := sn.Grid()
 	sp := sn.SocialGraph().Dijkstra(q)
 	st.SocialPops += e.ds.NumUsers()

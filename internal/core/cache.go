@@ -117,10 +117,10 @@ func (e *Engine) ResetCache(t int) {
 // list entries arrive in ascending social distance, so θ = α·p applies — and
 // falls back to full AIS when the list is exhausted inconclusively (§5.4).
 // Spatial distances come from the query's snapshot.
-func (e *Engine) runAISCache(sn *aggindex.Snapshot, q graph.VertexID, qpt spatial.Point, bound float64, prm Params, st *Stats) []Entry {
+func (e *Engine) runAISCache(sn *aggindex.Snapshot, q graph.VertexID, qpt spatial.Point, bound *SharedBound, prm Params, st *Stats, p *queryPools) []Entry {
 	g := sn.Grid()
 	list, complete := e.cache.get(sn.SocialGraph(), sn.SocialEpoch(), q)
-	r := newTopKBound(prm.K, bound)
+	r := p.top.reset(prm.K, bound)
 	for _, cn := range list {
 		st.CacheHits++
 		d := spatialDist(g, qpt, cn.V)
@@ -134,5 +134,8 @@ func (e *Engine) runAISCache(sn *aggindex.Snapshot, q graph.VertexID, qpt spatia
 		return r.Sorted()
 	}
 	st.FellBack = true
-	return e.runAIS(sn, q, qpt, bound, prm, st, aisConfig{sharing: true, delayed: true})
+	// The fallback restarts from scratch (runAIS re-arms p.top itself,
+	// discarding the inconclusive scan, exactly as the paper's fallback
+	// recomputes the full answer).
+	return e.runAIS(sn, q, qpt, bound, prm, st, p, aisConfig{sharing: true, delayed: true})
 }

@@ -12,6 +12,7 @@ import (
 	"ssrq/internal/dataset"
 	"ssrq/internal/graph"
 	"ssrq/internal/landmark"
+	"ssrq/internal/pqueue"
 	"ssrq/internal/spatial"
 )
 
@@ -194,10 +195,27 @@ type Engine struct {
 	updater atomic.Pointer[Updater]
 }
 
-// queryPools are the per-query A* scratch structures.
+// queryPools are the per-query scratch structures, checked out once per
+// QueryOn and reused across queries so the serving path allocates (almost)
+// nothing: A* pools, the shared forward Dijkstra, the spatial NN stream, the
+// interim result, TSA's candidate set, AIS's branch-and-bound heap and the
+// GraphDist submodule, plus flat float scratch for landmark vectors and
+// batched Lemma-2 bounds. Everything here is arena-like state that a single
+// query arms via a Reset and abandons on return; QueryOn copies the final
+// entries out before the pools go back, so no pooled memory escapes.
 type queryPools struct {
 	rev *graph.AStarPool
 	fwd *graph.AStarPool
+
+	soc      graph.DijkstraIterator // forward social expansion (SFA/SPA/TSA, GraphDist)
+	nn       *spatial.NNIterator    // incremental spatial NN stream (SPA/TSA)
+	top      topK                   // interim result R
+	cand     candidateSet           // TSA's partially-evaluated set Q
+	ais      pqueue.Heap[aisItem]   // AIS branch-and-bound heap
+	gd       graphDist              // §5.2 shared-distance submodule
+	childBuf []int32                // grid child-index scratch
+	qvec     []float64              // query landmark vector
+	cellLow  []float64              // batched Lemma-2 bounds, one per top-level cell
 }
 
 // NewEngine builds all indexes over the dataset.
@@ -255,6 +273,7 @@ func NewEngine(ds *dataset.Dataset, opts Options) (*Engine, error) {
 		return &queryPools{
 			rev: graph.NewAStarPool(n),
 			fwd: graph.NewAStarPool(n),
+			nn:  spatial.NewNNIterator(),
 		}
 	}
 	return e, nil
@@ -374,11 +393,11 @@ func (e *Engine) Query(algo Algorithm, q graph.VertexID, prm Params) (*Result, e
 	if !g.Located(q) {
 		return nil, fmt.Errorf("core: query user %d has no known location", q)
 	}
-	return e.QueryOn(sn, algo, q, g.Point(q), math.Inf(1), prm)
+	return e.QueryOn(sn, algo, q, g.Point(q), nil, prm)
 }
 
 // QueryOn answers an SSRQ against an explicit snapshot with an explicit
-// query location and an optional seed bound — the primitive the sharded
+// query location and an optional shared bound — the primitive the sharded
 // engine's fan-out is built on. Unlike Query it does not require q to be
 // located in sn's grid: qpt stands in for the query location, so a shard
 // that does not own the query user can still rank its own users against the
@@ -386,11 +405,15 @@ func (e *Engine) Query(algo Algorithm, q graph.VertexID, prm Params) (*Result, e
 // sn's social graph, which every shard replicates in full, so they are exact
 // regardless of ownership.
 //
-// bound seeds the interim kth ranking value (+Inf for none): unseen users
-// provably *strictly worse* than the bound are abandoned early. Entries tying
-// the bound are still reported, so a caller merging several QueryOn results
-// under a running global threshold loses nothing to the tiebreak.
-func (e *Engine) QueryOn(sn *aggindex.Snapshot, algo Algorithm, q graph.VertexID, qpt spatial.Point, bound float64, prm Params) (*Result, error) {
+// bound, when non-nil, is a live ceiling on the final kth ranking value
+// (SharedBound): the search reads it on every termination check — so a
+// concurrent fan-out sibling tightening it mid-flight prunes this search too
+// — and publishes its own kth value back as its interim result fills. Unseen
+// users provably *strictly worse* than the bound are abandoned early; entries
+// tying it are still reported, so a caller merging several QueryOn results
+// under one shared threshold loses nothing to the (F, ID) tiebreak. nil means
+// unbounded.
+func (e *Engine) QueryOn(sn *aggindex.Snapshot, algo Algorithm, q graph.VertexID, qpt spatial.Point, bound *SharedBound, prm Params) (*Result, error) {
 	if err := prm.Validate(); err != nil {
 		return nil, err
 	}
@@ -399,45 +422,56 @@ func (e *Engine) QueryOn(sn *aggindex.Snapshot, algo Algorithm, q graph.VertexID
 	}
 	res := &Result{Query: q, Params: prm}
 	st := &res.Stats
+	// Check out the per-query scratch once for the whole execution; every
+	// algorithm arms what it needs from it. The pooled entries are copied into
+	// the Result before the scratch goes back (the deferred put runs last), so
+	// nothing pooled escapes the query.
+	p := e.getPools()
+	defer e.putPools(p)
+	var entries []Entry
 	switch algo {
 	case SFA:
-		res.Entries = e.runSFA(sn, q, qpt, bound, prm, st, false)
+		entries = e.runSFA(sn, q, qpt, bound, prm, st, p, false)
 	case SFACH:
 		if err := e.chReady(sn, algo); err != nil {
 			return nil, err
 		}
-		res.Entries = e.runSFA(sn, q, qpt, bound, prm, st, true)
+		entries = e.runSFA(sn, q, qpt, bound, prm, st, p, true)
 	case SPA:
-		res.Entries = e.runSPA(sn, q, qpt, bound, prm, st, false)
+		entries = e.runSPA(sn, q, qpt, bound, prm, st, p, false)
 	case SPACH:
 		if err := e.chReady(sn, algo); err != nil {
 			return nil, err
 		}
-		res.Entries = e.runSPA(sn, q, qpt, bound, prm, st, true)
+		entries = e.runSPA(sn, q, qpt, bound, prm, st, p, true)
 	case TSA:
-		res.Entries = e.runTSA(sn, q, qpt, bound, prm, st, tsaConfig{prune: true})
+		entries = e.runTSA(sn, q, qpt, bound, prm, st, p, tsaConfig{prune: true})
 	case TSAQC:
-		res.Entries = e.runTSA(sn, q, qpt, bound, prm, st, tsaConfig{prune: true, quickCombine: true})
+		entries = e.runTSA(sn, q, qpt, bound, prm, st, p, tsaConfig{prune: true, quickCombine: true})
 	case TSANoLandmark:
-		res.Entries = e.runTSA(sn, q, qpt, bound, prm, st, tsaConfig{})
+		entries = e.runTSA(sn, q, qpt, bound, prm, st, p, tsaConfig{})
 	case TSACH:
 		if err := e.chReady(sn, algo); err != nil {
 			return nil, err
 		}
-		res.Entries = e.runTSA(sn, q, qpt, bound, prm, st, tsaConfig{prune: true, useCH: true})
+		entries = e.runTSA(sn, q, qpt, bound, prm, st, p, tsaConfig{prune: true, useCH: true})
 	case AISBID:
-		res.Entries = e.runAIS(sn, q, qpt, bound, prm, st, aisConfig{sharing: false, delayed: false})
+		entries = e.runAIS(sn, q, qpt, bound, prm, st, p, aisConfig{sharing: false, delayed: false})
 	case AISMinus:
-		res.Entries = e.runAIS(sn, q, qpt, bound, prm, st, aisConfig{sharing: true, delayed: false})
+		entries = e.runAIS(sn, q, qpt, bound, prm, st, p, aisConfig{sharing: true, delayed: false})
 	case AIS:
-		res.Entries = e.runAIS(sn, q, qpt, bound, prm, st, aisConfig{sharing: true, delayed: true})
+		entries = e.runAIS(sn, q, qpt, bound, prm, st, p, aisConfig{sharing: true, delayed: true})
 	case AISCache:
-		res.Entries = e.runAISCache(sn, q, qpt, bound, prm, st)
+		entries = e.runAISCache(sn, q, qpt, bound, prm, st, p)
 	case BruteForce:
-		res.Entries = e.runBrute(sn, q, qpt, bound, prm, st)
+		entries = e.runBrute(sn, q, qpt, prm, st)
 	default:
 		return nil, fmt.Errorf("core: unknown algorithm %v", algo)
 	}
+	// make+copy rather than append(nil, ...): an empty result must stay a
+	// non-nil slice (it serializes as [] over HTTP, not null).
+	res.Entries = make([]Entry, len(entries))
+	copy(res.Entries, entries)
 	return res, nil
 }
 

@@ -38,23 +38,37 @@ type graphDist struct {
 }
 
 func newGraphDist(g *graph.Graph, lm *landmark.Set, q graph.VertexID, revPool *graph.AStarPool, st *Stats) *graphDist {
-	gd := &graphDist{
-		g:        g,
-		lm:       lm,
-		q:        q,
-		fwd:      graph.NewDijkstraIterator(g, q),
-		revPool:  revPool,
-		hToQ:     lm.HeuristicTo(q),
-		pathDist: make(map[graph.VertexID]float64),
-		st:       st,
-		fwdEvery: 1,
+	gd := &graphDist{}
+	gd.reset(g, lm, q, &graph.DijkstraIterator{}, revPool, lm.HeuristicTo(q), st, 1)
+	return gd
+}
+
+// reset re-arms the submodule in place for a fresh query, reusing the path
+// table's buckets and the caller-provided (typically pooled) forward
+// iterator. fwd is re-armed from q; hToQ must estimate distances to q against
+// lm's epoch.
+func (gd *graphDist) reset(g *graph.Graph, lm *landmark.Set, q graph.VertexID,
+	fwd *graph.DijkstraIterator, revPool *graph.AStarPool, hToQ graph.Heuristic, st *Stats, fwdEvery int) {
+	fwd.Reset(g, q)
+	gd.g = g
+	gd.lm = lm
+	gd.q = q
+	gd.fwd = fwd
+	gd.revPool = revPool
+	gd.hToQ = hToQ
+	if gd.pathDist == nil {
+		gd.pathDist = make(map[graph.VertexID]float64)
+	} else {
+		clear(gd.pathDist)
 	}
+	gd.st = st
+	gd.fwdEvery = fwdEvery
+	gd.iter = 0
 	// Settle the source immediately so reverse searches can always meet a
 	// non-empty forward tree.
 	if _, _, ok := gd.fwd.Next(); ok {
 		st.SocialPops++
 	}
-	return gd
 }
 
 // beta is the §5.3 bound: the distance of the last vertex settled by the

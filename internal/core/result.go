@@ -56,6 +56,10 @@ func (s *Stats) Add(o Stats) {
 	s.GraphDistCalls += o.GraphDistCalls
 	s.CHQueries += o.CHQueries
 	s.CacheHits += o.CacheHits
+	// FellBack is a property of the whole execution, not a counter: if any
+	// contributing engine's AISCache list was exhausted inconclusively, the
+	// aggregate fell back.
+	s.FellBack = s.FellBack || o.FellBack
 }
 
 // Result is a completed SSRQ answer, sorted ascending by (F, ID).
@@ -90,27 +94,37 @@ func (r *Result) IDSet() map[int32]bool {
 // recommendable). Ties on f break by ascending ID so every algorithm keeps
 // an identical interim state. With k ≤ 50 (Table 3) a sorted slice beats a
 // heap.
+//
+// The optional shared bound is the sharded engine's running global
+// threshold: a live external f_k ceiling that Fk reads on every call and
+// that Consider improves whenever this topK's own kth value tightens, so
+// concurrent shard searches prune against each other's progress mid-flight.
+// The bound is applied with *strict* semantics — Fk reports the next
+// representable float above it — because an entry tying the global kth score
+// exactly could still win its ID tiebreak; only entries strictly worse than
+// the bound are safe to abandon.
+//
+// topK structs are pooled (see queryPools): reset re-arms one in place and
+// reuses the entries storage, so the serving path allocates nothing here.
 type topK struct {
 	k       int
-	bound   float64 // external f_k ceiling (+Inf when unseeded)
-	entries []Entry // ascending (F, ID)
+	shared  *SharedBound // live external f_k ceiling (nil when unbounded)
+	entries []Entry      // ascending (F, ID)
 }
 
 func newTopK(k int) *topK {
-	return newTopKBound(k, math.Inf(1))
+	return new(topK).reset(k, nil)
 }
 
-// newTopKBound seeds the interim result with an externally-known kth ranking
-// value (the sharded engine's running global threshold). The searches then
-// terminate as soon as unseen users provably cannot beat the seed. The seed
-// is applied with *strict* semantics — Fk reports the next representable
-// float above it — because an entry tying the global kth score exactly could
-// still win its ID tiebreak; only entries strictly worse than the seed are
-// safe to abandon.
-func newTopKBound(k int, bound float64) *topK {
-	t := &topK{k: k, bound: math.Inf(1), entries: make([]Entry, 0, k)}
-	if !math.IsInf(bound, 1) && !math.IsNaN(bound) {
-		t.bound = math.Nextafter(bound, math.Inf(1))
+// reset re-arms the interim result for a fresh query with an optional live
+// external threshold, reusing the entry storage.
+func (t *topK) reset(k int, shared *SharedBound) *topK {
+	t.k = k
+	t.shared = shared
+	if cap(t.entries) < k {
+		t.entries = make([]Entry, 0, k)
+	} else {
+		t.entries = t.entries[:0]
 	}
 	return t
 }
@@ -122,18 +136,38 @@ func entryLess(a, b Entry) bool {
 	return a.ID < b.ID
 }
 
+// strictify converts an external kth-value bound into the strict-semantics
+// ceiling Fk reports: the next representable float above it, so entries
+// tying the bound are still admitted and reported.
+func strictify(f float64) float64 {
+	if math.IsInf(f, 1) || math.IsNaN(f) {
+		return math.Inf(1)
+	}
+	return math.Nextafter(f, math.Inf(1))
+}
+
 // Fk returns the current k-th ranking value: +Inf while fewer than k entries
 // qualify (so no bound can terminate a search prematurely), capped by the
-// external seed bound when one was provided.
+// live external threshold when one was provided.
 func (t *topK) Fk() float64 {
-	if len(t.entries) < t.k {
-		return t.bound
+	b := math.Inf(1)
+	if t.shared != nil {
+		b = strictify(t.shared.Load())
 	}
-	return math.Min(t.entries[len(t.entries)-1].F, t.bound)
+	if len(t.entries) < t.k {
+		return b
+	}
+	if fk := t.entries[len(t.entries)-1].F; fk < b {
+		return fk
+	}
+	return b
 }
 
 // Consider offers an entry; it is inserted when it beats the current
-// interim result. Reports whether the entry was admitted.
+// interim result. Reports whether the entry was admitted. Whenever the
+// interim result is full its kth value is published to the shared threshold:
+// the k entries held are distinct, fully-evaluated users, so their worst F
+// upper-bounds the merged kth value of any fan-out this search is part of.
 func (t *topK) Consider(e Entry) bool {
 	if !finite(e.F) {
 		return false
@@ -149,6 +183,9 @@ func (t *topK) Consider(e Entry) bool {
 	t.entries = append(t.entries, Entry{})
 	copy(t.entries[pos+1:], t.entries[pos:])
 	t.entries[pos] = e
+	if t.shared != nil && len(t.entries) == t.k {
+		t.shared.Tighten(t.entries[t.k-1].F)
+	}
 	return true
 }
 

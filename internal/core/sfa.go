@@ -18,11 +18,12 @@ import (
 // for its ascending-distance ordering and termination bound. The variant
 // demonstrates the paper's point: on social networks, per-target CH queries
 // lose to one shared incremental Dijkstra.
-func (e *Engine) runSFA(sn *aggindex.Snapshot, q graph.VertexID, qpt spatial.Point, bound float64, prm Params, st *Stats, useCH bool) []Entry {
+func (e *Engine) runSFA(sn *aggindex.Snapshot, q graph.VertexID, qpt spatial.Point, bound *SharedBound, prm Params, st *Stats, p *queryPools, useCH bool) []Entry {
 	g := sn.Grid()
 	hier := sn.Hierarchy() // chReady guaranteed it fresh when useCH
-	it := graph.NewDijkstraIterator(sn.SocialGraph(), q)
-	r := newTopKBound(prm.K, bound)
+	it := &p.soc
+	it.Reset(sn.SocialGraph(), q)
+	r := p.top.reset(prm.K, bound)
 	for {
 		v, p, ok := it.Next()
 		if !ok {

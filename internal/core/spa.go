@@ -15,31 +15,17 @@ import (
 // v_q, expanded just far enough to settle each requested target ("shortest
 // paths produced incrementally, all with v_q as source"). SPA-CH replaces it
 // with an independent CH query per target (Fig. 8).
-func (e *Engine) runSPA(sn *aggindex.Snapshot, q graph.VertexID, qpt spatial.Point, bound float64, prm Params, st *Stats, useCH bool) []Entry {
+func (e *Engine) runSPA(sn *aggindex.Snapshot, q graph.VertexID, qpt spatial.Point, bound *SharedBound, prm Params, st *Stats, p *queryPools, useCH bool) []Entry {
 	g := sn.Grid()
-	nn := g.NewNN(qpt)
-	r := newTopKBound(prm.K, bound)
+	nn := p.nn
+	nn.Reset(g, qpt)
+	r := p.top.reset(prm.K, bound)
 
 	hier := sn.Hierarchy() // chReady guaranteed it fresh when useCH
 	var fwd *graph.DijkstraIterator
 	if !useCH {
-		fwd = graph.NewDijkstraIterator(sn.SocialGraph(), q)
-	}
-	socialDist := func(v graph.VertexID) float64 {
-		if useCH {
-			st.CHQueries++
-			d, _ := hier.Dist(q, v)
-			return d
-		}
-		for {
-			if d, ok := fwd.SettledDist(v); ok {
-				return d
-			}
-			if _, _, ok := fwd.Next(); !ok {
-				return graph.Infinity
-			}
-			st.SocialPops++
-		}
+		fwd = &p.soc
+		fwd.Reset(sn.SocialGraph(), q)
 	}
 
 	for {
@@ -51,8 +37,27 @@ func (e *Engine) runSPA(sn *aggindex.Snapshot, q graph.VertexID, qpt spatial.Poi
 		if u == q {
 			continue
 		}
-		p := socialDist(u)
-		r.Consider(Entry{ID: u, F: combine(prm.Alpha, p, d), P: p, D: d})
+		// Social-distance module: an independent CH query per target for
+		// SPA-CH, otherwise the shared forward Dijkstra expanded just far
+		// enough to settle the target.
+		var pd float64
+		if useCH {
+			st.CHQueries++
+			pd, _ = hier.Dist(q, u)
+		} else {
+			for {
+				if sd, settled := fwd.SettledDist(u); settled {
+					pd = sd
+					break
+				}
+				if _, _, ok := fwd.Next(); !ok {
+					pd = graph.Infinity
+					break
+				}
+				st.SocialPops++
+			}
+		}
+		r.Consider(Entry{ID: u, F: combine(prm.Alpha, pd, d), P: pd, D: d})
 		if theta := (1 - prm.Alpha) * d; theta >= r.Fk() {
 			break
 		}

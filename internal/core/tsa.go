@@ -28,6 +28,17 @@ func newCandidateSet() *candidateSet {
 	return &candidateSet{d: make(map[int32]float64)}
 }
 
+// reset empties the set in place, keeping the map's buckets and the heap's
+// storage for reuse by the next query.
+func (c *candidateSet) reset() {
+	if c.d == nil {
+		c.d = make(map[int32]float64)
+	} else {
+		clear(c.d)
+	}
+	c.heap.Reset()
+}
+
 func (c *candidateSet) Add(u int32, d float64) {
 	if _, ok := c.d[u]; ok {
 		return
@@ -75,63 +86,85 @@ func (c *candidateSet) Prune(drop func(u int32, d float64) bool) {
 	}
 }
 
+// tsaRun is the mutable state of one TSA phase-1 execution. It exists so the
+// stream-advance steps can be methods rather than closures: closures
+// capturing the frontier state (t_p, t_d, the done flags) would force a heap
+// allocation per query, while a local struct with methods stays on the
+// caller's stack.
+type tsaRun struct {
+	g     *spatial.Snapshot
+	qpt   spatial.Point
+	q     graph.VertexID
+	alpha float64
+	soc   *graph.DijkstraIterator
+	nn    *spatial.NNIterator
+	r     *topK
+	cand  *candidateSet
+	st    *Stats
+
+	tp, td           float64
+	socDone, spaDone bool
+}
+
+func (t *tsaRun) advanceSocial() {
+	v, p, ok := t.soc.Next()
+	if !ok {
+		t.socDone = true
+		return
+	}
+	t.st.SocialPops++
+	t.tp = p
+	if v == t.q {
+		return
+	}
+	d := spatialDist(t.g, t.qpt, v)
+	t.r.Consider(Entry{ID: v, F: combine(t.alpha, p, d), P: p, D: d})
+	// Algorithm 1 lines 7–8: a candidate reached by the social search is
+	// now fully evaluated and must leave Q.
+	t.cand.Remove(v)
+}
+
+func (t *tsaRun) advanceSpatial() {
+	u, d, ok := t.nn.Next()
+	if !ok {
+		t.spaDone = true
+		return
+	}
+	t.st.SpatialPops++
+	t.td = d
+	if u == t.q || t.soc.Settled(u) {
+		return
+	}
+	t.cand.Add(u, d)
+}
+
+// theta bounds the f value of users unseen by both searches. A finished
+// stream contributes +Inf: no further qualifying user can exist there.
+func (t *tsaRun) theta() float64 {
+	ctp, ctd := t.tp, t.td
+	if t.socDone {
+		ctp = math.Inf(1)
+	}
+	if t.spaDone {
+		ctd = math.Inf(1)
+	}
+	return combine(t.alpha, ctp, ctd)
+}
+
 // runTSA is the Twofold Search Approach (Algorithm 1): a social and a
 // spatial incremental search run concurrently, bounding unseen users by
 // θ = α·t_p + (1−α)·t_d. Phase 2 resolves the partially-evaluated candidate
 // set Q, by default continuing only the social search (continuing the NN
 // search "would be a waste of computations").
-func (e *Engine) runTSA(sn *aggindex.Snapshot, q graph.VertexID, qpt spatial.Point, bound float64, prm Params, st *Stats, cfg tsaConfig) []Entry {
+func (e *Engine) runTSA(sn *aggindex.Snapshot, q graph.VertexID, qpt spatial.Point, bound *SharedBound, prm Params, st *Stats, p *queryPools, cfg tsaConfig) []Entry {
 	g := sn.Grid()
-	soc := graph.NewDijkstraIterator(sn.SocialGraph(), q)
-	nn := g.NewNN(qpt)
-	r := newTopKBound(prm.K, bound)
-	cand := newCandidateSet()
-
-	tp, td := 0.0, 0.0
-	socDone, spaDone := false, false
-
-	advanceSocial := func() {
-		v, p, ok := soc.Next()
-		if !ok {
-			socDone = true
-			return
-		}
-		st.SocialPops++
-		tp = p
-		if v == q {
-			return
-		}
-		d := spatialDist(g, qpt, v)
-		r.Consider(Entry{ID: v, F: combine(prm.Alpha, p, d), P: p, D: d})
-		// Algorithm 1 lines 7–8: a candidate reached by the social search is
-		// now fully evaluated and must leave Q.
-		cand.Remove(v)
-	}
-	advanceSpatial := func() {
-		u, d, ok := nn.Next()
-		if !ok {
-			spaDone = true
-			return
-		}
-		st.SpatialPops++
-		td = d
-		if u == q || soc.Settled(u) {
-			return
-		}
-		cand.Add(u, d)
-	}
-
-	// theta bounds the f value of users unseen by both searches. A finished
-	// stream contributes +Inf: no further qualifying user can exist there.
-	theta := func() float64 {
-		ctp, ctd := tp, td
-		if socDone {
-			ctp = math.Inf(1)
-		}
-		if spaDone {
-			ctd = math.Inf(1)
-		}
-		return combine(prm.Alpha, ctp, ctd)
+	p.soc.Reset(sn.SocialGraph(), q)
+	p.nn.Reset(g, qpt)
+	p.cand.reset()
+	r := p.top.reset(prm.K, bound)
+	t := tsaRun{
+		g: g, qpt: qpt, q: q, alpha: prm.Alpha,
+		soc: &p.soc, nn: p.nn, r: r, cand: &p.cand, st: st,
 	}
 
 	// Quick Combine: exponentially-smoothed per-pull growth of each
@@ -141,28 +174,28 @@ func (e *Engine) runTSA(sn *aggindex.Snapshot, q graph.VertexID, qpt spatial.Poi
 	var socPulls, spaPulls int
 	const smooth = 0.5
 
-	for !(socDone && spaDone) {
+	for !(t.socDone && t.spaDone) {
 		if cfg.quickCombine {
 			// Bootstrap: probe each stream twice before trusting the rates.
-			pickSocial := !socDone &&
-				(spaDone || socPulls < 2 ||
+			pickSocial := !t.socDone &&
+				(t.spaDone || socPulls < 2 ||
 					(spaPulls >= 2 && prm.Alpha*socRate >= (1-prm.Alpha)*spaRate))
 			if pickSocial {
 				socPulls++
-				before := tp
-				advanceSocial()
-				socRate = smooth*socRate + (1-smooth)*(tp-before)
+				before := t.tp
+				t.advanceSocial()
+				socRate = smooth*socRate + (1-smooth)*(t.tp-before)
 			} else {
 				spaPulls++
-				before := td
-				advanceSpatial()
-				spaRate = smooth*spaRate + (1-smooth)*(td-before)
+				before := t.td
+				t.advanceSpatial()
+				spaRate = smooth*spaRate + (1-smooth)*(t.td-before)
 			}
 		} else {
-			advanceSocial()
-			advanceSpatial()
+			t.advanceSocial()
+			t.advanceSpatial()
 		}
-		if theta() >= r.Fk() {
+		if t.theta() >= r.Fk() {
 			break
 		}
 	}
@@ -171,17 +204,21 @@ func (e *Engine) runTSA(sn *aggindex.Snapshot, q graph.VertexID, qpt spatial.Poi
 		// TSA with landmarks: eliminate candidates whose landmark-derived f
 		// lower bound already misses the interim result. The bound comes
 		// from the query's snapshot, so it is admissible on exactly the
-		// graph this query is searching.
+		// graph this query is searching. A flat loop over the map rather
+		// than candidateSet.Prune: the predicate closure would capture four
+		// variables and allocate.
 		lm := sn.Landmarks()
-		cand.Prune(func(u int32, d float64) bool {
-			return combine(prm.Alpha, lm.LowerBound(q, u), d) >= r.Fk()
-		})
+		for u, d := range t.cand.d {
+			if combine(prm.Alpha, lm.LowerBound(q, u), d) >= r.Fk() {
+				delete(t.cand.d, u)
+			}
+		}
 	}
 
 	if cfg.useCH {
-		e.tsaPhase2CH(sn.Hierarchy(), q, prm, st, r, cand, tp)
+		e.tsaPhase2CH(sn.Hierarchy(), q, prm, st, r, t.cand, t.tp)
 	} else {
-		e.tsaPhase2Social(q, prm, st, r, cand, soc, tp, socDone)
+		e.tsaPhase2Social(q, prm, st, r, t.cand, t.soc, t.tp, t.socDone)
 	}
 	return r.Sorted()
 }

@@ -133,6 +133,14 @@ func (s *Suite) RunShard() error {
 		s.record(Measurement{
 			Dataset: ds.Name, Algo: core.AIS, X: float64(S),
 			Runtime: sum.P95, Queries: sum.N,
+			P50: sum.P50, P95: sum.P95, P99: sum.P99,
+			Extra: map[string]float64{
+				"moves_per_sec":  float64(moves) / churnSecs,
+				"epochs":         float64(epochs),
+				"shards_queried": float64(fs.ShardsQueried),
+				"shards_pruned":  float64(fs.ShardsPruned),
+				"shards_empty":   float64(fs.ShardsEmpty),
+			},
 		})
 
 		if S == counts[len(counts)-1] && S > 1 && fs.ShardsPruned == 0 {

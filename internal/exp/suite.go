@@ -36,8 +36,11 @@ type Suite struct {
 	datasets map[string]*dataset.Dataset
 	engines  map[string]*core.Engine
 	// Measurements accumulates every data point the suite produced, for
-	// programmatic inspection (EXPERIMENTS.md generation, tests).
+	// programmatic inspection (EXPERIMENTS.md generation, -json, tests).
 	Measurements []Measurement
+	// curExp is the experiment currently executing; record stamps it into
+	// every measurement so the JSON report can group points by experiment.
+	curExp string
 }
 
 // NewSuite creates an evaluation suite writing human-readable tables to out.
@@ -106,6 +109,11 @@ func maxT(ts []int) int {
 }
 
 func (s *Suite) record(ms ...Measurement) {
+	for i := range ms {
+		if ms[i].Exp == "" {
+			ms[i].Exp = s.curExp
+		}
+	}
 	s.Measurements = append(s.Measurements, ms...)
 }
 
@@ -128,6 +136,7 @@ func (s *Suite) RunAll(withCH bool) error {
 		{"fig14b", s.RunFig14b},
 	}
 	for _, step := range steps {
+		s.curExp = step.name
 		if err := step.fn(); err != nil {
 			return fmt.Errorf("exp: %s: %w", step.name, err)
 		}
@@ -138,6 +147,7 @@ func (s *Suite) RunAll(withCH bool) error {
 // Run executes a single experiment by id ("table2", "fig7a", … "fig14b",
 // "throughput", "churn", "all").
 func (s *Suite) Run(id string, withCH bool) error {
+	s.curExp = id
 	switch id {
 	case "all":
 		return s.RunAll(withCH)

@@ -66,6 +66,8 @@ func (s *Suite) RunThroughput() error {
 		s.record(Measurement{
 			Dataset: ds.Name, Algo: core.AIS, X: float64(w),
 			Runtime: elapsed / time.Duration(len(batch)), Queries: len(batch),
+			P50: sum.P50, P95: sum.P95, P99: sum.P99,
+			Extra: map[string]float64{"queries_per_sec": qps, "speedup": speedup},
 		})
 		if w == 1 && workers == 1 {
 			break // avoid printing the same row twice on single-core hosts

@@ -21,6 +21,7 @@ type AStarPool struct {
 	mark    []uint32
 	settled []uint32 // epoch when settled
 	epoch   uint32
+	cur     AStarSearch // the (single) active search, reused across NewSearch calls
 }
 
 // NewAStarPool returns a pool for graphs with n vertices.
@@ -46,7 +47,9 @@ type AStarSearch struct {
 }
 
 // NewSearch begins an A* expansion from source with heuristic h,
-// invalidating any previous search on this pool.
+// invalidating any previous search on this pool. The returned search is the
+// pool's single embedded one (at most one search is active per pool), so
+// starting a search allocates nothing.
 func (p *AStarPool) NewSearch(g *Graph, source VertexID, h Heuristic) *AStarSearch {
 	p.epoch++
 	if p.epoch == 0 { // uint32 wrap: flush stale marks
@@ -56,12 +59,12 @@ func (p *AStarPool) NewSearch(g *Graph, source VertexID, h Heuristic) *AStarSear
 		p.epoch = 1
 	}
 	p.heap.Reset()
-	s := &AStarSearch{g: g, p: p, h: h}
+	p.cur = AStarSearch{g: g, p: p, h: h}
 	p.dist[source] = 0
 	p.parent[source] = -1
 	p.mark[source] = p.epoch
 	p.heap.PushOrDecrease(source, h(source))
-	return s
+	return &p.cur
 }
 
 // Pop settles and returns the vertex with the smallest f = g + h key without

@@ -25,24 +25,45 @@ type DijkstraIterator struct {
 // NewDijkstraIterator starts an expansion at source. The source itself is the
 // first vertex returned by Next (with distance 0).
 func NewDijkstraIterator(g *Graph, source VertexID) *DijkstraIterator {
+	it := &DijkstraIterator{}
+	it.Reset(g, source)
+	return it
+}
+
+// Reset re-arms the iterator in place for a fresh expansion from source over
+// g, reusing the heap and label storage whenever the vertex count allows.
+// Query-serving paths pool iterators across queries (an iterator's arrays are
+// the dominant per-query allocation otherwise); g may differ from the graph
+// of the previous run — each epoch publishes a new *Graph over the same
+// vertex universe.
+func (it *DijkstraIterator) Reset(g *Graph, source VertexID) {
 	n := g.NumVertices()
-	it := &DijkstraIterator{
-		g:       g,
-		heap:    pqueue.NewIndexedHeap(n),
-		dist:    make([]float64, n),
-		settled: make([]bool, n),
-		parent:  make([]VertexID, n),
-		hops:    make([]int32, n),
+	if cap(it.dist) < n || it.heap == nil {
+		it.heap = pqueue.NewIndexedHeap(n)
+		it.dist = make([]float64, n)
+		it.settled = make([]bool, n)
+		it.parent = make([]VertexID, n)
+		it.hops = make([]int32, n)
+	} else {
+		it.heap.Reset()
+		it.dist = it.dist[:n]
+		it.settled = it.settled[:n]
+		it.parent = it.parent[:n]
+		it.hops = it.hops[:n]
+		clear(it.settled)
 	}
 	for i := range it.dist {
 		it.dist[i] = Infinity
 		it.parent[i] = -1
 		it.hops[i] = -1
 	}
+	it.g = g
+	it.lastKey = 0
+	it.pops = 0
+	it.done = false
 	it.dist[source] = 0
 	it.hops[source] = 0
 	it.heap.PushOrDecrease(source, 0)
-	return it
 }
 
 // Next settles the next-closest unsettled vertex and relaxes its edges.

@@ -244,6 +244,13 @@ func (s *Set) VertexVector(v graph.VertexID) []float64 {
 	return append([]float64(nil), s.vec(v)...)
 }
 
+// AppendVertexVector appends the landmark-distance vector of v to dst and
+// returns the extended slice — the allocation-free form of VertexVector for
+// pooled query scratch.
+func (s *Set) AppendVertexVector(dst []float64, v graph.VertexID) []float64 {
+	return append(dst, s.vec(v)...)
+}
+
 // LowerBound returns the tightest triangle-inequality lower bound on the
 // graph distance p(u, v) over the enabled landmarks: max_j |m_uj − m_vj|.
 // When some enabled landmark reaches exactly one of the two vertices they
@@ -308,7 +315,14 @@ func (s *Set) UpperBound(u, v graph.VertexID) float64 {
 // graph this Set was computed against.
 func (s *Set) HeuristicTo(target graph.VertexID) graph.Heuristic {
 	// Snapshot the target's landmark vector once.
-	tv := s.VertexVector(target)
+	return s.HeuristicToVector(s.VertexVector(target))
+}
+
+// HeuristicToVector is HeuristicTo for callers that already hold the target's
+// landmark vector (e.g. in pooled scratch): it avoids the per-target vector
+// allocation. tv must have been produced by VertexVector/AppendVertexVector
+// against this Set and is retained by the returned heuristic.
+func (s *Set) HeuristicToVector(tv []float64) graph.Heuristic {
 	disabled := s.disabled
 	return func(v graph.VertexID) float64 {
 		return boundVecs(s.vec(v), tv, disabled)

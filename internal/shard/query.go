@@ -11,12 +11,31 @@ import (
 	"ssrq/internal/spatial"
 )
 
+// shardOutcome records how a fan-out treated one shard; per-query outcomes
+// are accumulated locally and committed to the engine counters only when the
+// whole query succeeds, so FanoutStats never over-reports under churn (an
+// errored shard visit — e.g. a stale-CH refusal — counts as nothing).
+type shardOutcome int8
+
+const (
+	outSkipped shardOutcome = iota // not visited (home slot, or error aborted the fan-out)
+	outQueried                     // searched successfully
+	outPruned                      // skipped by the admission bound (static or live)
+	outEmpty                       // skipped as empty
+)
+
 // Query answers an SSRQ by parallel fan-out: the query user's home shard is
-// searched first (on geo-clustered data it holds most of the answer), its
-// kth score becomes the global threshold, and the remaining shards run in
-// parallel with that threshold as a seed bound — skipped entirely when their
-// best-possible combined Lemma-2 score cannot strictly beat it. A k-way
-// merge combines the per-shard lists.
+// searched first (on geo-clustered data it holds most of the answer), and the
+// remaining shards run in parallel against a *shared, live* threshold — a
+// monotonically-tightening ceiling on the global kth score that every shard's
+// search both reads on its termination checks and improves as its own interim
+// result fills (core.SharedBound). The home shard seeds it with its kth
+// score; from then on the fastest shard tightens the bound for every shard
+// still searching. Shards whose best-possible combined Lemma-2 score cannot
+// strictly beat the threshold are skipped entirely — checked once before
+// launch and re-checked at goroutine start, so a late-launching shard prunes
+// against the progress of siblings that already ran without doing any work. A
+// k-way merge combines the per-shard lists.
 //
 // Each shard executes against its own published snapshot, so a fan-out
 // observes one consistent epoch per shard (not one global epoch — the
@@ -24,8 +43,9 @@ import (
 // can be, and the merge deduplicates the one anomaly that can cause, a
 // mid-relocation user visible twice). Once the engine is quiescent (Flush),
 // results are exactly the monolithic engine's, ID tiebreaks included: the
-// seed bound abandons only strictly-worse candidates, and the merge
-// comparator is the engines' own (F, ID) order.
+// shared threshold only ever holds some shard's fully-evaluated kth score (an
+// upper bound on the merged kth), it abandons only strictly-worse candidates,
+// and the merge comparator is the engines' own (F, ID) order.
 func (se *Engine) Query(algo core.Algorithm, q graph.VertexID, prm core.Params) (*core.Result, error) {
 	if err := prm.Validate(); err != nil {
 		return nil, err
@@ -33,30 +53,28 @@ func (se *Engine) Query(algo core.Algorithm, q graph.VertexID, prm core.Params) 
 	if q < 0 || int(q) >= se.ds.NumUsers() {
 		return nil, fmt.Errorf("shard: query user %d out of range [0,%d)", q, se.ds.NumUsers())
 	}
-	se.queries.Add(1)
 	home, hsn := se.locateHome(q, true)
 	if home < 0 {
 		return nil, fmt.Errorf("shard: query user %d has no known location", q)
 	}
 	qpt := hsn.Grid().Point(q)
-	se.shardsQueried.Add(1)
-	hres, err := se.shards[home].QueryOn(hsn, algo, q, qpt, math.Inf(1), prm)
+
+	// The live global threshold. The home-shard search publishes its kth
+	// score into it as its interim result fills, so by the time the fan-out
+	// launches the bound already carries the home answer — and keeps
+	// tightening as fan-out shards admit entries.
+	sb := core.NewSharedBound(math.Inf(1))
+	hres, err := se.shards[home].QueryOn(hsn, algo, q, qpt, sb, prm)
 	if err != nil {
 		return nil, err
 	}
 	if len(se.shards) == 1 {
+		se.queries.Add(1)
+		se.shardsQueried.Add(1)
 		return hres, nil
 	}
-	se.fanouts.Add(1)
 
-	// The home shard's kth score is the global threshold for the fan-out.
-	// With fewer than k home entries there is no threshold yet: every other
-	// shard must be searched unbounded.
-	bound := math.Inf(1)
-	if len(hres.Entries) == prm.K {
-		bound = hres.Entries[prm.K-1].F
-	}
-
+	outcomes := make([]shardOutcome, len(se.shards))
 	results := make([]*core.Result, len(se.shards))
 	errs := make([]error, len(se.shards))
 	var wg sync.WaitGroup
@@ -66,28 +84,55 @@ func (se *Engine) Query(algo core.Algorithm, q graph.VertexID, prm core.Params) 
 		}
 		sn := se.shards[s].Snapshot()
 		if sn.Grid().NumLocated() == 0 {
-			se.shardsEmpty.Add(1)
+			outcomes[s] = outEmpty
 			continue
 		}
-		if lb := shardLowerBound(sn, q, qpt, prm.Alpha); lb > bound {
+		lb := shardLowerBound(sn, q, qpt, prm.Alpha)
+		if lb > sb.Load() {
 			// No user of this shard can strictly beat the current kth score,
 			// and a tie would lose only to an entry already held: skip the
 			// whole shard.
-			se.shardsPruned.Add(1)
-			se.prunedBy[s].Add(1)
+			outcomes[s] = outPruned
 			continue
 		}
-		se.shardsQueried.Add(1)
 		wg.Add(1)
-		go func(s int, sn *aggindex.Snapshot) {
+		go func(s int, sn *aggindex.Snapshot, lb float64) {
 			defer wg.Done()
-			results[s], errs[s] = se.shards[s].QueryOn(sn, algo, q, qpt, bound, prm)
-		}(s, sn)
+			// Siblings that ran while this goroutine waited to be scheduled
+			// may have tightened the threshold past this shard's best-possible
+			// score: re-check before paying for a search.
+			if lb > sb.Load() {
+				outcomes[s] = outPruned
+				return
+			}
+			r, err := se.shards[s].QueryOn(sn, algo, q, qpt, sb, prm)
+			if err != nil {
+				errs[s] = err
+				return
+			}
+			results[s], outcomes[s] = r, outQueried
+		}(s, sn, lb)
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
+		}
+	}
+
+	// Success: commit the per-shard outcomes to the engine counters.
+	se.queries.Add(1)
+	se.fanouts.Add(1)
+	se.shardsQueried.Add(1) // home
+	for s, o := range outcomes {
+		switch o {
+		case outQueried:
+			se.shardsQueried.Add(1)
+		case outPruned:
+			se.shardsPruned.Add(1)
+			se.prunedBy[s].Add(1)
+		case outEmpty:
+			se.shardsEmpty.Add(1)
 		}
 	}
 
@@ -156,14 +201,16 @@ func shardLowerBound(sn *aggindex.Snapshot, q graph.VertexID, qpt spatial.Point,
 	g := sn.Grid()
 	layout := g.Layout()
 	qvec := sn.Landmarks().VertexVector(q)
+	// One flat batched pass over the level-0 summary arrays instead of a
+	// per-cell bound call.
+	lows := sn.SocialLowerBoundsInto(0, qvec, nil)
 	best := math.Inf(1)
 	for idx := int32(0); idx < int32(layout.NumCells(0)); idx++ {
 		if g.CountAt(0, idx) == 0 {
 			continue
 		}
-		p := sn.SocialLowerBound(0, idx, qvec)
 		d := layout.CellRect(0, idx).MinDist(qpt)
-		if f := alpha*p + (1-alpha)*d; f < best {
+		if f := alpha*lows[idx] + (1-alpha)*d; f < best {
 			best = f
 		}
 	}

@@ -47,15 +47,19 @@ func (se *Engine) ShardStats() []ShardStat {
 	return out
 }
 
-// FanoutStats counts the fan-out pruning behaviour across all queries.
+// FanoutStats counts the fan-out pruning behaviour across all queries. All
+// counters commit only when a query succeeds end-to-end: a query aborted by
+// any shard error (e.g. a stale-CH refusal under churn) contributes nothing,
+// so the counters never over-report shard visits.
 type FanoutStats struct {
-	// Queries is the total query count; Fanouts how many ran on more than
-	// one shard's engine (always Queries on a multi-shard engine).
+	// Queries is the successful query count; Fanouts how many ran on more
+	// than one shard's engine (always Queries on a multi-shard engine).
 	Queries int64
 	Fanouts int64
 	// ShardsQueried / ShardsPruned / ShardsEmpty partition the per-query
-	// shard visits: searched, skipped because their best-possible Lemma-2
-	// score could not beat the running kth score, or skipped as empty.
+	// shard visits: searched successfully, skipped because their
+	// best-possible Lemma-2 score could not beat the live shared threshold
+	// (before launch or at goroutine start), or skipped as empty.
 	ShardsQueried int64
 	ShardsPruned  int64
 	ShardsEmpty   int64

@@ -37,11 +37,26 @@ func nnTie(level int16, idx int32) int64 {
 // NewNN starts an incremental nearest-neighbor search at q over this
 // snapshot.
 func (s *Snapshot) NewNN(q Point) *NNIterator {
-	it := &NNIterator{
-		s:    s,
-		q:    q,
-		heap: pqueue.NewHeap[nnItem](64),
-	}
+	it := NewNNIterator()
+	it.Reset(s, q)
+	return it
+}
+
+// NewNNIterator returns an un-armed iterator for pooling; call Reset before
+// use.
+func NewNNIterator() *NNIterator {
+	return &NNIterator{heap: pqueue.NewHeap[nnItem](64)}
+}
+
+// Reset re-arms the iterator in place for a fresh search at q over snapshot
+// s, reusing the heap and child-index storage. Query-serving paths pool
+// iterators across queries.
+func (it *NNIterator) Reset(s *Snapshot, q Point) {
+	it.s = s
+	it.q = q
+	it.heap.Reset()
+	it.userPops = 0
+	it.cellPops = 0
 	top := 0
 	for idx := int32(0); idx < int32(s.layout.NumCells(top)); idx++ {
 		if s.counts[top][idx] == 0 {
@@ -50,7 +65,6 @@ func (s *Snapshot) NewNN(q Point) *NNIterator {
 		r := s.layout.CellRect(top, idx)
 		it.heap.Push(r.MinDist(q), nnTie(int16(top), idx), nnItem{int16(top), idx})
 	}
-	return it
 }
 
 // NewNN starts an incremental nearest-neighbor search over the grid's
