@@ -13,6 +13,7 @@
 //	ssrq-bench -exp churn -mrate 500             # throttle movers to 500 moves/s each
 //	ssrq-bench -exp socialchurn -erate 0,500,5000 # latency vs edge-update rate
 //	ssrq-bench -exp shard -shards 1,4,16          # sharded fan-out latency + pruning
+//	ssrq-bench -exp shard -skew -shards 16        # skewed migration + online rebalance
 //	ssrq-bench -exp throughput -json out.json     # also emit a machine-readable report
 //
 // Experiments: table2 fig7a fig7b fig8 fig9 fig10 fig11 fig12 fig13 fig14a
@@ -95,7 +96,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		movers   = fs.String("movers", "", "comma-separated mover counts for -exp churn (default 0,1,4)")
 		mrate    = fs.Float64("mrate", 0, "moves/sec per mover for -exp churn (0 = unthrottled)")
 		erate    = fs.String("erate", "", "comma-separated edge-update rates/sec for -exp socialchurn (0 = off, negative = unthrottled; default 0,200,2000)")
-		shards   = fs.String("shards", "", "comma-separated shard counts for -exp shard (default 1,2,4,8)")
+		shards   = fs.String("shards", "", "comma-separated shard counts for -exp shard (default 1,2,4,8; 16 with -skew)")
+		skew     = fs.Bool("skew", false, "run -exp shard as the skewed-migration cell: hotspot drift + automatic online rebalance")
 		jsonPath = fs.String("json", "", "also write every measurement as a JSON report to this path (- for stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -137,6 +139,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	suite.ChurnRate = *mrate
 	suite.EdgeRates = edgeRates
 	suite.ShardCounts = shardCounts
+	suite.Skew = *skew
 	start := time.Now()
 	if err := suite.Run(*expID, *withCH); err != nil {
 		fmt.Fprintln(stderr, "ssrq-bench:", err)

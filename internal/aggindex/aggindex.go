@@ -21,31 +21,22 @@
 // array duplication and the propagateUp recomputation across all moves of
 // the batch before a single Publish installs the next epoch.
 //
-// With NewSocial the index additionally owns the *social* dimension of the
-// world: the mutable edge overlay over the friendship graph and the dynamic
-// landmark tables. Edge ops flow through the same Apply batches as location
-// ops, and every published Snapshot carries the social graph, the landmark
-// set and the summaries of one consistent epoch — queries can never pair a
-// mutated graph with landmark tables or cell summaries computed on another
-// graph version. Landmark tables are repaired incrementally per edge op
-// (bounded re-relaxation, see landmark.Dynamic); a landmark whose repair
-// blows the budget is disabled (excluded from all bounds, which only
-// loosens pruning) and restored by an asynchronous full rebuild.
-//
-// When configured with a contraction hierarchy (Config.CH), the index owns
-// its churn survival too: every Snapshot publishes the hierarchy tagged with
-// the social epoch it was built at, decrease-only edge batches repair it in
-// place (ch.Dynamic.Repair), and stale hierarchies are rebuilt by a
-// background loop mirroring the landmark one. Both background loops escalate
-// to a rate-limited install-under-writer-lock after 8 consecutive lost
-// install races, so neither pruning degradation nor *-CH refusal can persist
-// unboundedly under sustained churn.
+// The social dimension — the mutable edge overlay, the dynamic landmark
+// tables and the epoch-tagged contraction hierarchy — lives in a Social
+// substrate (see substrate.go) that an Index *consumes* rather than owns.
+// NewSocial builds a private substrate for the monolithic case; NewShared
+// attaches to an existing one, so a sharded deployment runs S spatial
+// indexes over ONE social world: every edge op is applied once, and the
+// substrate synchronously pushes each new social epoch into every consumer,
+// which re-derives exactly the cell summaries the op invalidated and
+// republishes. Every published Snapshot therefore still pairs grid
+// membership, graph, landmark tables and summaries of one consistent
+// version — the Lemma-2 epoch-coordination invariant survives sharing.
 package aggindex
 
 import (
 	"fmt"
 	"math"
-	"math/bits"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -92,7 +83,7 @@ type Snapshot struct {
 	g           *spatial.Snapshot
 	soc         *graph.Graph  // nil for indexes built without a social graph
 	lm          *landmark.Set // landmark epoch the summaries were computed on
-	hier        *ch.CH        // nil when the index owns no hierarchy
+	hier        *ch.CH        // nil when the substrate owns no hierarchy
 	hierEpoch   uint64        // social epoch hier was built at
 	minSum      [][]float64   // [level][cell*m + j]
 	maxSum      [][]float64
@@ -107,7 +98,7 @@ type Snapshot struct {
 func (s *Snapshot) Grid() *spatial.Snapshot { return s.g }
 
 // SocialGraph returns this epoch's social graph (nil when the index was
-// built with New rather than NewSocial).
+// built with New rather than NewSocial/NewShared).
 func (s *Snapshot) SocialGraph() *graph.Graph { return s.soc }
 
 // Landmarks returns this epoch's landmark set — the tables every summary in
@@ -126,9 +117,9 @@ func (s *Snapshot) SocialEpoch() uint64 { return s.socialEpoch }
 func (s *Snapshot) PublishedAt() time.Time { return s.publishedAt }
 
 // Hierarchy returns the contraction hierarchy published with this epoch
-// (nil when the index owns none). It answers exact distances only for the
-// graph of HierarchyEpoch — callers must check HierarchyFresh before serving
-// CH-backed queries from it.
+// (nil when the substrate owns none). It answers exact distances only for
+// the graph of HierarchyEpoch — callers must check HierarchyFresh before
+// serving CH-backed queries from it.
 func (s *Snapshot) Hierarchy() *ch.CH { return s.hier }
 
 // HierarchyEpoch returns the social epoch the published hierarchy was built
@@ -221,26 +212,33 @@ func lemma2(mins, maxs []float64, base, m int, disabled uint64, qvec []float64) 
 	return best
 }
 
-// Index is the AIS aggregate index. Readers call Snapshot() and work
-// lock-free against the returned epoch. Mutations (Apply, or the Move/
-// SetLocated/RemoveLocation single-op conveniences) serialize on an internal
-// writer mutex, build the next epoch copy-on-write, and publish grid,
-// social state and summaries atomically as one Snapshot; they never block
-// readers.
+// Index is the AIS aggregate index over one grid. Readers call Snapshot()
+// and work lock-free against the returned epoch. Location mutations
+// serialize on the index's writer mutex, build the next epoch copy-on-write,
+// and publish grid, social state and summaries atomically as one Snapshot;
+// they never block readers. Edge mutations are forwarded to the Social
+// substrate, which applies them once and synchronously syncs every attached
+// index (this one included) to the new social epoch.
 type Index struct {
 	grid *spatial.Grid
-	lm   *landmark.Set // construction-time set; live tables come from dyn
-	m    int
+	lm   *landmark.Set // construction-time set; live tables come from social
 
-	// Social dimension (nil for static indexes built with New): the mutable
-	// edge overlay and the dynamic landmark maintenance layer. g0 is the
-	// construction graph, published as-is when the overlay is absent.
-	ov  *graph.Overlay
-	dyn *landmark.Dynamic
-	g0  *graph.Graph
+	m int
+
+	// Social substrate this index consumes (nil for static indexes built
+	// with New). ownsSub marks the NewSocial case, where Close must tear the
+	// private substrate down too; NewShared consumers never close it.
+	sub     *Social
+	ownsSub bool
 
 	mu        sync.Mutex // writer side: guards everything below and grid mutation
 	published atomic.Pointer[Snapshot]
+
+	// social caches the substrate epoch this index's summaries are currently
+	// computed against. It moves only inside socialSync — i.e. under both
+	// the substrate's writer lock and mu — so summaries and social state can
+	// never be paired across epochs.
+	social *SocialSnapshot
 
 	// Working summaries for the epoch under construction. A level whose
 	// sumStamp differs from epoch is still shared with the published
@@ -249,56 +247,22 @@ type Index struct {
 	maxSum   [][]float64
 	sumStamp []uint64
 	epoch    uint64
-
-	socialEpoch uint64 // bumped per batch containing effective edge ops
-	compactAt   int    // overlay delta size that triggers compaction
-
-	// Edge-op counters (writer-side; exposed via SocialStats).
-	edgeAdds, edgeRemoves, edgeReweights, edgeNoops int64
-
-	// Asynchronous landmark rebuild: at most one loop at a time, re-kicked
-	// by Apply while any landmark stays disabled. rebuildPending records a
-	// kick that arrived while a loop was already running, so the loop takes
-	// another lap instead of stranding a freshly disabled landmark.
-	rebuildActive  atomic.Bool
-	rebuildPending atomic.Bool
-
-	// Contraction-hierarchy maintenance (nil chDyn = no hierarchy): the same
-	// kick/loop/pending protocol as the landmark rebuild, plus the in-place
-	// repair attempted inside Apply for decrease-only batches.
-	chDyn            *ch.Dynamic
-	chRebuildActive  atomic.Bool
-	chRebuildPending atomic.Bool
-
-	// Forced-install fallback state: when an async rebuild loses the install
-	// race 8 times in a row, the loop installs under the writer lock instead
-	// of giving up — at most once per forcedEvery per structure, so sustained
-	// churn bounds the degraded window deterministically instead of starving
-	// the rebuild forever. Timestamps and counters are mu-guarded.
-	forcedEvery      time.Duration
-	lmLastForced     time.Time
-	chLastForced     time.Time
-	lmForcedInstalls int64
-	chForcedInstalls int64
-
-	// Background-goroutine lifecycle: closed stops new rebuild loops and
-	// aborts running ones at their next cancellation point; bg tracks them so
-	// Close can wait. bg.Add happens under mu to serialize against Close.
-	closed atomic.Bool
-	bg     sync.WaitGroup
-
-	// testBeforeInstall, when non-nil, runs in the rebuild loops after the
-	// lock-free recompute and before the install takes the writer lock —
-	// tests set it (before any Apply, so no concurrent reader exists) to
-	// deterministically make an install attempt lose the epoch race.
-	testBeforeInstall func()
+	// sumsTouched records whether any summary level was written since the
+	// last publish; when false the next snapshot can alias the previous
+	// one's (immutable) outer arrays instead of re-copying them — the common
+	// case for a consumer syncing a social epoch none of whose dirty
+	// vertices live in its grid.
+	sumsTouched bool
 
 	// dirtyLeaves collects leaves whose summaries changed during the current
 	// batch; upward propagation runs once over them before Publish.
 	dirtyLeaves map[int32]struct{}
+	// syncSeen is socialSync's reusable leaf-dedup scratch.
+	syncSeen map[int32]struct{}
 }
 
-// Config tunes the social dimension of NewSocial.
+// Config tunes the social substrate built by NewSocial (or handed to
+// NewSocialSubstrate directly).
 type Config struct {
 	// RepairBudget caps per-landmark per-op incremental repair work before
 	// the landmark is disabled and rebuilt asynchronously (default 256).
@@ -307,11 +271,12 @@ type Config struct {
 	// triggers folding the delta back into a pure CSR (default
 	// max(1024, n/8)).
 	CompactThreshold int
-	// CH hands the index ownership of an epoch-tagged contraction hierarchy
-	// (built by the caller against the construction graph, social epoch 0).
-	// Apply then repairs it in place for decrease-only edge batches, stale
-	// hierarchies are rebuilt asynchronously beside the landmark loop, and
-	// every Snapshot publishes the hierarchy tagged with its build epoch.
+	// CH hands the substrate ownership of an epoch-tagged contraction
+	// hierarchy (built by the caller against the construction graph, social
+	// epoch 0). ApplyEdges then repairs it in place for decrease-only edge
+	// batches, stale hierarchies are rebuilt asynchronously beside the
+	// landmark loop, and every Snapshot publishes the hierarchy tagged with
+	// its build epoch.
 	CH *ch.Dynamic
 	// ForcedInstallInterval rate-limits the install-under-writer-lock
 	// fallback that bounds rebuild starvation: at most one forced landmark
@@ -325,21 +290,45 @@ type Config struct {
 // The grid must not be mutated behind the index's back afterwards: the index
 // becomes the grid's single writer.
 func New(grid *spatial.Grid, lm *landmark.Set) (*Index, error) {
-	return build(grid, lm, nil, Config{})
+	if lm == nil {
+		return nil, fmt.Errorf("aggindex: nil grid or landmark set")
+	}
+	return build(grid, lm, nil, false)
 }
 
-// NewSocial builds the full dynamic index: grid, social graph g and landmark
-// tables all mutable through Apply, published together per epoch. When the
-// landmark count exceeds what dynamic maintenance supports (64), the index
-// still builds but rejects edge ops (SupportsEdgeChurn reports false).
+// NewSocial builds the full dynamic index with a private social substrate:
+// grid, social graph g and landmark tables all mutable through Apply,
+// published together per epoch. When the landmark count exceeds what dynamic
+// maintenance supports (64), the index still builds but rejects edge ops
+// (SupportsEdgeChurn reports false).
 func NewSocial(grid *spatial.Grid, lm *landmark.Set, g *graph.Graph, cfg Config) (*Index, error) {
 	if g == nil {
 		return nil, fmt.Errorf("aggindex: nil social graph")
 	}
-	return build(grid, lm, g, cfg)
+	if lm == nil {
+		return nil, fmt.Errorf("aggindex: nil grid or landmark set")
+	}
+	sub, err := NewSocialSubstrate(lm, g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return build(grid, lm, sub, true)
 }
 
-func build(grid *spatial.Grid, lm *landmark.Set, g *graph.Graph, cfg Config) (*Index, error) {
+// NewShared builds an aggregate index that consumes an existing shared
+// social substrate: the index owns only its grid and summaries, while graph,
+// landmark tables and hierarchy come from (and are maintained by) sub. Any
+// number of indexes may share one substrate — the sharded engine attaches S
+// of them, so the social dimension is stored and maintained once instead of
+// S times. Closing a shared index never closes the substrate.
+func NewShared(grid *spatial.Grid, sub *Social) (*Index, error) {
+	if sub == nil {
+		return nil, fmt.Errorf("aggindex: nil social substrate")
+	}
+	return build(grid, sub.Landmarks(), sub, false)
+}
+
+func build(grid *spatial.Grid, lm *landmark.Set, sub *Social, ownsSub bool) (*Index, error) {
 	if grid == nil || lm == nil {
 		return nil, fmt.Errorf("aggindex: nil grid or landmark set")
 	}
@@ -347,29 +336,9 @@ func build(grid *spatial.Grid, lm *landmark.Set, g *graph.Graph, cfg Config) (*I
 		grid:        grid,
 		lm:          lm,
 		m:           lm.M(),
-		chDyn:       cfg.CH,
-		forcedEvery: cfg.ForcedInstallInterval,
+		sub:         sub,
+		ownsSub:     ownsSub,
 		dirtyLeaves: make(map[int32]struct{}),
-	}
-	if ix.forcedEvery == 0 {
-		ix.forcedEvery = 2 * time.Second
-	}
-	if g != nil {
-		ix.g0 = g
-		ix.ov = graph.NewOverlay(g)
-		dyn, err := landmark.NewDynamic(lm, cfg.RepairBudget)
-		if err == nil {
-			ix.dyn = dyn
-		} else {
-			// Too many landmarks for dynamic maintenance: fall back to a
-			// static social graph (queries still see it in snapshots, but
-			// edge ops are rejected upstream via SupportsEdgeChurn).
-			ix.ov = nil
-		}
-		ix.compactAt = cfg.CompactThreshold
-		if ix.compactAt <= 0 {
-			ix.compactAt = max(1024, g.NumVertices()/8)
-		}
 	}
 	layout := grid.Layout()
 	ix.sumStamp = make([]uint64, layout.Levels)
@@ -384,8 +353,29 @@ func build(grid *spatial.Grid, lm *landmark.Set, g *graph.Graph, cfg Config) (*I
 		ix.minSum = append(ix.minSum, mins)
 		ix.maxSum = append(ix.maxSum, maxs)
 	}
-	// Leaf summaries from members, then parents from children. Construction
-	// runs at epoch 0 with all stamps already 0, so writes go in place.
+	if sub == nil {
+		ix.buildSummaries()
+		ix.publishLocked()
+		return ix, nil
+	}
+	// Attach under the substrate's writer lock: the summaries are computed
+	// against the substrate's current epoch and registration is atomic with
+	// that, so no edge batch can slip between the sweep and the first
+	// notification this consumer receives.
+	sub.mu.Lock()
+	ix.social = sub.published.Load()
+	ix.buildSummaries()
+	ix.publishLocked()
+	sub.attach(ix)
+	sub.mu.Unlock()
+	return ix, nil
+}
+
+// buildSummaries computes leaf summaries from members, then parents from
+// children. Construction runs at epoch 0 with all stamps already 0, so
+// writes go in place.
+func (ix *Index) buildSummaries() {
+	layout := ix.grid.Layout()
 	leafLevel := layout.LeafLevel()
 	for idx := int32(0); idx < int32(layout.NumCells(leafLevel)); idx++ {
 		ix.recomputeLeaf(idx)
@@ -395,8 +385,6 @@ func build(grid *spatial.Grid, lm *landmark.Set, g *graph.Graph, cfg Config) (*I
 			ix.recomputeFromChildren(l, idx)
 		}
 	}
-	ix.publishLocked()
-	return ix, nil
 }
 
 // Snapshot returns the most recently published epoch; immutable and safe
@@ -406,23 +394,27 @@ func (ix *Index) Snapshot() *Snapshot { return ix.published.Load() }
 // Grid returns the underlying spatial grid (writer-side handle).
 func (ix *Index) Grid() *spatial.Grid { return ix.grid }
 
+// Substrate returns the social substrate this index consumes (nil for
+// static indexes).
+func (ix *Index) Substrate() *Social { return ix.sub }
+
 // Landmarks returns the landmark set the summaries are built on
 // (writer-side view; concurrent readers should use Snapshot().Landmarks).
 func (ix *Index) Landmarks() *landmark.Set { return ix.lmView() }
 
 // lmView returns the landmark tables the writer must compute against right
-// now: the dynamic working/committed set when maintenance is on, else the
-// static construction set.
+// now: the cached social epoch's committed set when a substrate is attached,
+// else the static construction set.
 func (ix *Index) lmView() *landmark.Set {
-	if ix.dyn != nil {
-		return ix.dyn.View()
+	if ix.social != nil {
+		return ix.social.lm
 	}
 	return ix.lm
 }
 
 // SupportsEdgeChurn reports whether the index can ingest edge ops (built
-// with NewSocial and a landmark count the dynamic layer supports).
-func (ix *Index) SupportsEdgeChurn() bool { return ix.ov != nil && ix.dyn != nil }
+// over a substrate whose landmark count the dynamic layer supports).
+func (ix *Index) SupportsEdgeChurn() bool { return ix.sub != nil && ix.sub.SupportsEdgeChurn() }
 
 // Layout returns the grid geometry.
 func (ix *Index) Layout() *spatial.Layout { return ix.grid.Layout() }
@@ -448,6 +440,7 @@ func (ix *Index) SocialLowerBound(level int, idx int32, qvec []float64) float64 
 // writableSums duplicates one level's summary arrays on first write per
 // epoch, so the published snapshot keeps its own copies.
 func (ix *Index) writableSums(level int) (mins, maxs []float64) {
+	ix.sumsTouched = true
 	if ix.sumStamp[level] != ix.epoch {
 		ix.minSum[level] = append([]float64(nil), ix.minSum[level]...)
 		ix.maxSum[level] = append([]float64(nil), ix.maxSum[level]...)
@@ -458,163 +451,132 @@ func (ix *Index) writableSums(level int) (mins, maxs []float64) {
 
 // publishLocked installs the working state as the next epoch. Caller holds
 // mu (or is the constructor).
-func (ix *Index) publishLocked() {
+func (ix *Index) publishLocked() { ix.publishLockedAt(time.Now()) }
+
+// publishLockedAt is publishLocked with the timestamp hoisted out: the
+// substrate stamps one time.Now() per edge op and hands it to every
+// consumer's sync, keeping the per-consumer publish cost flat in S.
+func (ix *Index) publishLockedAt(now time.Time) {
 	s := &Snapshot{
 		g:           ix.grid.Publish(),
-		soc:         ix.g0,
-		minSum:      append([][]float64(nil), ix.minSum...),
-		maxSum:      append([][]float64(nil), ix.maxSum...),
 		m:           ix.m,
 		epoch:       ix.epoch,
-		socialEpoch: ix.socialEpoch,
-		publishedAt: time.Now(),
+		publishedAt: now,
 	}
-	if ix.ov != nil {
-		s.soc = ix.ov.Freeze()
+	if prev := ix.published.Load(); prev != nil && !ix.sumsTouched {
+		// No summary write since the last publish: the previous snapshot's
+		// outer arrays still describe exactly the current rows, and both are
+		// immutable, so alias them instead of copying.
+		s.minSum, s.maxSum = prev.minSum, prev.maxSum
+	} else {
+		s.minSum = append([][]float64(nil), ix.minSum...)
+		s.maxSum = append([][]float64(nil), ix.maxSum...)
 	}
-	if ix.dyn != nil {
-		s.lm = ix.dyn.Commit()
+	ix.sumsTouched = false
+	if soc := ix.social; soc != nil {
+		s.soc = soc.g
+		s.lm = soc.lm
+		s.hier = soc.hier
+		s.hierEpoch = soc.hierEpoch
+		s.socialEpoch = soc.epoch
 	} else {
 		s.lm = ix.lm
-	}
-	if ix.chDyn != nil {
-		s.hier, s.hierEpoch = ix.chDyn.Current()
 	}
 	s.disabledLm = s.lm.DisabledMask()
 	ix.published.Store(s)
 	ix.epoch++
 }
 
-// Apply executes a batch of world updates as one epoch: every op mutates
-// the working copy (grid membership and coordinates for location ops; edge
-// overlay, landmark tables and leaf-level summaries for edge ops), upward
-// summary propagation runs once over the leaves the batch touched, and a
-// single Publish makes the whole batch visible atomically. Safe concurrently
-// with readers; concurrent Apply calls serialize. Edge ops on an index
-// without edge-churn support are silently skipped (callers gate on
+// socialSync is the substrate's notification callback: cache the new social
+// epoch, re-derive the summaries it invalidated in this index's grid, and
+// republish — all under mu, while the caller still holds the substrate
+// writer lock, so the published Snapshot pairs the new graph and tables with
+// summaries recomputed against exactly them. dirty lists vertices whose
+// landmark distances changed; allLeaves forces a full sweep (whole-table
+// installs); neither means a CH-only change, which only needs republishing.
+func (ix *Index) socialSync(sn *SocialSnapshot, dirty []graph.VertexID, allLeaves bool, now time.Time) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.social = sn
+	switch {
+	case allLeaves:
+		ix.recomputeAllLeavesLocked()
+	case len(dirty) > 0:
+		// The vertex list is heavily duplicated (one entry per landmark
+		// repair per op) and most vertices live in other consumers' grids,
+		// so dedupe to this grid's unique leaves and recompute each once.
+		if ix.syncSeen == nil {
+			ix.syncSeen = make(map[int32]struct{}, len(dirty))
+		}
+		for _, v := range dirty {
+			leaf := ix.grid.LeafOf(v)
+			if leaf < 0 {
+				continue
+			}
+			if _, done := ix.syncSeen[leaf]; done {
+				continue
+			}
+			ix.syncSeen[leaf] = struct{}{}
+			if ix.recomputeLeaf(leaf) {
+				ix.dirtyLeaves[leaf] = struct{}{}
+			}
+		}
+		clear(ix.syncSeen)
+	}
+	ix.propagateDirty()
+	ix.publishLockedAt(now)
+}
+
+// Apply executes a batch of world updates: location ops mutate this index's
+// grid membership and summaries and publish as one epoch; edge ops are
+// forwarded to the social substrate, which applies them once and syncs every
+// consumer (this index included) to the resulting social epoch. Safe
+// concurrently with readers; concurrent Apply calls serialize. Edge ops on
+// an index without edge-churn support are silently skipped (callers gate on
 // SupportsEdgeChurn).
 func (ix *Index) Apply(ops []Op) {
 	if len(ops) == 0 {
 		return
 	}
-	ix.mu.Lock()
-	var dirtyVerts []graph.VertexID
-	var chChanges []ch.EdgeChange
-	edgeOps := false
+	// Split edge ops from location ops, preserving relative order within
+	// each kind. Homogeneous batches — the overwhelmingly common case on the
+	// hot update path — pass through without allocating.
+	nEdge := 0
 	for _, op := range ops {
-		switch op.Kind {
-		case OpLocation:
-			ix.applyOne(op)
-		case OpEdgeUpsert, OpEdgeRemove:
-			if !ix.SupportsEdgeChurn() {
-				continue
-			}
-			var change ch.EdgeChange
-			var changed bool
-			dirtyVerts, change, changed = ix.applyEdge(op, dirtyVerts)
-			if changed && ix.chDyn != nil {
-				chChanges = append(chChanges, change)
-			}
-			edgeOps = edgeOps || changed
+		if op.Kind != OpLocation {
+			nEdge++
 		}
 	}
-	if edgeOps {
-		prevSocial := ix.socialEpoch
-		ix.socialEpoch++
-		if ix.chDyn != nil {
-			// In-place hierarchy repair: only worth attempting when the
-			// hierarchy was current before this batch (a lagging one misses
-			// intermediate changes and is already on the rebuild path), and
-			// only possible for decrease-only batches within the cone budget
-			// — Repair itself enforces both and reports failure otherwise.
-			if _, built := ix.chDyn.Current(); built == prevSocial {
-				ix.chDyn.Repair(ix.ov.Working(), chChanges, ix.socialEpoch)
+	edges, locs := ops, ops
+	switch {
+	case nEdge == 0:
+		edges = nil
+	case nEdge == len(ops):
+		locs = nil
+	default:
+		edges = make([]Op, 0, nEdge)
+		locs = make([]Op, 0, len(ops)-nEdge)
+		for _, op := range ops {
+			if op.Kind == OpLocation {
+				locs = append(locs, op)
+			} else {
+				edges = append(edges, op)
 			}
 		}
-		// Landmark-table entries changed for dirtyVerts: the summaries of
-		// their cells were computed from the old distances and must be
-		// re-derived before this epoch pairs them with the new tables. The
-		// vertex list is heavily duplicated (one entry per landmark repair
-		// per op), so dedupe to unique leaves and recompute each once, after
-		// all of the batch's table updates have landed.
-		seen := make(map[int32]struct{}, len(dirtyVerts))
-		for _, v := range dirtyVerts {
-			leaf := ix.grid.LeafOf(v)
-			if leaf < 0 {
-				continue
-			}
-			if _, done := seen[leaf]; done {
-				continue
-			}
-			seen[leaf] = struct{}{}
-			if ix.recomputeLeaf(leaf) {
-				ix.dirtyLeaves[leaf] = struct{}{}
-			}
-		}
-		if ix.ov.PatchedCount() >= ix.compactAt {
-			ix.ov.Compact()
-		}
+	}
+	if len(edges) > 0 && ix.sub != nil {
+		ix.sub.ApplyEdges(edges)
+	}
+	if len(locs) == 0 {
+		return
+	}
+	ix.mu.Lock()
+	for _, op := range locs {
+		ix.applyOne(op)
 	}
 	ix.propagateDirty()
 	ix.publishLocked()
-	disabled := false
-	if ix.dyn != nil {
-		disabled = ix.dyn.View().NumDisabled() > 0
-	}
-	chStale := false
-	if ix.chDyn != nil {
-		_, built := ix.chDyn.Current()
-		chStale = built != ix.socialEpoch
-	}
 	ix.mu.Unlock()
-	if disabled {
-		ix.kickRebuild()
-	}
-	if chStale {
-		ix.kickCHRebuild()
-	}
-}
-
-// applyEdge performs one edge op on the overlay and repairs the landmark
-// tables, accumulating the vertices whose landmark distances changed.
-// Reports the effective change (for hierarchy repair) and whether the op
-// actually changed the graph.
-func (ix *Index) applyEdge(op Op, dirty []graph.VertexID) ([]graph.VertexID, ch.EdgeChange, bool) {
-	u, v := op.U, op.V
-	oldW, had := ix.ov.EdgeWeight(u, v)
-	change := ch.EdgeChange{U: u, V: v, OldW: oldW, HadOld: had}
-	switch op.Kind {
-	case OpEdgeUpsert:
-		change.NewW, change.HasNew = op.W, true
-		if had && oldW == op.W {
-			ix.edgeNoops++
-			return dirty, change, false
-		}
-		if _, err := ix.ov.SetEdge(u, v, op.W); err != nil {
-			// Malformed ops are rejected upstream; a failure here means a
-			// caller bypassed validation — count and skip.
-			ix.edgeNoops++
-			return dirty, change, false
-		}
-		if had {
-			ix.edgeReweights++
-		} else {
-			ix.edgeAdds++
-		}
-		return append(dirty, ix.dyn.EdgeChanged(ix.ov.Working(), u, v, oldW, had, op.W, true)...), change, true
-	case OpEdgeRemove:
-		if !had {
-			ix.edgeNoops++
-			return dirty, change, false
-		}
-		if _, err := ix.ov.RemoveEdge(u, v); err != nil {
-			ix.edgeNoops++
-			return dirty, change, false
-		}
-		ix.edgeRemoves++
-		return append(dirty, ix.dyn.EdgeChanged(ix.ov.Working(), u, v, oldW, true, 0, false)...), change, true
-	}
-	return dirty, change, false
 }
 
 // applyOne performs one op's membership change and leaf-level summary
@@ -782,283 +744,33 @@ func (ix *Index) onInsert(leaf int32, id int32) {
 	}
 }
 
-// kickRebuild starts the asynchronous landmark rebuild loop, or records the
-// kick for the running loop to pick up before it exits.
-func (ix *Index) kickRebuild() {
-	if ix.dyn == nil {
-		return
-	}
-	if !ix.rebuildActive.CompareAndSwap(false, true) {
-		ix.rebuildPending.Store(true)
-		return
-	}
-	if !ix.spawn(ix.rebuildLoop) {
-		ix.rebuildActive.Store(false)
-	}
-}
-
-// spawn launches fn on a Close-tracked goroutine. The bg.Add runs under mu so
-// it cannot race a concurrent Close's Wait; after Close it refuses (false).
-func (ix *Index) spawn(fn func()) bool {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	if ix.closed.Load() {
-		return false
-	}
-	ix.bg.Add(1)
-	go func() {
-		defer ix.bg.Done()
-		fn()
-	}()
-	return true
-}
-
-// Close stops the index's background maintenance: no further rebuild
-// goroutines start, in-flight ones abort at their next cancellation point
-// (between install attempts, or mid-contraction for CH builds), and Close
-// returns only after every one has exited. Queries and synchronous mutation
-// remain valid after Close; stale structures then stay stale until an
-// explicit RebuildDisabledLandmarks/RebuildCH. Idempotent.
+// Close stops the background maintenance of a privately-owned substrate
+// (NewSocial). Indexes attached to a shared substrate (NewShared) never
+// close it — the substrate's owner does. Idempotent.
 func (ix *Index) Close() {
-	ix.mu.Lock()
-	ix.closed.Store(true)
-	ix.mu.Unlock()
-	ix.bg.Wait()
-}
-
-// rebuildLoop restores disabled landmarks one at a time: it computes a fresh
-// distance table against the published snapshot's graph *without holding the
-// writer lock* (a full Dijkstra — the expensive part), then briefly takes the
-// lock to install it, provided no edge batch landed in between (the table
-// would describe a stale graph). Under sustained churn the optimistic path
-// can lose that race indefinitely; the 8th consecutive stale attempt
-// therefore falls back to a forced install — recomputing the disabled tables
-// *under the writer lock*, where the epoch cannot move — rate-limited to one
-// event per ForcedInstallInterval, so the disabled-landmark window is
-// deterministically bounded by 8 recompute laps plus the interval. Disabled
-// landmarks merely loosen bounds in the meantime — they never make them
-// wrong.
-func (ix *Index) rebuildLoop() {
-	for {
-		for attempts := 0; attempts < 8; {
-			if ix.closed.Load() {
-				ix.rebuildActive.Store(false)
-				return
-			}
-			sn := ix.Snapshot()
-			mask := sn.Landmarks().DisabledMask()
-			if mask == 0 {
-				break
-			}
-			j := bits.TrailingZeros64(mask)
-			table := sn.SocialGraph().DistancesFrom(sn.Landmarks().Vertices()[j])
-			if ix.testBeforeInstall != nil {
-				ix.testBeforeInstall()
-			}
-			ix.mu.Lock()
-			if ix.socialEpoch == sn.SocialEpoch() {
-				ix.dyn.InstallTable(j, table)
-				ix.recomputeAllLeavesLocked()
-				ix.propagateDirty()
-				ix.publishLocked()
-				attempts = 0
-			} else {
-				attempts++
-				if attempts >= 8 {
-					ix.forceInstallLandmarksLocked()
-				}
-			}
-			ix.mu.Unlock()
-		}
-		ix.rebuildActive.Store(false)
-		// Close the lost-wakeup window: a kick that arrived while we were
-		// flagged active would otherwise be dropped, stranding a freshly
-		// disabled landmark if churn stops here. A missed kick implies a new
-		// published batch, so a fresh lap sees a new epoch and can make
-		// progress; without one, exit and let the next Apply kick anew.
-		if !ix.rebuildPending.Swap(false) {
-			return
-		}
-		if ix.Snapshot().Landmarks().DisabledMask() == 0 ||
-			!ix.rebuildActive.CompareAndSwap(false, true) {
-			return
-		}
+	if ix.ownsSub && ix.sub != nil {
+		ix.sub.Close()
 	}
 }
 
-// forceInstallLandmarksLocked recomputes every disabled landmark table on the
-// working graph and installs it, all under the writer lock the caller already
-// holds — writers are stalled for the duration (one Dijkstra per disabled
-// landmark plus a summary sweep), which is exactly the trade: a bounded write
-// stall instead of an unbounded pruning-degradation window. Rate-limited to
-// one event per forcedEvery; skipped events leave the old give-up behavior
-// (the next Apply re-kicks the optimistic loop).
-func (ix *Index) forceInstallLandmarksLocked() {
-	if ix.forcedEvery < 0 || time.Since(ix.lmLastForced) < ix.forcedEvery {
-		return
-	}
-	mask := ix.dyn.View().DisabledMask()
-	if mask == 0 {
-		return
-	}
-	g := ix.ov.Working()
-	for mask != 0 {
-		j := bits.TrailingZeros64(mask)
-		ix.dyn.InstallTable(j, g.DistancesFrom(ix.dyn.View().Vertices()[j]))
-		ix.lmForcedInstalls++
-		mask &^= 1 << uint(j)
-	}
-	ix.recomputeAllLeavesLocked()
-	ix.propagateDirty()
-	ix.publishLocked()
-	ix.lmLastForced = time.Now()
-}
-
-// kickCHRebuild starts the asynchronous hierarchy rebuild loop, or records
-// the kick for the running loop (same protocol as the landmark rebuild).
-func (ix *Index) kickCHRebuild() {
-	if ix.chDyn == nil {
-		return
-	}
-	if !ix.chRebuildActive.CompareAndSwap(false, true) {
-		ix.chRebuildPending.Store(true)
-		return
-	}
-	if !ix.spawn(ix.chRebuildLoop) {
-		ix.chRebuildActive.Store(false)
-	}
-}
-
-// chRebuildLoop restores hierarchy freshness: it contracts the published
-// snapshot's graph from scratch without holding the writer lock, then briefly
-// takes the lock to install, provided the social epoch still matches the
-// graph the build ran on. Like the landmark loop, the 8th consecutive stale
-// attempt escalates to a rate-limited forced install under the writer lock
-// (the build then runs with writers stalled, so it cannot lose the race),
-// bounding how long the *-CH variants stay refused under sustained churn.
-func (ix *Index) chRebuildLoop() {
-	stop := func() bool { return ix.closed.Load() }
-	for {
-		for attempts := 0; attempts < 8; {
-			if ix.closed.Load() {
-				ix.chRebuildActive.Store(false)
-				return
-			}
-			sn := ix.Snapshot()
-			if sn.HierarchyFresh() {
-				break
-			}
-			target := sn.SocialEpoch()
-			h, err := ix.chDyn.BuildFresh(sn.SocialGraph(), stop)
-			if err != nil { // interrupted: index shutting down
-				ix.chRebuildActive.Store(false)
-				return
-			}
-			if ix.testBeforeInstall != nil {
-				ix.testBeforeInstall()
-			}
-			ix.mu.Lock()
-			if ix.socialEpoch == target {
-				ix.chDyn.Install(h, target)
-				ix.publishLocked()
-				attempts = 0
-			} else {
-				attempts++
-				if attempts >= 8 {
-					ix.forceInstallCHLocked()
-				}
-			}
-			ix.mu.Unlock()
-		}
-		ix.chRebuildActive.Store(false)
-		if !ix.chRebuildPending.Swap(false) {
-			return
-		}
-		if ix.Snapshot().HierarchyFresh() ||
-			!ix.chRebuildActive.CompareAndSwap(false, true) {
-			return
-		}
-	}
-}
-
-// forceInstallCHLocked contracts the current working graph under the writer
-// lock the caller already holds and installs the result at the current social
-// epoch. Writers stall for one full build — the rate limiter (one event per
-// forcedEvery) keeps that bounded-frequency, and shutdown interrupts the
-// build mid-contraction.
-func (ix *Index) forceInstallCHLocked() {
-	if ix.forcedEvery < 0 || time.Since(ix.chLastForced) < ix.forcedEvery {
-		return
-	}
-	if _, built := ix.chDyn.Current(); built == ix.socialEpoch || ix.ov == nil {
-		return
-	}
-	h, err := ix.chDyn.BuildFresh(ix.ov.Freeze(), func() bool { return ix.closed.Load() })
-	if err != nil {
-		return
-	}
-	ix.chDyn.Install(h, ix.socialEpoch)
-	ix.publishLocked()
-	ix.chForcedInstalls++
-	ix.chLastForced = time.Now()
-}
-
-// RebuildCH synchronously re-contracts the current working graph and installs
-// the fresh hierarchy as one published epoch, making the *-CH variants serve
-// again immediately (the background loop normally handles this; the
-// synchronous form gives tests and operators a determinism knob, like
-// RebuildDisabledLandmarks). It blocks concurrent writers for one full build
-// but never blocks readers. Reports whether a rebuild was needed and ran.
+// RebuildCH synchronously re-contracts the current social graph through the
+// substrate; see Social.RebuildCH. False when the index has no substrate or
+// hierarchy.
 func (ix *Index) RebuildCH() bool {
-	if ix.chDyn == nil {
+	if ix.sub == nil {
 		return false
 	}
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	if _, built := ix.chDyn.Current(); built == ix.socialEpoch {
-		return false
-	}
-	g := ix.g0
-	if ix.ov != nil {
-		g = ix.ov.Freeze()
-	}
-	h, err := ix.chDyn.BuildFresh(g, nil)
-	if err != nil {
-		return false
-	}
-	ix.chDyn.Install(h, ix.socialEpoch)
-	ix.publishLocked()
-	return true
+	return ix.sub.RebuildCH()
 }
 
-// RebuildDisabledLandmarks synchronously recomputes every disabled landmark
-// against the current working graph and publishes the result as one epoch.
-// It blocks concurrent writers for the duration (one full Dijkstra per
-// disabled landmark plus a single summary sweep) but never blocks readers.
-// Returns how many landmarks it restored.
+// RebuildDisabledLandmarks synchronously restores disabled landmark tables
+// through the substrate; see Social.RebuildDisabledLandmarks. Returns how
+// many landmarks it restored.
 func (ix *Index) RebuildDisabledLandmarks() int {
-	if ix.dyn == nil {
+	if ix.sub == nil {
 		return 0
 	}
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	rebuilt := 0
-	g := ix.ov.Working()
-	for {
-		mask := ix.dyn.View().DisabledMask()
-		if mask == 0 {
-			break
-		}
-		j := bits.TrailingZeros64(mask)
-		ix.dyn.InstallTable(j, g.DistancesFrom(ix.dyn.View().Vertices()[j]))
-		rebuilt++
-	}
-	if rebuilt > 0 {
-		ix.recomputeAllLeavesLocked()
-		ix.propagateDirty()
-		ix.publishLocked()
-	}
-	return rebuilt
+	return ix.sub.RebuildDisabledLandmarks()
 }
 
 // recomputeAllLeavesLocked re-derives every leaf summary against the current
@@ -1099,7 +811,7 @@ type SocialStats struct {
 	// race 8 times in a row (the rate-limited anti-starvation fallback).
 	LandmarkForcedInstalls int64
 
-	// CHBuilt reports whether the index owns a contraction hierarchy.
+	// CHBuilt reports whether the substrate owns a contraction hierarchy.
 	CHBuilt bool
 	// CHBuiltEpoch is the social epoch the current hierarchy was built (or
 	// last repaired) at; the *-CH variants serve iff it equals SocialEpoch.
@@ -1117,29 +829,10 @@ type SocialStats struct {
 // SocialStats reports the social dimension's counters (zero value for
 // static indexes).
 func (ix *Index) SocialStats() SocialStats {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	st := SocialStats{SocialEpoch: ix.socialEpoch}
-	if ix.ov != nil {
-		st.NumEdges = ix.ov.NumEdges()
-		st.PatchedVertices = ix.ov.PatchedCount()
-		_, _, _, st.Compactions = ix.ov.Stats()
-		st.EdgeAdds, st.EdgeRemoves, st.EdgeReweights, st.EdgeNoops = ix.edgeAdds, ix.edgeRemoves, ix.edgeReweights, ix.edgeNoops
-	} else if ix.g0 != nil {
-		st.NumEdges = ix.g0.NumEdges()
+	if ix.sub == nil {
+		return SocialStats{}
 	}
-	if ix.dyn != nil {
-		st.DisabledLandmarks = ix.dyn.View().NumDisabled()
-		st.LandmarkRepairs, st.RepairedVertices, st.LandmarkDisables, st.LandmarkRebuilds = ix.dyn.Stats()
-		st.LandmarkForcedInstalls = ix.lmForcedInstalls
-	}
-	if ix.chDyn != nil {
-		st.CHBuilt = true
-		_, st.CHBuiltEpoch = ix.chDyn.Current()
-		st.CHRepairs, st.CHRecontracted, st.CHRepairFallbacks, st.CHRebuilds = ix.chDyn.Stats()
-		st.CHForcedInstalls = ix.chForcedInstalls
-	}
-	return st
+	return ix.sub.Stats()
 }
 
 // onRemove narrows summaries after a user left a leaf cell. Only components

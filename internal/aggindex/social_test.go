@@ -391,7 +391,7 @@ func TestForcedInstallBoundsLandmarkStarvation(t *testing.T) {
 	})
 	defer f.ix.Close()
 	churn := rand.New(rand.NewSource(99))
-	f.ix.testBeforeInstall = func() {
+	f.ix.sub.testBeforeInstall = func() {
 		u := churn.Int31n(80)
 		v := churn.Int31n(80)
 		if u == v {
@@ -432,7 +432,7 @@ func TestForcedInstallRateLimited(t *testing.T) {
 	defer f.ix.Close()
 	churn := rand.New(rand.NewSource(77))
 	var seamCalls atomic.Int64
-	f.ix.testBeforeInstall = func() {
+	f.ix.sub.testBeforeInstall = func() {
 		seamCalls.Add(1)
 		u := churn.Int31n(60)
 		v := churn.Int31n(60)

@@ -1,0 +1,606 @@
+// The shared social substrate: one mutable social world — edge overlay,
+// dynamic landmark tables, contraction hierarchy — publishing one immutable
+// epoch-tagged SocialSnapshot that any number of aggregate indexes consume.
+//
+// Before the substrate existed every Index owned its own overlay + landmark
+// + CH copies, so a spatially-partitioned engine with S shards replicated
+// the whole social dimension S times: every edge op was an O(S) broadcast
+// (S overlay patches, S landmark repairs, S hierarchy repairs) and resident
+// social memory scaled with S. The substrate applies each edge op exactly
+// once and then *notifies* every attached Index under its own writer lock,
+// so each consumer re-derives only the cell summaries the op invalidated in
+// its grid and republishes — pairing the new graph/tables with recomputed
+// summaries in one atomic snapshot per consumer (the Lemma-2 epoch-
+// coordination invariant: membership and summaries never mix social epochs).
+//
+// Lock order is Social.mu -> Index.mu, always. The substrate never calls
+// into an Index while that Index holds its own lock (notification *takes*
+// Index.mu), and no Index path acquires Social.mu while holding Index.mu
+// (edge ops are forwarded to the substrate before the Index locks itself).
+package aggindex
+
+import (
+	"fmt"
+	"math/bits"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ssrq/internal/ch"
+	"ssrq/internal/graph"
+	"ssrq/internal/landmark"
+)
+
+// SocialSnapshot is one immutable epoch of the shared social dimension: the
+// graph, the landmark tables computed on exactly that graph, and the
+// contraction hierarchy tagged with the epoch it was built at. Consumers
+// embed it (by reference) into their own Snapshots, so a reader holding an
+// Index snapshot sees one consistent social world.
+type SocialSnapshot struct {
+	g         *graph.Graph
+	lm        *landmark.Set
+	hier      *ch.CH // nil when the substrate owns no hierarchy
+	hierEpoch uint64 // social epoch hier was built/repaired at
+	epoch     uint64 // social graph version (+1 per effective edge batch)
+}
+
+// Graph returns this epoch's social graph.
+func (s *SocialSnapshot) Graph() *graph.Graph { return s.g }
+
+// Landmarks returns this epoch's landmark tables.
+func (s *SocialSnapshot) Landmarks() *landmark.Set { return s.lm }
+
+// Epoch returns the social graph version.
+func (s *SocialSnapshot) Epoch() uint64 { return s.epoch }
+
+// Social is the shared substrate. One writer mutex serializes edge batches,
+// rebuild installs and consumer attachment; readers go through the published
+// atomic snapshot and never lock. It is the single owner of the landmark and
+// CH rebuild loops — a sharded engine runs ONE of each, not S.
+type Social struct {
+	lm *landmark.Set // construction-time landmark set
+
+	// Mutable social state (ov/dyn nil when dynamic maintenance is
+	// unsupported: the substrate then publishes the static construction
+	// graph and rejects edge churn).
+	ov    *graph.Overlay
+	dyn   *landmark.Dynamic
+	g0    *graph.Graph
+	chDyn *ch.Dynamic
+
+	mu        sync.Mutex
+	published atomic.Pointer[SocialSnapshot]
+	consumers []*Index // attached under mu; notified in attach order
+
+	epoch     uint64 // social epoch under construction
+	compactAt int
+
+	// Edge-op counters (mu-guarded; exposed via Stats).
+	edgeAdds, edgeRemoves, edgeReweights, edgeNoops int64
+
+	// Asynchronous rebuild machinery, moved wholesale from the per-index
+	// implementation: at most one landmark loop and one CH loop at a time,
+	// re-kicked by ApplyEdges while debt remains, with the rate-limited
+	// forced-install fallback bounding starvation under sustained churn.
+	rebuildActive    atomic.Bool
+	rebuildPending   atomic.Bool
+	chRebuildActive  atomic.Bool
+	chRebuildPending atomic.Bool
+
+	forcedEvery      time.Duration
+	lmLastForced     time.Time
+	chLastForced     time.Time
+	lmForcedInstalls int64
+	chForcedInstalls int64
+
+	closed atomic.Bool
+	bg     sync.WaitGroup
+
+	// testBeforeInstall, when non-nil, runs in the rebuild loops after the
+	// lock-free recompute and before the install takes the writer lock —
+	// tests set it (before any concurrent use) to deterministically make an
+	// install attempt lose the epoch race.
+	testBeforeInstall func()
+}
+
+// NewSocialSubstrate builds the shared substrate over a friendship graph and
+// a landmark set selected on it. When the landmark count exceeds what
+// dynamic maintenance supports (64), the substrate still builds but rejects
+// edge ops (SupportsEdgeChurn reports false) and publishes the static graph.
+func NewSocialSubstrate(lm *landmark.Set, g *graph.Graph, cfg Config) (*Social, error) {
+	if lm == nil || g == nil {
+		return nil, fmt.Errorf("aggindex: nil landmark set or social graph")
+	}
+	s := &Social{
+		lm:          lm,
+		g0:          g,
+		chDyn:       cfg.CH,
+		forcedEvery: cfg.ForcedInstallInterval,
+	}
+	if s.forcedEvery == 0 {
+		s.forcedEvery = 2 * time.Second
+	}
+	s.ov = graph.NewOverlay(g)
+	if dyn, err := landmark.NewDynamic(lm, cfg.RepairBudget); err == nil {
+		s.dyn = dyn
+	} else {
+		// Too many landmarks for dynamic maintenance: static fallback.
+		s.ov = nil
+	}
+	s.compactAt = cfg.CompactThreshold
+	if s.compactAt <= 0 {
+		s.compactAt = max(1024, g.NumVertices()/8)
+	}
+	s.publishLocked() // construction epoch 0; no consumers yet, no lock needed
+	return s, nil
+}
+
+// Snapshot returns the latest published social epoch (lock-free).
+func (s *Social) Snapshot() *SocialSnapshot { return s.published.Load() }
+
+// Landmarks returns the construction-time landmark set (live tables come
+// from Snapshot().Landmarks()).
+func (s *Social) Landmarks() *landmark.Set { return s.lm }
+
+// SupportsEdgeChurn reports whether the substrate can ingest edge ops.
+func (s *Social) SupportsEdgeChurn() bool { return s.ov != nil && s.dyn != nil }
+
+// publishLocked freezes the working social state into the next published
+// SocialSnapshot and returns it. Caller holds mu (or is the constructor).
+func (s *Social) publishLocked() *SocialSnapshot {
+	sn := &SocialSnapshot{g: s.g0, lm: s.lm, epoch: s.epoch}
+	if s.ov != nil {
+		sn.g = s.ov.Freeze()
+	}
+	if s.dyn != nil {
+		sn.lm = s.dyn.Commit()
+	}
+	if s.chDyn != nil {
+		sn.hier, sn.hierEpoch = s.chDyn.Current()
+	}
+	s.published.Store(sn)
+	return sn
+}
+
+// notifyLocked pushes a freshly published social epoch into every attached
+// consumer, still under mu — no edge batch can interleave, so each consumer
+// recomputes its invalidated summaries against exactly this epoch's tables
+// and republishes before the next social mutation can land. dirty lists the
+// vertices whose landmark distances changed (each consumer re-derives only
+// the leaf cells locating them); allLeaves forces a full summary sweep
+// (after whole-table installs); both zero means a CH-only change (consumers
+// just republish to attach the new hierarchy).
+func (s *Social) notifyLocked(sn *SocialSnapshot, dirty []graph.VertexID, allLeaves bool) {
+	now := time.Now()
+	for _, ix := range s.consumers {
+		ix.socialSync(sn, dirty, allLeaves, now)
+	}
+}
+
+// attach registers a consumer built against the substrate's current epoch.
+// Runs under mu so no edge batch can slip between the consumer's summary
+// construction and its registration.
+func (s *Social) attach(ix *Index) {
+	s.consumers = append(s.consumers, ix)
+}
+
+// ApplyEdges applies a batch of edge ops to the shared social world exactly
+// once — overlay patch, incremental landmark repair, in-place CH repair —
+// then publishes the next social epoch and synchronously notifies every
+// attached index so each republishes summaries consistent with it. Location
+// ops in the batch are ignored (callers split batches). Safe for concurrent
+// use; batches serialize on the substrate writer lock. On a substrate
+// without edge-churn support this is a no-op.
+func (s *Social) ApplyEdges(ops []Op) {
+	if len(ops) == 0 || !s.SupportsEdgeChurn() {
+		return
+	}
+	s.mu.Lock()
+	var dirty []graph.VertexID
+	var chChanges []ch.EdgeChange
+	effective := false
+	for _, op := range ops {
+		if op.Kind != OpEdgeUpsert && op.Kind != OpEdgeRemove {
+			continue
+		}
+		var change ch.EdgeChange
+		var changed bool
+		dirty, change, changed = s.applyEdge(op, dirty)
+		if changed && s.chDyn != nil {
+			chChanges = append(chChanges, change)
+		}
+		effective = effective || changed
+	}
+	if effective {
+		prev := s.epoch
+		s.epoch++
+		if s.chDyn != nil {
+			// In-place hierarchy repair: only worth attempting when the
+			// hierarchy was current before this batch (a lagging one misses
+			// intermediate changes and is already on the rebuild path), and
+			// only possible for decrease-only batches within the cone budget
+			// — Repair itself enforces both and reports failure otherwise.
+			if _, built := s.chDyn.Current(); built == prev {
+				s.chDyn.Repair(s.ov.Working(), chChanges, s.epoch)
+			}
+		}
+		if s.ov.PatchedCount() >= s.compactAt {
+			s.ov.Compact()
+		}
+		sn := s.publishLocked()
+		// The repair lists are heavily duplicated (one entry per landmark per
+		// op); dedupe once here rather than once per consumer — the consumer
+		// scan is the only per-consumer term left on the edge-op path, so its
+		// length is what keeps the cost flat in the consumer count.
+		if len(dirty) > 1 {
+			slices.Sort(dirty)
+			w := 1
+			for i := 1; i < len(dirty); i++ {
+				if dirty[i] != dirty[i-1] {
+					dirty[w] = dirty[i]
+					w++
+				}
+			}
+			dirty = dirty[:w]
+		}
+		s.notifyLocked(sn, dirty, false)
+	}
+	disabled := s.dyn.View().NumDisabled() > 0
+	chStale := false
+	if s.chDyn != nil {
+		_, built := s.chDyn.Current()
+		chStale = built != s.epoch
+	}
+	s.mu.Unlock()
+	if disabled {
+		s.kickRebuild()
+	}
+	if chStale {
+		s.kickCHRebuild()
+	}
+}
+
+// applyEdge performs one edge op on the overlay and repairs the landmark
+// tables, accumulating the vertices whose landmark distances changed.
+// Reports the effective change (for hierarchy repair) and whether the op
+// actually changed the graph. Caller holds mu.
+func (s *Social) applyEdge(op Op, dirty []graph.VertexID) ([]graph.VertexID, ch.EdgeChange, bool) {
+	u, v := op.U, op.V
+	oldW, had := s.ov.EdgeWeight(u, v)
+	change := ch.EdgeChange{U: u, V: v, OldW: oldW, HadOld: had}
+	switch op.Kind {
+	case OpEdgeUpsert:
+		change.NewW, change.HasNew = op.W, true
+		if had && oldW == op.W {
+			s.edgeNoops++
+			return dirty, change, false
+		}
+		if _, err := s.ov.SetEdge(u, v, op.W); err != nil {
+			// Malformed ops are rejected upstream; a failure here means a
+			// caller bypassed validation — count and skip.
+			s.edgeNoops++
+			return dirty, change, false
+		}
+		if had {
+			s.edgeReweights++
+		} else {
+			s.edgeAdds++
+		}
+		return append(dirty, s.dyn.EdgeChanged(s.ov.Working(), u, v, oldW, had, op.W, true)...), change, true
+	case OpEdgeRemove:
+		if !had {
+			s.edgeNoops++
+			return dirty, change, false
+		}
+		if _, err := s.ov.RemoveEdge(u, v); err != nil {
+			s.edgeNoops++
+			return dirty, change, false
+		}
+		s.edgeRemoves++
+		return append(dirty, s.dyn.EdgeChanged(s.ov.Working(), u, v, oldW, true, 0, false)...), change, true
+	}
+	return dirty, change, false
+}
+
+// kickRebuild starts the asynchronous landmark rebuild loop, or records the
+// kick for the running loop to pick up before it exits.
+func (s *Social) kickRebuild() {
+	if s.dyn == nil {
+		return
+	}
+	if !s.rebuildActive.CompareAndSwap(false, true) {
+		s.rebuildPending.Store(true)
+		return
+	}
+	if !s.spawn(s.rebuildLoop) {
+		s.rebuildActive.Store(false)
+	}
+}
+
+// spawn launches fn on a Close-tracked goroutine. The bg.Add runs under mu
+// so it cannot race a concurrent Close's Wait; after Close it refuses.
+func (s *Social) spawn(fn func()) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed.Load() {
+		return false
+	}
+	s.bg.Add(1)
+	go func() {
+		defer s.bg.Done()
+		fn()
+	}()
+	return true
+}
+
+// Close stops the substrate's background maintenance: no further rebuild
+// goroutines start, in-flight ones abort at their next cancellation point,
+// and Close returns only after every one has exited. Queries and synchronous
+// mutation remain valid after Close; stale structures then stay stale until
+// an explicit RebuildDisabledLandmarks/RebuildCH. Idempotent.
+func (s *Social) Close() {
+	s.mu.Lock()
+	s.closed.Store(true)
+	s.mu.Unlock()
+	s.bg.Wait()
+}
+
+// rebuildLoop restores disabled landmarks one at a time: it computes a fresh
+// distance table against the published snapshot's graph *without holding the
+// writer lock* (a full Dijkstra — the expensive part), then briefly takes
+// the lock to install it, provided no edge batch landed in between (the
+// table would describe a stale graph). Under sustained churn the optimistic
+// path can lose that race indefinitely; the 8th consecutive stale attempt
+// therefore falls back to a forced install — recomputing the disabled tables
+// *under the writer lock*, where the epoch cannot move — rate-limited to one
+// event per ForcedInstallInterval, so the disabled-landmark window is
+// deterministically bounded by 8 recompute laps plus the interval. Disabled
+// landmarks merely loosen bounds in the meantime — they never make them
+// wrong.
+func (s *Social) rebuildLoop() {
+	for {
+		for attempts := 0; attempts < 8; {
+			if s.closed.Load() {
+				s.rebuildActive.Store(false)
+				return
+			}
+			sn := s.Snapshot()
+			mask := sn.lm.DisabledMask()
+			if mask == 0 {
+				break
+			}
+			j := bits.TrailingZeros64(mask)
+			table := sn.g.DistancesFrom(sn.lm.Vertices()[j])
+			if s.testBeforeInstall != nil {
+				s.testBeforeInstall()
+			}
+			s.mu.Lock()
+			if s.epoch == sn.epoch {
+				s.dyn.InstallTable(j, table)
+				nsn := s.publishLocked()
+				s.notifyLocked(nsn, nil, true)
+				attempts = 0
+			} else {
+				attempts++
+				if attempts >= 8 {
+					s.forceInstallLandmarksLocked()
+				}
+			}
+			s.mu.Unlock()
+		}
+		s.rebuildActive.Store(false)
+		// Close the lost-wakeup window: a kick that arrived while we were
+		// flagged active would otherwise be dropped, stranding a freshly
+		// disabled landmark if churn stops here.
+		if !s.rebuildPending.Swap(false) {
+			return
+		}
+		if s.Snapshot().lm.DisabledMask() == 0 ||
+			!s.rebuildActive.CompareAndSwap(false, true) {
+			return
+		}
+	}
+}
+
+// forceInstallLandmarksLocked recomputes every disabled landmark table on
+// the working graph and installs it, all under the writer lock the caller
+// already holds — writers are stalled for the duration (one Dijkstra per
+// disabled landmark plus each consumer's summary sweep), which is exactly
+// the trade: a bounded write stall instead of an unbounded pruning-
+// degradation window. Rate-limited to one event per forcedEvery.
+func (s *Social) forceInstallLandmarksLocked() {
+	if s.forcedEvery < 0 || time.Since(s.lmLastForced) < s.forcedEvery {
+		return
+	}
+	mask := s.dyn.View().DisabledMask()
+	if mask == 0 {
+		return
+	}
+	g := s.ov.Working()
+	for mask != 0 {
+		j := bits.TrailingZeros64(mask)
+		s.dyn.InstallTable(j, g.DistancesFrom(s.dyn.View().Vertices()[j]))
+		s.lmForcedInstalls++
+		mask &^= 1 << uint(j)
+	}
+	sn := s.publishLocked()
+	s.notifyLocked(sn, nil, true)
+	s.lmLastForced = time.Now()
+}
+
+// kickCHRebuild starts the asynchronous hierarchy rebuild loop, or records
+// the kick for the running loop (same protocol as the landmark rebuild).
+func (s *Social) kickCHRebuild() {
+	if s.chDyn == nil {
+		return
+	}
+	if !s.chRebuildActive.CompareAndSwap(false, true) {
+		s.chRebuildPending.Store(true)
+		return
+	}
+	if !s.spawn(s.chRebuildLoop) {
+		s.chRebuildActive.Store(false)
+	}
+}
+
+// chRebuildLoop restores hierarchy freshness: it contracts the published
+// snapshot's graph from scratch without holding the writer lock, then
+// briefly takes the lock to install, provided the social epoch still matches
+// the graph the build ran on. Like the landmark loop, the 8th consecutive
+// stale attempt escalates to a rate-limited forced install under the writer
+// lock, bounding how long the *-CH variants stay refused under sustained
+// churn.
+func (s *Social) chRebuildLoop() {
+	stop := func() bool { return s.closed.Load() }
+	for {
+		for attempts := 0; attempts < 8; {
+			if s.closed.Load() {
+				s.chRebuildActive.Store(false)
+				return
+			}
+			sn := s.Snapshot()
+			if sn.hier != nil && sn.hierEpoch == sn.epoch {
+				break
+			}
+			target := sn.epoch
+			h, err := s.chDyn.BuildFresh(sn.g, stop)
+			if err != nil { // interrupted: substrate shutting down
+				s.chRebuildActive.Store(false)
+				return
+			}
+			if s.testBeforeInstall != nil {
+				s.testBeforeInstall()
+			}
+			s.mu.Lock()
+			if s.epoch == target {
+				s.chDyn.Install(h, target)
+				nsn := s.publishLocked()
+				s.notifyLocked(nsn, nil, false)
+				attempts = 0
+			} else {
+				attempts++
+				if attempts >= 8 {
+					s.forceInstallCHLocked()
+				}
+			}
+			s.mu.Unlock()
+		}
+		s.chRebuildActive.Store(false)
+		if !s.chRebuildPending.Swap(false) {
+			return
+		}
+		sn := s.Snapshot()
+		if (sn.hier != nil && sn.hierEpoch == sn.epoch) ||
+			!s.chRebuildActive.CompareAndSwap(false, true) {
+			return
+		}
+	}
+}
+
+// forceInstallCHLocked contracts the current working graph under the writer
+// lock the caller already holds and installs the result at the current
+// social epoch. Writers stall for one full build — the rate limiter keeps
+// that bounded-frequency, and shutdown interrupts the build mid-contraction.
+func (s *Social) forceInstallCHLocked() {
+	if s.forcedEvery < 0 || time.Since(s.chLastForced) < s.forcedEvery {
+		return
+	}
+	if _, built := s.chDyn.Current(); built == s.epoch || s.ov == nil {
+		return
+	}
+	h, err := s.chDyn.BuildFresh(s.ov.Freeze(), func() bool { return s.closed.Load() })
+	if err != nil {
+		return
+	}
+	s.chDyn.Install(h, s.epoch)
+	sn := s.publishLocked()
+	s.notifyLocked(sn, nil, false)
+	s.chForcedInstalls++
+	s.chLastForced = time.Now()
+}
+
+// RebuildCH synchronously re-contracts the current working graph and
+// installs the fresh hierarchy (published to every consumer as one social
+// epoch), making the *-CH variants serve again immediately. It blocks
+// concurrent writers for one full build but never blocks readers. Reports
+// whether a rebuild was needed and ran.
+func (s *Social) RebuildCH() bool {
+	if s.chDyn == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, built := s.chDyn.Current(); built == s.epoch {
+		return false
+	}
+	g := s.g0
+	if s.ov != nil {
+		g = s.ov.Freeze()
+	}
+	h, err := s.chDyn.BuildFresh(g, nil)
+	if err != nil {
+		return false
+	}
+	s.chDyn.Install(h, s.epoch)
+	sn := s.publishLocked()
+	s.notifyLocked(sn, nil, false)
+	return true
+}
+
+// RebuildDisabledLandmarks synchronously recomputes every disabled landmark
+// against the current working graph and publishes the result to every
+// consumer as one social epoch. It blocks concurrent writers for the
+// duration but never blocks readers. Returns how many landmarks it restored.
+func (s *Social) RebuildDisabledLandmarks() int {
+	if s.dyn == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rebuilt := 0
+	g := s.ov.Working()
+	for {
+		mask := s.dyn.View().DisabledMask()
+		if mask == 0 {
+			break
+		}
+		j := bits.TrailingZeros64(mask)
+		s.dyn.InstallTable(j, g.DistancesFrom(s.dyn.View().Vertices()[j]))
+		rebuilt++
+	}
+	if rebuilt > 0 {
+		sn := s.publishLocked()
+		s.notifyLocked(sn, nil, true)
+	}
+	return rebuilt
+}
+
+// Stats reports the substrate's counters (see SocialStats). With a shared
+// substrate these are per-world, not per-shard: an edge op counts once no
+// matter how many indexes consume the snapshot.
+func (s *Social) Stats() SocialStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := SocialStats{SocialEpoch: s.epoch}
+	if s.ov != nil {
+		st.NumEdges = s.ov.NumEdges()
+		st.PatchedVertices = s.ov.PatchedCount()
+		_, _, _, st.Compactions = s.ov.Stats()
+		st.EdgeAdds, st.EdgeRemoves, st.EdgeReweights, st.EdgeNoops = s.edgeAdds, s.edgeRemoves, s.edgeReweights, s.edgeNoops
+	} else if s.g0 != nil {
+		st.NumEdges = s.g0.NumEdges()
+	}
+	if s.dyn != nil {
+		st.DisabledLandmarks = s.dyn.View().NumDisabled()
+		st.LandmarkRepairs, st.RepairedVertices, st.LandmarkDisables, st.LandmarkRebuilds = s.dyn.Stats()
+		st.LandmarkForcedInstalls = s.lmForcedInstalls
+	}
+	if s.chDyn != nil {
+		st.CHBuilt = true
+		_, st.CHBuiltEpoch = s.chDyn.Current()
+		st.CHRepairs, st.CHRecontracted, st.CHRepairFallbacks, st.CHRebuilds = s.chDyn.Stats()
+		st.CHForcedInstalls = s.chForcedInstalls
+	}
+	return st
+}

@@ -56,3 +56,44 @@ func TestQueryAllocBudget(t *testing.T) {
 		}
 	}
 }
+
+// TestEdgeOpAllocBudget pins the synchronous edge-op apply path: one overlay
+// patch, the incremental landmark repairs, the epoch publish and the consumer
+// summary sync. The budget is deliberately loose against per-op variance
+// (repair scope depends on the edge) but tight enough to catch a regression
+// back to per-op table copies or per-consumer broadcast work.
+func TestEdgeOpAllocBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(272))
+	ds := mkDataset(t, rng, 600, 0.1, false)
+	e := mkEngine(t, ds, Options{Seed: 272})
+	defer e.Close()
+	if !e.SupportsEdgeChurn() {
+		t.Skip("engine built without edge churn support")
+	}
+
+	// Warm the apply path's amortized growth (dirty-vertex scratch, overlay
+	// delta) before measuring, with the same rotating reweight pattern the
+	// measured loop uses: every op finds the opposite weight, so each is an
+	// effective update, never a no-op.
+	const pairs = 32
+	op := func(i int) {
+		u := int32(i % pairs)
+		v := u + pairs
+		w := 0.25 + float64((i/pairs)&1)*0.5
+		if err := e.AddFriend(u, v, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4*pairs; i++ {
+		op(i)
+	}
+	i := 4 * pairs
+	avg := testing.AllocsPerRun(2*pairs, func() {
+		op(i)
+		i++
+	})
+	const budget = 40
+	if avg > budget {
+		t.Errorf("edge op: %.1f allocs/op exceeds budget %d", avg, budget)
+	}
+}

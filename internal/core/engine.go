@@ -121,6 +121,16 @@ type Options struct {
 	// churn: at most one forced install event per structure per interval
 	// (default 2s; negative disables forced installs).
 	ForcedInstallInterval time.Duration
+	// RebalanceThreshold is the occupancy imbalance (max shard population
+	// over mean) past which the sharded engine re-cuts its Z-order partition
+	// online (default 1.6; negative disables automatic rebalancing). Ignored
+	// by monolithic engines.
+	RebalanceThreshold float64
+	// RebalanceDrainBatch is how many leaf cells one rebalance pass migrates
+	// per stripe-lock acquisition (default 8); smaller batches shorten each
+	// writer stall, larger ones finish the re-cut sooner. Ignored by
+	// monolithic engines.
+	RebalanceDrainBatch int
 }
 
 // WithDefaults returns a copy with every zero field replaced by its default.
@@ -156,6 +166,12 @@ func (o *Options) setDefaults() {
 	}
 	if o.UpdateMaxBatch == 0 {
 		o.UpdateMaxBatch = 256
+	}
+	if o.RebalanceThreshold == 0 {
+		o.RebalanceThreshold = 1.6
+	}
+	if o.RebalanceDrainBatch == 0 {
+		o.RebalanceDrainBatch = 8
 	}
 }
 
@@ -269,6 +285,54 @@ func NewEngine(ds *dataset.Dataset, opts Options) (*Engine, error) {
 		cache: newSocialCache(opts.CacheT),
 		opts:  opts,
 	}
+	e.pools.New = func() any {
+		return &queryPools{
+			rev: graph.NewAStarPool(n),
+			fwd: graph.NewAStarPool(n),
+			nn:  spatial.NewNNIterator(),
+		}
+	}
+	return e, nil
+}
+
+// NewEngineWithSubstrate builds an engine whose social dimension — graph
+// overlay, landmark tables, contraction hierarchy and their maintenance
+// loops — comes from an existing shared substrate instead of being built
+// and owned privately. The engine owns only its spatial side (grid + AIS
+// summaries over ds, typically a spatial restriction of the substrate's
+// population). The sharded engine attaches S of these to one substrate, so
+// the social structures are stored once instead of S times and every edge
+// op applies once. Closing the engine never closes the substrate; the
+// substrate's owner outlives and tears it down.
+func NewEngineWithSubstrate(ds *dataset.Dataset, opts Options, sub *aggindex.Social) (*Engine, error) {
+	opts.setDefaults()
+	if ds == nil {
+		return nil, fmt.Errorf("core: nil dataset")
+	}
+	if sub == nil {
+		return nil, fmt.Errorf("core: nil social substrate")
+	}
+	layout, err := spatial.NewLayout(ds.PaddedBounds(), opts.GridS, opts.GridLevels)
+	if err != nil {
+		return nil, fmt.Errorf("core: grid layout: %w", err)
+	}
+	grid, err := spatial.NewGrid(layout, ds.Pts, ds.Located)
+	if err != nil {
+		return nil, fmt.Errorf("core: grid: %w", err)
+	}
+	agg, err := aggindex.NewShared(grid, sub)
+	if err != nil {
+		return nil, fmt.Errorf("core: aggregate index: %w", err)
+	}
+	e := &Engine{
+		ds:    ds,
+		lm:    sub.Landmarks(),
+		grid:  grid,
+		agg:   agg,
+		cache: newSocialCache(opts.CacheT),
+		opts:  opts,
+	}
+	n := ds.NumUsers()
 	e.pools.New = func() any {
 		return &queryPools{
 			rev: graph.NewAStarPool(n),

@@ -85,6 +85,31 @@ func TestRunShard(t *testing.T) {
 	}
 }
 
+// TestRunShardSkew drives the skewed-migration cell at micro scale. The cell
+// is self-checking (≥1 automatic rebalance, imbalance recovery below its
+// peak, per-phase brute-oracle agreement, zero query errors), so a nil error
+// is the assertion; the test only adds shape checks on the report.
+func TestRunShardSkew(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewSuite(microScale, 42, &buf)
+	s.Skew = true
+	s.ShardCounts = []int{8}
+	if err := s.Run("shard", false); err != nil {
+		t.Fatalf("RunShardSkew: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "skewed migration") || !strings.Contains(out, "rebalances") {
+		t.Fatalf("missing table:\n%s", out)
+	}
+	if len(s.Measurements) != 1 {
+		t.Fatalf("measurements = %d, want 1", len(s.Measurements))
+	}
+	m := s.Measurements[0]
+	if m.Extra["rebalances"] < 1 || m.Extra["imbalance_peak"] <= m.Extra["imbalance_after"] {
+		t.Fatalf("implausible skew measurement: %+v", m.Extra)
+	}
+}
+
 func TestJaccard(t *testing.T) {
 	a := map[int32]bool{1: true, 2: true, 3: true}
 	b := map[int32]bool{2: true, 3: true, 4: true}

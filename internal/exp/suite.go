@@ -30,8 +30,12 @@ type Suite struct {
 	// (default 0, 200, 2000).
 	EdgeRates []float64
 	// ShardCounts are the shard counts the "shard" experiment sweeps
-	// (default 1, 2, 4, 8).
+	// (default 1, 2, 4, 8; default 16 with Skew set).
 	ShardCounts []int
+	// Skew switches the "shard" experiment to the skewed-migration cell:
+	// hotspot drift, automatic online rebalance, per-phase latency and
+	// imbalance reporting (see RunShardSkew).
+	Skew bool
 
 	datasets map[string]*dataset.Dataset
 	engines  map[string]*core.Engine
@@ -180,6 +184,9 @@ func (s *Suite) Run(id string, withCH bool) error {
 	case "socialchurn":
 		return s.RunSocialChurn()
 	case "shard":
+		if s.Skew {
+			return s.RunShardSkew()
+		}
 		return s.RunShard()
 	case "diag":
 		return s.RunDiagnostics()

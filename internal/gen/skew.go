@@ -1,0 +1,107 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ssrq/internal/spatial"
+)
+
+// MigrationConfig tunes the skewed-migration workload: a single spatial
+// hotspot whose pull on each mover depends on the mover's current distance,
+// after the distance-dependent migration kernels observed in real mobility
+// traces (Herrera-Yagüe et al.): most relocations are short-range drift, but
+// the drift is biased toward the attractor, so mass accumulates there over
+// time instead of teleporting in one step.
+type MigrationConfig struct {
+	// Hotspot is the attractor in normalized [0,1]² world coordinates
+	// (scaled into the dataset bounds). Default (0.08, 0.08) — a corner, the
+	// worst case for a Z-order cut balanced on the initial distribution.
+	Hotspot spatial.Point
+	// Pull is the fraction of the remaining distance to the hotspot a
+	// migrating user covers per move (default 0.35).
+	Pull float64
+	// Gravity shapes the distance dependence of the migration probability:
+	// P(migrate) = 1/(1+d̂)^Gravity with d̂ the hotspot distance normalized
+	// by the world diagonal. Higher gravity concentrates migration among
+	// users already near the hotspot; 0 makes every move a biased drift.
+	// Default 1.
+	Gravity float64
+	// Jitter is the local wander amplitude as a fraction of the world
+	// extent, applied to every move (default 0.03). Non-migrating users only
+	// jitter, so the stream always carries background noise.
+	Jitter float64
+}
+
+func (c *MigrationConfig) setDefaults() {
+	if c.Hotspot == (spatial.Point{}) {
+		c.Hotspot = spatial.Point{X: 0.08, Y: 0.08}
+	}
+	if c.Pull == 0 {
+		c.Pull = 0.35
+	}
+	if c.Gravity == 0 {
+		c.Gravity = 1
+	}
+	if c.Jitter == 0 {
+		c.Jitter = 0.03
+	}
+}
+
+// Migration generates a skewed-migration move stream over a fixed world
+// rectangle. It is deterministic given its rng and is safe for a single
+// goroutine.
+type Migration struct {
+	cfg    MigrationConfig
+	bounds spatial.Rect
+	hot    spatial.Point
+	diag   float64
+	rng    *rand.Rand
+}
+
+// NewMigration builds a generator for the given world bounds.
+func NewMigration(bounds spatial.Rect, cfg MigrationConfig, rng *rand.Rand) (*Migration, error) {
+	cfg.setDefaults()
+	if cfg.Pull <= 0 || cfg.Pull > 1 {
+		return nil, fmt.Errorf("gen: migration Pull %v out of (0,1]", cfg.Pull)
+	}
+	if cfg.Gravity < 0 || cfg.Jitter < 0 {
+		return nil, fmt.Errorf("gen: negative migration Gravity or Jitter")
+	}
+	m := &Migration{
+		cfg:    cfg,
+		bounds: bounds,
+		hot: spatial.Point{
+			X: bounds.MinX + cfg.Hotspot.X*bounds.Width(),
+			Y: bounds.MinY + cfg.Hotspot.Y*bounds.Height(),
+		},
+		diag: bounds.Diagonal(),
+		rng:  rng,
+	}
+	if m.diag == 0 {
+		m.diag = 1
+	}
+	return m, nil
+}
+
+// Next produces the destination of one move for a user currently at cur:
+// with distance-dependent probability the user migrates a Pull-fraction
+// toward the hotspot; otherwise (and additionally) it wanders locally.
+func (m *Migration) Next(cur spatial.Point) spatial.Point {
+	to := cur
+	d := math.Hypot(cur.X-m.hot.X, cur.Y-m.hot.Y) / m.diag
+	if m.rng.Float64() < 1/math.Pow(1+d, m.cfg.Gravity) {
+		to.X += m.cfg.Pull * (m.hot.X - to.X)
+		to.Y += m.cfg.Pull * (m.hot.Y - to.Y)
+	}
+	to.X += (m.rng.Float64() - 0.5) * 2 * m.cfg.Jitter * m.bounds.Width()
+	to.Y += (m.rng.Float64() - 0.5) * 2 * m.cfg.Jitter * m.bounds.Height()
+	return m.clamp(to)
+}
+
+func (m *Migration) clamp(p spatial.Point) spatial.Point {
+	p.X = math.Min(math.Max(p.X, m.bounds.MinX), m.bounds.MaxX)
+	p.Y = math.Min(math.Max(p.Y, m.bounds.MinY), m.bounds.MaxY)
+	return p
+}

@@ -1,0 +1,52 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ssrq/internal/spatial"
+)
+
+// TestMigrationDriftsTowardHotspot: iterating the generator from the far
+// corner must converge near the attractor while never leaving the world
+// bounds — the whole point of the skewed workload is that mass accumulates.
+func TestMigrationDriftsTowardHotspot(t *testing.T) {
+	bounds := spatial.Rect{MinX: 2, MinY: 10, MaxX: 6, MaxY: 18}
+	rng := rand.New(rand.NewSource(7))
+	m, err := NewMigration(bounds, MigrationConfig{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := spatial.Point{
+		X: bounds.MinX + 0.08*bounds.Width(),
+		Y: bounds.MinY + 0.08*bounds.Height(),
+	}
+	cur := spatial.Point{X: bounds.MaxX, Y: bounds.MaxY}
+	d0 := math.Hypot(cur.X-hot.X, cur.Y-hot.Y)
+	for i := 0; i < 200; i++ {
+		cur = m.Next(cur)
+		if !bounds.Contains(cur) {
+			t.Fatalf("step %d escaped the bounds: %+v", i, cur)
+		}
+	}
+	d := math.Hypot(cur.X-hot.X, cur.Y-hot.Y)
+	if d > d0/4 {
+		t.Fatalf("no convergence: distance %0.3f after 200 steps, started at %0.3f", d, d0)
+	}
+}
+
+// TestMigrationValidation rejects nonsense configurations.
+func TestMigrationValidation(t *testing.T) {
+	bounds := spatial.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewMigration(bounds, MigrationConfig{Pull: 2}, rng); err == nil {
+		t.Fatal("Pull > 1 accepted")
+	}
+	if _, err := NewMigration(bounds, MigrationConfig{Jitter: -1}, rng); err == nil {
+		t.Fatal("negative Jitter accepted")
+	}
+	if _, err := NewMigration(bounds, MigrationConfig{Gravity: -1}, rng); err == nil {
+		t.Fatal("negative Gravity accepted")
+	}
+}

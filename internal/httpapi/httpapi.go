@@ -484,11 +484,15 @@ type statsResponse struct {
 	CHForcedInstalls int64  `json:"ch_forced_installs"`
 
 	// Sharding section (absent on monolithic engines): fan-out pruning
-	// counters plus one entry per shard.
+	// counters, elastic-rebalance counters, plus one entry per shard.
 	NumShards     int             `json:"num_shards,omitempty"`
 	ShardsQueried int64           `json:"shards_queried,omitempty"`
 	ShardsPruned  int64           `json:"shards_pruned,omitempty"`
 	ShardsEmpty   int64           `json:"shards_empty,omitempty"`
+	Rebalances    int64           `json:"rebalances,omitempty"`
+	CellsMoved    int64           `json:"rebalance_cells_moved,omitempty"`
+	UsersMoved    int64           `json:"rebalance_users_moved,omitempty"`
+	Imbalance     float64         `json:"imbalance,omitempty"`
 	Shards        []shardStatJSON `json:"shards,omitempty"`
 }
 
@@ -538,10 +542,15 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	}
 	if shards := s.eng.ShardStats(); shards != nil {
 		fs := s.eng.FanoutStats()
+		rs := s.eng.RebalanceStats()
 		resp.NumShards = s.eng.NumShards()
 		resp.ShardsQueried = fs.ShardsQueried
 		resp.ShardsPruned = fs.ShardsPruned
 		resp.ShardsEmpty = fs.ShardsEmpty
+		resp.Rebalances = rs.Rebalances
+		resp.CellsMoved = rs.CellsMoved
+		resp.UsersMoved = rs.UsersMoved
+		resp.Imbalance = s.eng.Imbalance()
 		resp.Shards = make([]shardStatJSON, len(shards))
 		for i, st := range shards {
 			resp.Shards[i] = shardStatJSON{

@@ -118,6 +118,11 @@ func TestShardedServerEndToEnd(t *testing.T) {
 			t.Fatalf("shard %d missed the edge broadcast: %+v", sh.Shard, sh)
 		}
 	}
+	// The elastic section is live: a balanced engine reports its occupancy
+	// imbalance (≥ 1 by construction) even before any re-cut.
+	if st.Imbalance < 1 {
+		t.Fatalf("sharded /stats imbalance = %v, want ≥ 1", st.Imbalance)
+	}
 }
 
 // TestMonolithStatsOmitShardSection: the sharding fields must be absent on
@@ -132,7 +137,7 @@ func TestMonolithStatsOmitShardSection(t *testing.T) {
 	if err := json.Unmarshal(rec.Body.Bytes(), &raw); err != nil {
 		t.Fatal(err)
 	}
-	for _, key := range []string{"num_shards", "shards", "shards_queried", "shards_pruned"} {
+	for _, key := range []string{"num_shards", "shards", "shards_queried", "shards_pruned", "rebalances", "imbalance"} {
 		if _, present := raw[key]; present {
 			t.Fatalf("monolithic /stats leaks %q", key)
 		}

@@ -1,0 +1,247 @@
+package shard
+
+import (
+	"math"
+
+	"ssrq/internal/core"
+)
+
+// Online rebalancing. The construction-time Z-order partition equalizes
+// occupancy for the initial population, but distance-dependent migration
+// (hotspot drift, in the Herrera-Yagüe et al. sense) concentrates users into
+// few cells and unbalances the cut: one shard's grid absorbs most of the
+// update and query load while the rest idle. The engine therefore watches
+// its own occupancy imbalance (max shard population over mean) on the
+// update path and, past Options.RebalanceThreshold, re-cuts the curve
+// ONLINE: cutCurve runs again over live per-cell occupancy, and every leaf
+// cell whose owner changed is drained to its new shard through the ordinary
+// synchronous update pipeline.
+//
+// The migration protocol keeps queries lock-free and exact throughout:
+//
+//  1. Cells move in small batches (Options.RebalanceDrainBatch) under all
+//     routing stripes, so the owner map and the per-cell routing are frozen
+//     per batch while async traffic flows freely between batches.
+//  2. Per cell, ownership flips first (cellShard.Store), the two pipelines
+//     are flushed, and the cell's users are INSERTED into the new shard
+//     before being REMOVED from the old one. Between the insert and the
+//     remove a user is visible in both shards — harmless, because the
+//     fan-out merge dedupes by ID and both shards score the user
+//     identically (same coordinates, same shared social snapshot). The
+//     reverse order would make users transiently invisible, which is a
+//     wrong answer.
+//  3. Each drained user goes through Snapshot()-published epochs on both
+//     shards, so a query always sees either the old epoch (user in the old
+//     shard), the overlap, or the new epoch — never a torn state.
+//
+// Close composes with an in-flight rebalance by setting closed under all
+// stripes: the drain loop re-checks closed at every batch boundary (under
+// the stripes) and aborts, and Close waits on the background goroutine
+// before stopping the substrate.
+
+// rebalanceCheckEvery is how many routed location ops pass between
+// imbalance evaluations on the update path (the check walks every shard's
+// snapshot header, so it is kept off the per-op fast path).
+const rebalanceCheckEvery = 512
+
+// RebalanceStats is a point-in-time view of the elastic partition.
+type RebalanceStats struct {
+	// Rebalances counts completed re-cuts that moved at least one cell.
+	Rebalances int64
+	// CellsMoved / UsersMoved total the migration volume across all re-cuts.
+	CellsMoved int64
+	UsersMoved int64
+	// LastImbalance is the max/mean shard occupancy measured at the end of
+	// the most recent re-cut (0 until one has run).
+	LastImbalance float64
+	// Threshold / DrainBatch echo the engine's rebalance knobs.
+	Threshold  float64
+	DrainBatch int
+}
+
+// RebalanceStats returns the accumulated rebalance counters.
+func (se *Engine) RebalanceStats() RebalanceStats {
+	return RebalanceStats{
+		Rebalances:    se.rebalances.Load(),
+		CellsMoved:    se.cellsMoved.Load(),
+		UsersMoved:    se.usersMoved.Load(),
+		LastImbalance: math.Float64frombits(se.lastImbalance.Load()),
+		Threshold:     se.opts.RebalanceThreshold,
+		DrainBatch:    se.opts.RebalanceDrainBatch,
+	}
+}
+
+// RebalanceInFlight reports whether a re-cut (automatic or explicit) is
+// currently draining cells. Observational only — the answer can be stale by
+// the time the caller acts on it; use Rebalance() to actually serialize
+// behind an in-flight drain.
+func (se *Engine) RebalanceInFlight() bool {
+	if se.rebalanceMu.TryLock() {
+		se.rebalanceMu.Unlock()
+		return false
+	}
+	return true
+}
+
+// Imbalance returns the current occupancy imbalance: the most populated
+// shard's located-user count over the mean (1 for a perfectly balanced or
+// empty engine).
+func (se *Engine) Imbalance() float64 {
+	maxPop, total := 0, 0
+	for _, sh := range se.shards {
+		n := sh.NumLocated()
+		total += n
+		if n > maxPop {
+			maxPop = n
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(maxPop) * float64(len(se.shards)) / float64(total)
+}
+
+// noteUpdates ticks the auto-rebalance check after n routed location ops.
+// Every rebalanceCheckEvery ops the imbalance is measured; past the
+// threshold, one background re-cut is kicked (TryLock keeps it single-
+// flight — a second trigger while one runs is simply dropped, the next
+// check re-fires if skew persists).
+func (se *Engine) noteUpdates(n int) {
+	if se.opts.RebalanceThreshold <= 0 || len(se.shards) < 2 {
+		return
+	}
+	c := se.opsSinceCheck.Add(int64(n))
+	if c < rebalanceCheckEvery {
+		return
+	}
+	se.opsSinceCheck.Add(-c)
+	if se.closed.Load() || se.Imbalance() < se.opts.RebalanceThreshold {
+		return
+	}
+	if !se.rebalanceMu.TryLock() {
+		return
+	}
+	se.bg.Add(1)
+	go func() {
+		defer se.bg.Done()
+		defer se.rebalanceMu.Unlock()
+		se.rebalance()
+	}()
+}
+
+// Rebalance synchronously re-cuts the partition against live occupancy and
+// drains every cell whose owner changed; it returns how many cells moved
+// (0 when the cut is already optimal). Exported for operational use and
+// tests; the engine normally triggers the same path itself from the update
+// stream. Serializes with the automatic trigger.
+func (se *Engine) Rebalance() int {
+	se.rebalanceMu.Lock()
+	defer se.rebalanceMu.Unlock()
+	return se.rebalance()
+}
+
+// rebalance is the re-cut + drain loop. Caller holds rebalanceMu.
+func (se *Engine) rebalance() int {
+	// Live occupancy per leaf cell, summed over the shards' published
+	// snapshots. Cells may keep moving while we look (queries and async
+	// routing are not paused); the cut only has to be good, not perfect —
+	// residual skew re-triggers the next check.
+	leaf := se.layout.LeafLevel()
+	numCells := se.layout.NumCells(leaf)
+	occ := make([]int64, numCells)
+	for _, sh := range se.shards {
+		g := sh.Snapshot().Grid()
+		for c := int32(0); c < int32(numCells); c++ {
+			occ[c] += int64(g.CountAt(leaf, c))
+		}
+	}
+	target := cutCurve(se.layout, occ, len(se.shards))
+
+	var moving []int32
+	for c := int32(0); c < int32(numCells); c++ {
+		if se.cellShard[c].Load() != target[c] {
+			moving = append(moving, c)
+		}
+	}
+	if len(moving) == 0 {
+		return 0
+	}
+
+	batch := se.opts.RebalanceDrainBatch
+	if batch < 1 {
+		batch = 1
+	}
+	moved := 0
+	for len(moving) > 0 {
+		n := batch
+		if n > len(moving) {
+			n = len(moving)
+		}
+		se.lockAllStripes()
+		if se.closed.Load() {
+			se.unlockAllStripes()
+			break
+		}
+		for _, c := range moving[:n] {
+			if se.migrateCellLocked(c, target[c]) {
+				moved++
+			}
+		}
+		se.unlockAllStripes()
+		moving = moving[n:]
+	}
+	if moved > 0 {
+		se.rebalances.Add(1)
+	}
+	se.lastImbalance.Store(math.Float64bits(se.Imbalance()))
+	return moved
+}
+
+// migrateCellLocked re-owns one leaf cell: flip routing, drain both
+// pipelines, then insert-before-remove every resident user. Caller holds
+// every routing stripe, so the owner map is frozen and the flushed old-shard
+// snapshot is the authoritative residency list.
+func (se *Engine) migrateCellLocked(c, newS int32) bool {
+	oldS := se.cellShard[c].Load()
+	if oldS == newS {
+		return false
+	}
+	// New routing first: any async op that enqueues after the stripes drop
+	// already targets the new owner.
+	se.cellShard[c].Store(newS)
+	// Drain ops routed to the old owner before the flip so its snapshot
+	// holds the users' settled locations.
+	se.shards[oldS].Flush()
+	se.shards[newS].Flush()
+
+	g := se.shards[oldS].Snapshot().Grid()
+	users := g.CellUsers(c)
+	if len(users) == 0 {
+		se.cellsMoved.Add(1)
+		return true
+	}
+	inserts := make([]core.Update, 0, len(users))
+	removes := make([]core.Update, 0, len(users))
+	for _, id := range users {
+		inserts = append(inserts, core.Update{ID: id, To: g.Point(id)})
+		removes = append(removes, core.Update{ID: id, Remove: true})
+	}
+	// Insert into the new owner, repoint routing, then remove from the old:
+	// a concurrent query sees the users in at least one shard at every
+	// instant (both, transiently — MergeTopK dedupes by ID).
+	if err := se.shards[newS].ApplyUpdates(inserts); err != nil {
+		// Validation cannot fail here (coordinates come from a published
+		// snapshot); revert routing defensively if it somehow does.
+		se.cellShard[c].Store(oldS)
+		return false
+	}
+	for _, id := range users {
+		se.owner[id].Store(newS)
+	}
+	if err := se.shards[oldS].ApplyUpdates(removes); err != nil {
+		return false
+	}
+	se.cellsMoved.Add(1)
+	se.usersMoved.Add(int64(len(users)))
+	return true
+}

@@ -1,37 +1,48 @@
 // Package shard implements the spatially-partitioned SSRQ engine: users are
 // split across S spatially-contiguous shards by a space-filling-curve
-// assignment of grid leaf cells, and every shard owns a complete, independent
-// core.Engine — its own grid, AIS aggregate index, updater pipeline, epochs,
-// and landmark/CH maintenance loops — built over a Restrict'ed view of one
-// shared dataset. Queries fan out in parallel and are combined by a k-way
-// merge; updates route to the shard owning the user's current location.
+// assignment of grid leaf cells, and every shard owns an independent spatial
+// side — its own grid, AIS aggregate index, updater pipeline and epochs —
+// built over a Restrict'ed view of one shared dataset. Queries fan out in
+// parallel and are combined by a k-way merge; updates route to the shard
+// owning the user's current location.
 //
 // The decomposition trades the two dimensions differently:
 //
 //   - The spatial dimension is PARTITIONED: each user's location is indexed
 //     by exactly one shard, so grid maintenance, AIS summaries and epoch
 //     publication scale out across shards instead of contending on one
-//     writer lock.
-//   - The social dimension is REPLICATED: every shard holds the full social
-//     graph and its own landmark tables, and edge updates are broadcast to
-//     all shards (a cross-shard friendship is therefore present in both
-//     endpoints' shards — and everyone else's). Replication is what keeps
-//     social distances exact: shortest paths route through arbitrary
-//     vertices, so any partition of the graph would change the metric.
+//     writer lock. The partition is ELASTIC: occupancy imbalance past a
+//     threshold re-cuts the Z-order curve online, draining leaf cells to
+//     their new owners through the ordinary update pipelines while queries
+//     keep serving lock-free (see rebalance.go).
+//   - The social dimension is SHARED: one aggindex.Social substrate owns the
+//     friendship graph overlay, the landmark tables, the contraction
+//     hierarchy and their maintenance loops, and every shard's aggregate
+//     index consumes its epoch-tagged snapshots. Sharing (rather than the
+//     per-shard replication of earlier revisions) is what keeps social
+//     distances exact at O(1) edge-op cost: shortest paths route through
+//     arbitrary vertices, so the graph cannot be partitioned — but it also
+//     need not be copied. An edge op applies once, and the substrate
+//     synchronously syncs every shard's summaries to the new social epoch
+//     before publication, so no shard can pair new membership with stale
+//     Lemma-2 bounds.
 //
 // Urban geo-social graphs are strongly geo-clustered (Herrera-Yagüe et al.,
 // "The anatomy of urban social networks"), which is what makes the spatial
 // cut effective: most of a user's top-k lives in their own shard, and the
 // fan-out prunes remote shards whose best-possible Lemma-2 score cannot beat
 // the running kth score (cf. Elsisy et al. on partial friend-locality
-// knowledge pruning cross-region work).
+// knowledge pruning cross-region work). The same literature's
+// distance-dependent migration is what unbalances a frozen partition —
+// hence the online re-cut.
 //
 // Equivalence with the monolithic engine is exact, not approximate: the
 // per-shard searches run the unmodified paper algorithms against their own
 // snapshots (core.Engine.QueryOn threads the owner shard's query location
 // through), the seed bound is applied strictly so ID tiebreaks survive, and
 // the metamorphic/differential harness in internal/core asserts
-// sharded == unsharded == brute under interleaved churn.
+// sharded == unsharded == brute under interleaved churn — including across
+// a forced mid-stream rebalance.
 package shard
 
 import (
@@ -40,8 +51,11 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"ssrq/internal/aggindex"
+	"ssrq/internal/ch"
 	"ssrq/internal/core"
 	"ssrq/internal/dataset"
+	"ssrq/internal/landmark"
 	"ssrq/internal/spatial"
 )
 
@@ -54,10 +68,15 @@ const MaxShards = 64
 // subset), so callers choose between one monolithic index and S partitioned
 // ones with a constructor argument.
 type Engine struct {
-	ds        *dataset.Dataset
-	layout    *spatial.Layout
-	cellShard []int32 // leaf cell -> owning shard
-	cellsOf   []int   // shard -> number of leaf cells owned
+	ds     *dataset.Dataset
+	layout *spatial.Layout
+	// cellShard maps each leaf cell to its owning shard. Entries move while
+	// the engine serves (rebalance re-cuts the curve online), so each is an
+	// atomic: routers and queries load the current owner lock-free, and the
+	// migration protocol tolerates the transient window where a moving
+	// cell's users are visible in two shards (the fan-out merge dedupes).
+	cellShard []atomic.Int32
+	sub       *aggindex.Social // shared social substrate, owned by this engine
 	shards    []*core.Engine
 	opts      core.Options
 
@@ -70,9 +89,19 @@ type Engine struct {
 	locks [64]sync.Mutex
 	// closed refuses new async routing; it is set and the shards are closed
 	// under all stripes, so an async op is either fully routed before the
-	// shards close (and drained everywhere — replicas stay convergent) or
-	// refused entirely. No half-delivered broadcast can straddle Close.
+	// shards close (and drained — state stays convergent) or refused
+	// entirely. No half-delivered multi-shard op can straddle Close.
 	closed atomic.Bool
+
+	// Rebalance machinery (see rebalance.go). rebalanceMu serializes
+	// re-cuts; bg tracks the auto-kicked goroutine so Close can wait it out.
+	rebalanceMu   sync.Mutex
+	bg            sync.WaitGroup
+	opsSinceCheck atomic.Int64
+	rebalances    atomic.Int64
+	cellsMoved    atomic.Int64
+	usersMoved    atomic.Int64
+	lastImbalance atomic.Uint64 // float64 bits
 
 	// Fan-out counters (see FanoutStats).
 	queries       atomic.Int64
@@ -83,14 +112,16 @@ type Engine struct {
 	prunedBy      []atomic.Int64
 }
 
-// New partitions the dataset across numShards spatially-contiguous shards
-// and builds one complete core.Engine per shard. The partition assigns grid
-// leaf cells to shards along a Z-order (Morton) space-filling curve, cutting
-// the curve into segments of approximately equal construction-time occupancy,
-// so shards start balanced and stay spatially contiguous along the curve.
-// Every shard shares the parent dataset's graph, coordinates, normalization
-// and bounds (dataset.Restrict), so per-shard scores are identical to the
-// monolithic engine's.
+// New partitions the dataset across numShards spatially-contiguous shards:
+// one shared social substrate (landmarks selected once, hierarchy built
+// once), and one spatial engine per shard over a Restrict'ed view of the
+// dataset. The partition assigns grid leaf cells to shards along a Z-order
+// (Morton) space-filling curve, cutting the curve into segments of
+// approximately equal construction-time occupancy, so shards start balanced
+// and stay spatially contiguous along the curve; sustained skew re-cuts it
+// online (rebalance.go). Every shard shares the parent dataset's graph,
+// coordinates, normalization and bounds (dataset.Restrict), so per-shard
+// scores are identical to the monolithic engine's.
 func New(ds *dataset.Dataset, numShards int, opts core.Options) (*Engine, error) {
 	if ds == nil {
 		return nil, fmt.Errorf("shard: nil dataset")
@@ -108,17 +139,45 @@ func New(ds *dataset.Dataset, numShards int, opts core.Options) (*Engine, error)
 		return nil, fmt.Errorf("shard: %d shards exceed %d grid leaf cells", numShards, numCells)
 	}
 
+	// The social substrate is built once, whatever the shard count: one
+	// landmark selection, one overlay, optionally one contraction hierarchy,
+	// one set of maintenance loops.
+	m := opts.NumLandmarks
+	if n := ds.NumUsers(); m > n {
+		m = n
+	}
+	lm, err := landmark.Select(ds.G, m, opts.LandmarkStrategy, opts.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("shard: selecting landmarks: %w", err)
+	}
+	cfg := aggindex.Config{
+		RepairBudget:          opts.LandmarkRepairBudget,
+		CompactThreshold:      opts.OverlayCompactThreshold,
+		ForcedInstallInterval: opts.ForcedInstallInterval,
+	}
+	if opts.BuildCH {
+		chd, err := ch.NewDynamic(ds.G, ch.Options{WitnessSettleLimit: opts.CHWitnessLimit}, opts.CHRepairBudget)
+		if err != nil {
+			return nil, fmt.Errorf("shard: contraction hierarchy: %w", err)
+		}
+		cfg.CH = chd
+	}
+	sub, err := aggindex.NewSocialSubstrate(lm, ds.G, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("shard: social substrate: %w", err)
+	}
+
 	se := &Engine{
 		ds:        ds,
 		layout:    layout,
-		cellShard: partition(layout, ds, numShards),
-		cellsOf:   make([]int, numShards),
+		cellShard: make([]atomic.Int32, numCells),
+		sub:       sub,
 		opts:      opts,
 		owner:     make([]atomic.Int32, ds.NumUsers()),
 		prunedBy:  make([]atomic.Int64, numShards),
 	}
-	for _, s := range se.cellShard {
-		se.cellsOf[s]++
+	for c, s := range partition(layout, ds, numShards) {
+		se.cellShard[c].Store(s)
 	}
 
 	// Per-shard located masks and the initial owner map.
@@ -132,16 +191,15 @@ func New(ds *dataset.Dataset, numShards int, opts core.Options) (*Engine, error)
 			se.owner[id].Store(-1)
 			continue
 		}
-		s := se.cellShard[layout.CellIndex(leaf, ds.Pts[id])]
+		s := se.cellShard[layout.CellIndex(leaf, ds.Pts[id])].Load()
 		keep[s][id] = true
 		se.owner[id].Store(s)
 	}
 
 	// The per-shard builds are independent (each touches only its own
-	// Restrict'ed view) but each pays full landmark-table — and optionally
-	// CH — construction over the replicated graph, so build them in
-	// parallel: sharded startup then costs about one monolith build of
-	// wall-clock on a machine with ≥ numShards cores.
+	// Restrict'ed view) and cheap — grid plus AIS summaries; the expensive
+	// social structures already exist in the substrate — but build them in
+	// parallel anyway, like the restrictions themselves.
 	se.shards = make([]*core.Engine, numShards)
 	errs := make([]error, numShards)
 	var wg sync.WaitGroup
@@ -154,7 +212,7 @@ func New(ds *dataset.Dataset, numShards int, opts core.Options) (*Engine, error)
 				errs[s] = fmt.Errorf("shard %d: %w", s, err)
 				return
 			}
-			eng, err := core.NewEngine(dsS, opts)
+			eng, err := core.NewEngineWithSubstrate(dsS, opts, sub)
 			if err != nil {
 				errs[s] = fmt.Errorf("shard %d: %w", s, err)
 				return
@@ -171,27 +229,34 @@ func New(ds *dataset.Dataset, numShards int, opts core.Options) (*Engine, error)
 					sh.Close()
 				}
 			}
+			sub.Close()
 			return nil, errs[s]
 		}
 	}
 	return se, nil
 }
 
-// partition maps every leaf cell to a shard: cells are ordered along the
-// Z-order curve and the curve is cut into numShards contiguous segments of
-// approximately equal weight, where a cell's weight is dominated by its
-// construction-time occupancy with a +1 cell-count term so empty regions
-// still split evenly.
+// partition maps every leaf cell to a shard from construction-time
+// occupancy; cutCurve does the actual Z-order cut (shared with the online
+// rebalance, which feeds it live occupancy instead).
 func partition(layout *spatial.Layout, ds *dataset.Dataset, numShards int) []int32 {
 	leaf := layout.LeafLevel()
-	numCells := layout.NumCells(leaf)
-	occ := make([]int64, numCells)
+	occ := make([]int64, layout.NumCells(leaf))
 	for id := 0; id < ds.NumUsers(); id++ {
 		if ds.Located[id] {
 			occ[layout.CellIndex(leaf, ds.Pts[id])]++
 		}
 	}
-	dim := layout.Dim(leaf)
+	return cutCurve(layout, occ, numShards)
+}
+
+// cutCurve orders the leaf cells along the Z-order curve and cuts the curve
+// into numShards contiguous segments of approximately equal weight, where a
+// cell's weight is dominated by its occupancy with a +1 cell-count term so
+// empty regions still split evenly.
+func cutCurve(layout *spatial.Layout, occ []int64, numShards int) []int32 {
+	numCells := len(occ)
+	dim := layout.Dim(layout.LeafLevel())
 	order := make([]int32, numCells)
 	for i := range order {
 		order[i] = int32(i)
@@ -244,7 +309,7 @@ func spread(v uint32) uint64 {
 
 // shardOfPoint returns the shard owning the region containing p.
 func (se *Engine) shardOfPoint(p spatial.Point) int32 {
-	return se.cellShard[se.layout.CellIndex(se.layout.LeafLevel(), p)]
+	return se.cellShard[se.layout.CellIndex(se.layout.LeafLevel(), p)].Load()
 }
 
 // NumShards returns the shard count.
@@ -257,6 +322,9 @@ func (se *Engine) Dataset() *dataset.Dataset { return se.ds }
 // Options returns the per-shard engine options (defaults resolved).
 func (se *Engine) Options() core.Options { return se.opts }
 
+// Substrate returns the shared social substrate all shards consume.
+func (se *Engine) Substrate() *aggindex.Social { return se.sub }
+
 // ShardOfUser returns the shard currently locating the user, -1 when the
 // user has no indexed location.
 func (se *Engine) ShardOfUser(id int32) int {
@@ -266,21 +334,29 @@ func (se *Engine) ShardOfUser(id int32) int {
 	return int(se.owner[id].Load())
 }
 
-// CellShard returns the shard owning grid leaf cell idx (partition
-// introspection for stats and tests).
-func (se *Engine) CellShard(idx int32) int { return int(se.cellShard[idx]) }
+// CellShard returns the shard currently owning grid leaf cell idx (partition
+// introspection for stats and tests; moves under rebalance).
+func (se *Engine) CellShard(idx int32) int { return int(se.cellShard[idx].Load()) }
 
 // lockFor returns the routing lock stripe for a user.
 func (se *Engine) lockFor(id int32) *sync.Mutex {
 	return &se.locks[int(id)&(len(se.locks)-1)]
 }
 
-// lockForEdge returns the routing lock stripe for an unordered user pair —
-// edge broadcasts serialize on it so every shard sees ops for one edge in
-// the same order.
-func (se *Engine) lockForEdge(u, v int32) *sync.Mutex {
+// stripeOf returns the stripe index lockFor would lock.
+func stripeOf(id int32) int { return int(id) & 63 }
+
+// stripeOfEdge returns the stripe index lockForEdge would lock.
+func stripeOfEdge(u, v int32) int {
 	if u > v {
 		u, v = v, u
 	}
-	return &se.locks[int(u^v*31)&(len(se.locks)-1)]
+	return int(u^v*31) & 63
+}
+
+// lockForEdge returns the routing lock stripe for an unordered user pair —
+// concurrent writers of one edge serialize on it so the substrate receives
+// their ops in one order.
+func (se *Engine) lockForEdge(u, v int32) *sync.Mutex {
+	return &se.locks[stripeOfEdge(u, v)]
 }

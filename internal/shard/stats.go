@@ -27,14 +27,19 @@ type ShardStat struct {
 	PrunedQueries int64
 }
 
-// ShardStats returns a point-in-time view of every shard.
+// ShardStats returns a point-in-time view of every shard. Cell ownership is
+// recounted from the live routing table — it moves under rebalance.
 func (se *Engine) ShardStats() []ShardStat {
+	cells := make([]int, len(se.shards))
+	for c := range se.cellShard {
+		cells[se.cellShard[c].Load()]++
+	}
 	out := make([]ShardStat, len(se.shards))
 	for s, sh := range se.shards {
 		us := sh.UpdateStats()
 		out[s] = ShardStat{
 			Shard:             s,
-			Cells:             se.cellsOf[s],
+			Cells:             cells[s],
 			NumLocated:        sh.NumLocated(),
 			Epoch:             us.Epoch,
 			SocialEpoch:       us.SocialEpoch,
@@ -100,87 +105,26 @@ func (se *Engine) UpdateStats() core.UpdateStats {
 	return agg
 }
 
-// SocialStats reports the social dimension. Graph-shape fields (edge counts,
-// overlay size, per-op counters) come from shard 0 — edge ops broadcast, so
-// every shard's graph converges to the same shape and per-op counters count
-// each logical op once. Maintenance counters (repairs, disables, rebuilds,
-// forced installs, CH work) are summed across shards: each shard maintains
-// its own landmark tables and hierarchy, and the sum is the real work the
-// replication costs.
-func (se *Engine) SocialStats() core.SocialStats {
-	agg := se.shards[0].SocialStats()
-	agg.DisabledLandmarks = 0
-	agg.LandmarkRepairs, agg.RepairedVertices, agg.LandmarkDisables, agg.LandmarkRebuilds = 0, 0, 0, 0
-	agg.LandmarkForcedInstalls = 0
-	agg.CHRepairs, agg.CHRecontracted, agg.CHRepairFallbacks, agg.CHRebuilds, agg.CHForcedInstalls = 0, 0, 0, 0, 0
-	// Per-shard epoch counters advance independently (each shard batches the
-	// broadcast edge stream its own way), so raw built/social epochs are not
-	// comparable ACROSS shards: freshness is a per-shard predicate, and the
-	// aggregate encodes "every shard fresh" by aligning CHBuiltEpoch with the
-	// aggregate SocialEpoch (callers compare the two for ch_fresh).
-	chAllFresh := true
-	for s, sh := range se.shards {
-		st := sh.SocialStats()
-		if st.SocialEpoch > agg.SocialEpoch {
-			agg.SocialEpoch = st.SocialEpoch
-		}
-		if st.CHBuilt && st.CHBuiltEpoch != st.SocialEpoch {
-			chAllFresh = false
-		}
-		if s == 0 || st.CHBuiltEpoch < agg.CHBuiltEpoch {
-			agg.CHBuiltEpoch = st.CHBuiltEpoch
-		}
-		agg.DisabledLandmarks += st.DisabledLandmarks
-		agg.LandmarkRepairs += st.LandmarkRepairs
-		agg.RepairedVertices += st.RepairedVertices
-		agg.LandmarkDisables += st.LandmarkDisables
-		agg.LandmarkRebuilds += st.LandmarkRebuilds
-		agg.LandmarkForcedInstalls += st.LandmarkForcedInstalls
-		agg.CHRepairs += st.CHRepairs
-		agg.CHRecontracted += st.CHRecontracted
-		agg.CHRepairFallbacks += st.CHRepairFallbacks
-		agg.CHRebuilds += st.CHRebuilds
-		agg.CHForcedInstalls += st.CHForcedInstalls
-	}
-	if agg.CHBuilt {
-		if chAllFresh {
-			agg.CHBuiltEpoch = agg.SocialEpoch
-		} else if agg.CHBuiltEpoch == agg.SocialEpoch {
-			// A stale shard's raw built epoch may coincide with the aggregate
-			// social epoch; force the inequality staleness is reported by. A
-			// stale shard implies at least one social batch landed, so the
-			// aggregate social epoch is ≥ 1.
-			agg.CHBuiltEpoch = agg.SocialEpoch - 1
-		}
-	}
-	return agg
-}
+// SocialStats reports the social dimension straight from the shared
+// substrate: one graph, one set of landmark tables, one hierarchy and one
+// set of maintenance counters, whatever the shard count. (The replicated
+// design this replaced had to sum maintenance work across shards and
+// re-align per-shard epochs; the substrate removes the ambiguity along with
+// the S× work.)
+func (se *Engine) SocialStats() core.SocialStats { return se.sub.Stats() }
 
-// SupportsEdgeChurn reports whether the shards accept edge updates (uniform
-// across shards: same landmark configuration everywhere).
-func (se *Engine) SupportsEdgeChurn() bool { return se.shards[0].SupportsEdgeChurn() }
+// SupportsEdgeChurn reports whether the shared substrate accepts edge
+// updates (uniform across shards by construction).
+func (se *Engine) SupportsEdgeChurn() bool { return se.sub.SupportsEdgeChurn() }
 
-// RebuildLandmarks synchronously restores disabled landmarks on every shard;
-// returns the total rebuilt.
-func (se *Engine) RebuildLandmarks() int {
-	total := 0
-	for _, sh := range se.shards {
-		total += sh.RebuildLandmarks()
-	}
-	return total
-}
+// RebuildLandmarks synchronously restores disabled landmarks in the shared
+// substrate; every shard's next snapshot carries the restored tables.
+// Returns how many landmarks were rebuilt.
+func (se *Engine) RebuildLandmarks() int { return se.sub.RebuildDisabledLandmarks() }
 
-// RebuildCH synchronously re-contracts every stale shard hierarchy; reports
-// whether any shard rebuilt.
-func (se *Engine) RebuildCH() bool {
-	any := false
-	for _, sh := range se.shards {
-		if sh.RebuildCH() {
-			any = true
-		}
-	}
-	return any
-}
+// RebuildCH synchronously re-contracts the shared hierarchy when stale;
+// reports whether a rebuild ran.
+func (se *Engine) RebuildCH() bool { return se.sub.RebuildCH() }
 
 // UserLocation returns a user's current (normalized) coordinates from the
 // owning shard's published snapshot; ok is false when unlocated.
@@ -204,9 +148,8 @@ func (se *Engine) NumLocated() int {
 	return total
 }
 
-// LiveSocialGraph returns the latest published social graph (shard 0's —
-// the graph is replicated and shards differ only by in-flight broadcasts).
-func (se *Engine) LiveSocialGraph() *graph.Graph { return se.shards[0].LiveSocialGraph() }
+// LiveSocialGraph returns the shared substrate's latest published graph.
+func (se *Engine) LiveSocialGraph() *graph.Graph { return se.sub.Snapshot().Graph() }
 
 // sortNeighbors orders by ascending (Dist, ID) — the spatial analogue of
 // the entries' (F, ID) order.

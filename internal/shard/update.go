@@ -2,6 +2,7 @@ package shard
 
 import (
 	"fmt"
+	"math/bits"
 
 	"ssrq/internal/core"
 	"ssrq/internal/spatial"
@@ -11,8 +12,11 @@ import (
 // move that crosses a shard boundary becomes a removal on the old owner plus
 // an insertion on the new one, with the owner map updated under the user's
 // routing lock so concurrent movers of the same user cannot interleave into
-// a doubly-located state. Edge ops are broadcast to every shard (the social
-// graph is replicated — see the package comment).
+// a doubly-located state. Edge ops route to shard 0's pipeline only: its
+// aggregate index forwards them to the shared social substrate, which
+// applies each op ONCE and synchronously syncs every shard's summaries to
+// the new social epoch — O(1) in the shard count, where the replicated
+// design this replaced broadcast every edge op S times.
 //
 // Ordering is the invariant everything hangs on: for any one user, the
 // per-shard application order must match the routing order, or a
@@ -21,15 +25,19 @@ import (
 //
 //   - Asynchronous ops enqueue onto the owning shards' FIFO pipelines while
 //     holding a routing lock — the user's stripe for location ops, the
-//     unordered pair's stripe for edge broadcasts — so the pipeline order
-//     per shard is the routing order, and concurrent writers of one edge
-//     cannot deliver their broadcasts in different orders to different
-//     shards (which would diverge the replicated graphs permanently).
-//   - Synchronous batches take every routing lock (in index order — no
-//     deadlock), flush each shard they are about to write (draining async
-//     ops routed earlier), and only then apply directly. Holding all stripes
-//     freezes async routing for the duration, so nothing can slip between
-//     the flush and the apply.
+//     unordered pair's stripe for edge ops — so the pipeline order per shard
+//     is the routing order, and concurrent writers of one edge cannot reach
+//     the substrate in different orders (which would diverge last-write-wins
+//     outcomes).
+//   - Synchronous batches take the routing locks for exactly the stripes the
+//     batch touches (in index order — no deadlock against single-stripe
+//     async routers or the all-stripe rebalance/Close paths), flush each
+//     shard they are about to write (draining async ops routed earlier for
+//     those users), and only then apply directly. Holding a user's stripe
+//     freezes async routing for that user, so nothing for the batch's users
+//     can slip between the flush and the apply; traffic for untouched users
+//     proceeds concurrently, which is the point — PR 5's all-stripe
+//     acquisition made every sync batch a global writer barrier.
 //
 // Cross-shard atomicity is deliberately out of scope for a partitioned
 // engine: each shard publishes its own epochs, queries are per-shard
@@ -43,44 +51,44 @@ func (se *Engine) validate(op core.Update) error {
 	return se.shards[0].ValidateUpdate(op)
 }
 
-// enqueueRouted routes one already-validated op onto the owning shards'
-// asynchronous pipelines. The closed re-check under the stripe makes async
+// enqueueRouted routes one already-validated op onto the owning shard's
+// asynchronous pipeline. The closed re-check under the stripe makes async
 // routing atomic with respect to Close: Close sets the flag and closes the
 // shards while holding every stripe, so a route either completes before
-// the barrier (and Close's drain applies it on every shard) or observes
-// closed and touches nothing — a multi-shard op can never half-land.
+// the barrier (and Close's drain applies it) or observes closed and touches
+// nothing — a multi-shard op can never half-land.
 func (se *Engine) enqueueRouted(op core.Update) error {
 	if op.Kind != core.OpLocation {
-		// The whole broadcast runs under the pair's stripe: concurrent
-		// writers of the same edge serialize here, so every shard's pipeline
-		// receives their ops in the same order (last write wins uniformly),
-		// and a synchronous batch holding all stripes cannot interleave with
-		// a half-delivered broadcast.
+		// Concurrent writers of the same edge serialize on the pair's stripe,
+		// so shard 0's pipeline — and through it the shared substrate —
+		// receives their ops in one order (last write wins deterministically).
 		mu := se.lockForEdge(op.U, op.V)
 		mu.Lock()
 		defer mu.Unlock()
 		if se.closed.Load() {
 			return fmt.Errorf("shard: engine closed")
 		}
-		for _, sh := range se.shards {
-			var err error
-			if op.Kind == core.OpEdgeRemove {
-				err = sh.RemoveFriendAsync(op.U, op.V)
-			} else {
-				err = sh.AddFriendAsync(op.U, op.V, op.W)
-			}
-			if err != nil {
-				return err
-			}
+		if op.Kind == core.OpEdgeRemove {
+			return se.shards[0].RemoveFriendAsync(op.U, op.V)
 		}
-		return nil
+		return se.shards[0].AddFriendAsync(op.U, op.V, op.W)
 	}
 	mu := se.lockFor(op.ID)
 	mu.Lock()
-	defer mu.Unlock()
 	if se.closed.Load() {
+		mu.Unlock()
 		return fmt.Errorf("shard: engine closed")
 	}
+	err := se.routeAsyncLocked(op)
+	mu.Unlock()
+	if err == nil {
+		se.noteUpdates(1)
+	}
+	return err
+}
+
+// routeAsyncLocked enqueues one location op; caller holds the user's stripe.
+func (se *Engine) routeAsyncLocked(op core.Update) error {
 	old := se.owner[op.ID].Load()
 	if op.Remove {
 		if old < 0 {
@@ -100,12 +108,10 @@ func (se *Engine) enqueueRouted(op core.Update) error {
 }
 
 // routeInto routes one already-validated op into per-shard batches, updating
-// the owner map. Caller holds every routing lock.
+// the owner map. Caller holds the routing locks for every op in the batch.
 func (se *Engine) routeInto(per [][]core.Update, op core.Update) {
 	if op.Kind != core.OpLocation {
-		for s := range per {
-			per[s] = append(per[s], op)
-		}
+		per[0] = append(per[0], op) // shard 0 forwards to the shared substrate
 		return
 	}
 	old := se.owner[op.ID].Load()
@@ -124,9 +130,39 @@ func (se *Engine) routeInto(per [][]core.Update, op core.Update) {
 	se.owner[op.ID].Store(dst)
 }
 
-// lockAllStripes / unlockAllStripes freeze asynchronous routing for the
-// duration of a synchronous batch. Acquisition in index order keeps the
-// stripes deadlock-free against single-stripe async routers.
+// stripeMaskOf returns the set of routing stripes a batch touches, as a bit
+// per stripe (the stripe count is pinned to 64 by the mask type).
+func (se *Engine) stripeMaskOf(ops []core.Update) uint64 {
+	var mask uint64
+	for _, op := range ops {
+		if op.Kind == core.OpLocation {
+			mask |= 1 << uint(stripeOf(op.ID))
+		} else {
+			mask |= 1 << uint(stripeOfEdge(op.U, op.V))
+		}
+	}
+	return mask
+}
+
+// lockStripes / unlockStripes acquire exactly the masked stripes, in index
+// order (and release in reverse), so partial acquisitions compose with the
+// all-stripe holders (rebalance, Close) without deadlock.
+func (se *Engine) lockStripes(mask uint64) {
+	for m := mask; m != 0; m &= m - 1 {
+		se.locks[bits.TrailingZeros64(m)].Lock()
+	}
+}
+
+func (se *Engine) unlockStripes(mask uint64) {
+	for m := mask; m != 0; {
+		i := 63 - bits.LeadingZeros64(m)
+		se.locks[i].Unlock()
+		m &^= 1 << uint(i)
+	}
+}
+
+// lockAllStripes / unlockAllStripes freeze asynchronous routing entirely —
+// the rebalance drain and Close barriers.
 func (se *Engine) lockAllStripes() {
 	for i := range se.locks {
 		se.locks[i].Lock()
@@ -141,16 +177,19 @@ func (se *Engine) unlockAllStripes() {
 
 // ApplyUpdates validates the whole batch, routes every op, and applies each
 // shard's share as one published epoch per shard before returning
-// (read-your-writes). On a validation error nothing is applied. Works after
-// Close, like the monolithic engine's synchronous path.
+// (read-your-writes). Only the routing stripes the batch actually touches
+// are held — concurrent async traffic for other users keeps flowing. On a
+// validation error nothing is applied. Works after Close, like the
+// monolithic engine's synchronous path.
 func (se *Engine) ApplyUpdates(ops []core.Update) error {
 	for _, op := range ops {
 		if err := se.validate(op); err != nil {
 			return err
 		}
 	}
-	se.lockAllStripes()
-	defer se.unlockAllStripes()
+	mask := se.stripeMaskOf(ops)
+	se.lockStripes(mask)
+	defer se.unlockStripes(mask)
 	per := make([][]core.Update, len(se.shards))
 	for _, op := range ops {
 		se.routeInto(per, op)
@@ -159,13 +198,15 @@ func (se *Engine) ApplyUpdates(ops []core.Update) error {
 		if len(batch) == 0 {
 			continue
 		}
-		// Drain async ops routed before this batch so the shard applies its
-		// stream in routing order; stripes are held, so nothing new arrives.
+		// Drain async ops routed before this batch so the shard applies this
+		// batch's users in routing order; their stripes are held, so nothing
+		// new for them arrives between the flush and the apply.
 		se.shards[s].Flush()
 		if err := se.shards[s].ApplyUpdates(batch); err != nil {
 			return err
 		}
 	}
+	se.noteUpdates(len(ops))
 	return nil
 }
 
@@ -197,18 +238,18 @@ func (se *Engine) RemoveUserLocationAsync(id int32) error {
 	return se.enqueueRouted(op)
 }
 
-// AddFriend inserts (or reweights) a friendship on every shard, one
-// published epoch per shard, before returning.
+// AddFriend inserts (or reweights) a friendship in the shared substrate,
+// synchronously — every shard's next snapshot carries the new social epoch.
 func (se *Engine) AddFriend(u, v int32, w float64) error {
 	return se.ApplyUpdates([]core.Update{{Kind: core.OpEdgeUpsert, U: u, V: v, W: w}})
 }
 
-// RemoveFriend deletes a friendship on every shard.
+// RemoveFriend deletes a friendship from the shared substrate.
 func (se *Engine) RemoveFriend(u, v int32) error {
 	return se.ApplyUpdates([]core.Update{{Kind: core.OpEdgeRemove, U: u, V: v}})
 }
 
-// AddFriendAsync enqueues a friendship upsert on every shard's pipeline.
+// AddFriendAsync enqueues a friendship upsert (applied once, via shard 0).
 func (se *Engine) AddFriendAsync(u, v int32, w float64) error {
 	op := core.Update{Kind: core.OpEdgeUpsert, U: u, V: v, W: w}
 	if err := se.validate(op); err != nil {
@@ -217,7 +258,7 @@ func (se *Engine) AddFriendAsync(u, v int32, w float64) error {
 	return se.enqueueRouted(op)
 }
 
-// RemoveFriendAsync enqueues a friendship removal on every shard's pipeline.
+// RemoveFriendAsync enqueues a friendship removal (applied once, via shard 0).
 func (se *Engine) RemoveFriendAsync(u, v int32) error {
 	op := core.Update{Kind: core.OpEdgeRemove, U: u, V: v}
 	if err := se.validate(op); err != nil {
@@ -235,18 +276,22 @@ func (se *Engine) Flush() {
 	}
 }
 
-// Close drains and stops every shard's update pipeline and background
-// maintenance, holding every routing stripe throughout so in-flight async
-// routes finish (and drain on every shard) before the shards shut down and
-// later ones are refused whole — see enqueueRouted. Idempotent; queries
-// and synchronous mutation keep working afterwards (stale structures then
-// stay stale until an explicit RebuildLandmarks/RebuildCH, exactly like
+// Close drains and stops every shard's update pipeline, waits out any
+// in-flight rebalance, and stops the shared substrate's background
+// maintenance. It holds every routing stripe while setting closed and
+// closing the shards, so in-flight async routes finish (and drain) before
+// shutdown and later ones are refused whole — see enqueueRouted; a running
+// rebalance observes closed at its next drain batch and aborts. Idempotent;
+// queries and synchronous mutation keep working afterwards (stale structures
+// then stay stale until an explicit RebuildLandmarks/RebuildCH, exactly like
 // the monolithic engine).
 func (se *Engine) Close() {
 	se.lockAllStripes()
-	defer se.unlockAllStripes()
 	se.closed.Store(true)
 	for _, sh := range se.shards {
 		sh.Close()
 	}
+	se.unlockAllStripes()
+	se.bg.Wait()
+	se.sub.Close()
 }

@@ -399,6 +399,27 @@ func (e *Engine) FanoutStats() FanoutStats {
 	return FanoutStats{}
 }
 
+// RebalanceStats counts the sharded engine's elastic re-cuts.
+type RebalanceStats = shard.RebalanceStats
+
+// RebalanceStats returns the sharded engine's rebalance counters (zero value
+// for the monolithic engine, whose single partition never moves).
+func (e *Engine) RebalanceStats() RebalanceStats {
+	if se, ok := e.eng.(*shard.Engine); ok {
+		return se.RebalanceStats()
+	}
+	return RebalanceStats{}
+}
+
+// Imbalance reports the sharded engine's current occupancy imbalance
+// (max/mean located users per shard; 1 for the monolithic engine).
+func (e *Engine) Imbalance() float64 {
+	if se, ok := e.eng.(*shard.Engine); ok {
+		return se.Imbalance()
+	}
+	return 1
+}
+
 // Dataset returns the engine's dataset.
 func (e *Engine) Dataset() *Dataset { return e.d }
 
