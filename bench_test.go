@@ -3,7 +3,7 @@
 // These run at a small fixed scale so `go test -bench=.` stays minutes-
 // bounded; cmd/ssrq-bench runs the full parameter sweeps at configurable
 // scales and prints paper-style tables.
-package ssrq
+package ssrq_test
 
 import (
 	"fmt"
@@ -17,6 +17,7 @@ import (
 	"ssrq/internal/gen"
 	"ssrq/internal/graph"
 	"ssrq/internal/landmark"
+	"ssrq/internal/spatial"
 	"ssrq/internal/shard"
 )
 
@@ -402,7 +403,7 @@ func BenchmarkQueriesUnderConcurrentMovers(b *testing.B) {
 						default:
 							id := int32(i % n)
 							p := be.ds.Pts[id] // construction-time coords; stable under moves
-							if err := be.eng.MoveUserAsync(id, Point{X: 1 - p.X, Y: 1 - p.Y}); err != nil {
+							if err := be.eng.MoveUserAsync(id, spatial.Point{X: 1 - p.X, Y: 1 - p.Y}); err != nil {
 								return
 							}
 							i += movers
@@ -489,7 +490,7 @@ func BenchmarkLocationUpdate(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		id := int32(i % be.ds.NumUsers())
 		p := pts[id]
-		if err := be.eng.MoveUser(id, Point{X: 1 - p.X, Y: 1 - p.Y}); err != nil {
+		if err := be.eng.MoveUser(id, spatial.Point{X: 1 - p.X, Y: 1 - p.Y}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -509,7 +510,7 @@ func BenchmarkLocationUpdateBatched(b *testing.B) {
 		for j := range ops {
 			id := int32((i*batch + j) % n)
 			p := pts[id]
-			ops[j] = core.Update{ID: id, To: Point{X: 1 - p.X, Y: 1 - p.Y}}
+			ops[j] = core.Update{ID: id, To: spatial.Point{X: 1 - p.X, Y: 1 - p.Y}}
 		}
 		if err := be.eng.ApplyUpdates(ops); err != nil {
 			b.Fatal(err)

@@ -14,11 +14,12 @@
 //	ssrq-bench -exp socialchurn -erate 0,500,5000 # latency vs edge-update rate
 //	ssrq-bench -exp shard -shards 1,4,16          # sharded fan-out latency + pruning
 //	ssrq-bench -exp shard -skew -shards 16        # skewed migration + online rebalance
+//	ssrq-bench -exp subscribe -subs 2000          # standing top-k subscriptions: delta latency + skip rate
 //	ssrq-bench -exp throughput -json out.json     # also emit a machine-readable report
 //
 // Experiments: table2 fig7a fig7b fig8 fig9 fig10 fig11 fig12 fig13 fig14a
-// fig14b throughput churn socialchurn shard all. Scales: small | medium |
-// large (see internal/exp).
+// fig14b throughput churn socialchurn shard subscribe all. Scales: small |
+// medium | large (see internal/exp).
 package main
 
 import (
@@ -98,6 +99,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		erate    = fs.String("erate", "", "comma-separated edge-update rates/sec for -exp socialchurn (0 = off, negative = unthrottled; default 0,200,2000)")
 		shards   = fs.String("shards", "", "comma-separated shard counts for -exp shard (default 1,2,4,8; 16 with -skew)")
 		skew     = fs.Bool("skew", false, "run -exp shard as the skewed-migration cell: hotspot drift + automatic online rebalance")
+		subs     = fs.Int("subs", 0, "standing-subscription count for -exp subscribe (default 1000, capped by the located population)")
 		jsonPath = fs.String("json", "", "also write every measurement as a JSON report to this path (- for stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -140,6 +142,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	suite.EdgeRates = edgeRates
 	suite.ShardCounts = shardCounts
 	suite.Skew = *skew
+	suite.Subscribers = *subs
 	start := time.Now()
 	if err := suite.Run(*expID, *withCH); err != nil {
 		fmt.Fprintln(stderr, "ssrq-bench:", err)

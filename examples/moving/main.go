@@ -1,7 +1,13 @@
-// Moving users: SSRQ over dynamic locations. The grid and the AIS social
-// summaries maintain themselves under location updates (§5.1: deletion from
-// the old cell, insertion into the new one, recursive summary propagation),
-// so queries stay exact while users move.
+// Moving users: continuous SSRQ over dynamic locations. Instead of
+// re-querying after every change, the example registers a standing top-k
+// subscription: the engine watches each published epoch, proves via the
+// batch's touched-user set and Lemma-2 lower bounds when the result cannot
+// have changed (skipped silently), and pushes incremental deltas — entries
+// that entered the top-k, left it, or changed score — only otherwise.
+// Bulk movement goes through the async pipeline (MoveUserAsync + Flush),
+// which coalesces redundant moves and amortizes hundreds of updates into a
+// handful of copy-on-write epochs, instead of paying one epoch per
+// synchronous MoveUser call.
 package main
 
 import (
@@ -20,6 +26,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer eng.Close()
 
 	var me ssrq.UserID = -1
 	for v := 0; v < ds.NumUsers(); v++ {
@@ -28,52 +35,80 @@ func main() {
 			break
 		}
 	}
+
+	// Stand up the subscription; it blocks until the initial top-5 is
+	// evaluated, and the first delta is the full result.
+	sub, err := eng.Subscribe(me, 5, 0.3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sub.Close()
+
 	home, _ := ds.Location(me)
 	fmt.Printf("user %d at home (%.3f, %.3f):\n", me, home.X, home.Y)
-	before, err := eng.TopK(me, 5, 0.3)
-	if err != nil {
-		log.Fatal(err)
-	}
-	print5(before)
+	printDelta(sub.Delta())
 
-	// Commute across the map: move to the opposite corner and re-query.
+	// Commute across the map. A rejected move (NaN / out-of-range user)
+	// would silently leave the subscription serving stale results, so the
+	// error must be checked.
 	away := ssrq.Point{X: home.X + 0.4*ds.Norms().Spatial, Y: home.Y + 0.4*ds.Norms().Spatial}
-	eng.MoveUser(me, away)
-	fmt.Printf("\nafter moving to (%.3f, %.3f):\n", away.X, away.Y)
-	after, err := eng.TopK(me, 5, 0.3)
-	if err != nil {
+	if err := eng.MoveUser(me, away); err != nil {
 		log.Fatal(err)
 	}
-	print5(after)
+	eng.SyncSubscriptions()
+	fmt.Printf("\nafter moving to (%.3f, %.3f):\n", away.X, away.Y)
+	printDelta(sub.Delta())
 
-	// Friends keep moving too; every update keeps the index exact.
+	// Friends keep moving too — enqueue the whole wave on the batching
+	// pipeline and flush once, rather than paying one published epoch per
+	// synchronous MoveUser.
 	moved := 0
 	for v := 0; v < ds.NumUsers() && moved < 500; v++ {
 		id := ssrq.UserID(v)
 		if p, ok := ds.Location(id); ok && id != me {
-			eng.MoveUser(id, ssrq.Point{X: p.X * 0.95, Y: p.Y * 0.95})
+			if err := eng.MoveUserAsync(id, ssrq.Point{X: p.X * 0.95, Y: p.Y * 0.95}); err != nil {
+				log.Fatal(err)
+			}
 			moved++
 		}
 	}
+	eng.SyncSubscriptions() // flush the pipeline + subscription barrier
 	fmt.Printf("\nafter %d other users moved:\n", moved)
-	final, err := eng.TopK(me, 5, 0.3)
+	printDelta(sub.Delta())
+
+	// Sanity: the standing result still matches a from-scratch brute-force
+	// query after all updates.
+	final := sub.Result()
+	want, err := eng.TopKWith(ssrq.BruteForce, me, 5, 0.3)
 	if err != nil {
 		log.Fatal(err)
 	}
-	print5(final)
-
-	// Sanity: the index-based answer still matches brute force.
-	want, _ := eng.TopKWith(ssrq.BruteForce, me, 5, 0.3)
-	for i := range final.Entries {
-		if final.Entries[i].F != want.Entries[i].F {
-			log.Fatalf("index drifted from brute force at rank %d", i)
+	if len(final) != len(want.Entries) {
+		log.Fatalf("subscription has %d entries, brute force %d", len(final), len(want.Entries))
+	}
+	for i := range final {
+		if final[i].F != want.Entries[i].F {
+			log.Fatalf("subscription drifted from brute force at rank %d", i)
 		}
 	}
-	fmt.Println("\nindex verified against brute force after all updates ✓")
+	st := eng.SubscriptionStats()
+	fmt.Printf("\nsubscription verified against brute force ✓ (%d evals, %d skips)\n", st.Evals, st.Skips)
 }
 
-func print5(r *ssrq.Result) {
-	for i, e := range r.Entries {
-		fmt.Printf("  %d. user %-6d f=%.4f (social %.4f, spatial %.4f)\n", i+1, e.ID, e.F, e.P, e.D)
+// printDelta shows one incremental update the way an SSE consumer would
+// render it.
+func printDelta(d ssrq.SubscriptionDelta) {
+	if d.Empty() {
+		fmt.Println("  (no change — epoch proven unable to affect the top-k)")
+		return
+	}
+	for _, e := range d.Added {
+		fmt.Printf("  + user %-6d f=%.4f (social %.4f, spatial %.4f)\n", e.ID, e.F, e.P, e.D)
+	}
+	for _, e := range d.Rescored {
+		fmt.Printf("  ~ user %-6d f=%.4f (social %.4f, spatial %.4f)\n", e.ID, e.F, e.P, e.D)
+	}
+	for _, id := range d.Removed {
+		fmt.Printf("  - user %d left the top-k\n", id)
 	}
 }

@@ -479,7 +479,9 @@ func TestMoveUserChangesResults(t *testing.T) {
 	if outsider < 0 {
 		t.Skip("no outsider available")
 	}
-	e.MoveUser(outsider, e.ds.Pts[q])
+	if err := e.MoveUser(outsider, e.ds.Pts[q]); err != nil {
+		t.Fatal(err)
+	}
 	after, err := e.Query(AIS, q, prm)
 	if err != nil {
 		t.Fatal(err)
@@ -509,7 +511,9 @@ func TestRemoveLocationExcludesUser(t *testing.T) {
 		t.Skip("empty result")
 	}
 	victim := before.Entries[0].ID
-	e.RemoveUserLocation(victim)
+	if err := e.RemoveUserLocation(victim); err != nil {
+		t.Fatal(err)
+	}
 	after, _ := e.Query(AIS, q, prm)
 	if after.IDSet()[victim] {
 		t.Fatalf("unlocated user %d still reported", victim)

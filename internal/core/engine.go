@@ -359,6 +359,12 @@ func (e *Engine) Grid() *spatial.Grid { return e.grid }
 // AggIndex returns the AIS aggregate index.
 func (e *Engine) AggIndex() *aggindex.Index { return e.agg }
 
+// OnEpoch installs the epoch-delta callback (single consumer; nil
+// detaches). The callback runs on the publishing goroutine under the
+// index writer lock — it must be cheap and must not call back into the
+// engine. See aggindex.SetNotify.
+func (e *Engine) OnEpoch(fn func(aggindex.EpochDelta)) { e.agg.SetNotify(fn) }
+
 // Snapshot returns the current index epoch: grid membership, coordinates
 // and AIS summaries as one immutable, lock-free view.
 func (e *Engine) Snapshot() *aggindex.Snapshot { return e.agg.Snapshot() }

@@ -36,6 +36,9 @@ type Suite struct {
 	// hotspot drift, automatic online rebalance, per-phase latency and
 	// imbalance reporting (see RunShardSkew).
 	Skew bool
+	// Subscribers is the standing-subscription count for the "subscribe"
+	// experiment (default 1000, capped by the located population).
+	Subscribers int
 
 	datasets map[string]*dataset.Dataset
 	engines  map[string]*core.Engine
@@ -188,6 +191,8 @@ func (s *Suite) Run(id string, withCH bool) error {
 			return s.RunShardSkew()
 		}
 		return s.RunShard()
+	case "subscribe":
+		return s.RunSubscribe()
 	case "diag":
 		return s.RunDiagnostics()
 	default:

@@ -49,6 +49,7 @@ func New(eng *ssrq.Engine) *Server {
 	s.mux.HandleFunc("POST /moves", s.handleMoves)
 	s.mux.HandleFunc("POST /edges", s.handleEdges)
 	s.mux.HandleFunc("POST /unlocate", s.handleUnlocate)
+	s.mux.HandleFunc("GET /subscribe", s.handleSubscribe)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)

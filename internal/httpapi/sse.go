@@ -1,0 +1,111 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"ssrq"
+)
+
+// sseDelta is the wire form of one subscription delta event: the entries
+// that entered the top-k (in result order), the ones that remain with a
+// changed score, and the IDs that dropped out. The first event of a
+// stream carries the full initial result as "added".
+type sseDelta struct {
+	Round    uint64       `json:"round"`
+	Added    []queryEntry `json:"added,omitempty"`
+	Rescored []queryEntry `json:"rescored,omitempty"`
+	Removed  []int32      `json:"removed,omitempty"`
+}
+
+func toSSEDelta(d ssrq.SubscriptionDelta) sseDelta {
+	out := sseDelta{Round: d.Round}
+	for _, e := range d.Added {
+		out.Added = append(out.Added, queryEntry{ID: e.ID, F: e.F, Social: e.P, Spatial: e.D})
+	}
+	for _, e := range d.Rescored {
+		out.Rescored = append(out.Rescored, queryEntry{ID: e.ID, F: e.F, Social: e.P, Spatial: e.D})
+	}
+	out.Removed = d.Removed
+	return out
+}
+
+// handleSubscribe streams a standing top-k query as server-sent events:
+// one "delta" event per result change (the first carrying the full
+// initial result), coalesced per evaluation round. The stream ends when
+// the client disconnects or the engine closes; either way the
+// subscription is torn down before the handler returns.
+func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported by this connection"))
+		return
+	}
+	q, err := intParam(r, "user", -1)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	k, err := intParam(r, "k", 10)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	alpha := 0.3
+	if raw := r.URL.Query().Get("alpha"); raw != "" {
+		alpha, err = strconv.ParseFloat(raw, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad alpha: %w", err))
+			return
+		}
+	}
+
+	sb, err := s.eng.Subscribe(ssrq.UserID(q), k, alpha)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	defer sb.Close()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	// Initial event: the full current result as an all-added delta.
+	if !writeSSEDelta(w, sb.Delta()) {
+		return
+	}
+	flusher.Flush()
+
+	for {
+		select {
+		case <-r.Context().Done():
+			return // client disconnected
+		case _, open := <-sb.Notify():
+			if !open {
+				return // subscription or engine closed
+			}
+			d := sb.Delta()
+			if d.Empty() {
+				continue // drained by an earlier wakeup
+			}
+			if !writeSSEDelta(w, d) {
+				return
+			}
+			flusher.Flush()
+		}
+	}
+}
+
+// writeSSEDelta emits one "delta" event; false when the connection broke.
+func writeSSEDelta(w http.ResponseWriter, d ssrq.SubscriptionDelta) bool {
+	payload, err := json.Marshal(toSSEDelta(d))
+	if err != nil {
+		return false
+	}
+	_, err = fmt.Fprintf(w, "event: delta\ndata: %s\n\n", payload)
+	return err == nil
+}

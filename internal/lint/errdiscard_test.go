@@ -1,0 +1,237 @@
+// Package lint holds repo-wide source hygiene checks that run as ordinary
+// tests, so `go test ./...` enforces them without external tooling.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestNoDiscardedErrors is a hand-written errcheck equivalent: it walks
+// every .go file in the repository (tests and examples included), collects
+// the names of functions and methods declared here whose last result is
+// `error`, and then flags
+//
+//   - bare expression-statement calls of those functions — the bug class
+//     behind the silently-stale examples/moving (a rejected MoveUser left
+//     the demo reporting results for a location the user never reached),
+//     anywhere in the tree, and
+//   - all-blank assignments (`_ = f()`, `_, _ = f()`) of those functions in
+//     non-test files — tests may discard deliberately, production and
+//     example code must handle or visibly waive.
+//
+// A line whose trailing comment contains "errok" is waived (with the
+// comment doubling as the justification). Names also declared somewhere
+// with a different result shape (e.g. the engines' error-less Close) are
+// excluded entirely, keeping the check false-positive-free without type
+// information. defer/go statements are out of scope: the error there is
+// discarded by language design, not by accident.
+func TestNoDiscardedErrors(t *testing.T) {
+	root, err := repoRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, err := goFiles(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fset := token.NewFileSet()
+	parsed := make(map[string]*ast.File, len(files))
+	for _, path := range files {
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", path, err)
+		}
+		parsed[path] = f
+	}
+
+	// Pass 1: every function/method name declared in this repo — including
+	// named closures (`check := func(...) {...}`) — split into "last result
+	// is error" and "declared with any other result shape".
+	returnsErr := make(map[string]bool)
+	otherShape := make(map[string]bool)
+	classify := func(name string, ft *ast.FuncType) {
+		if lastResultIsError(ft) {
+			returnsErr[name] = true
+		} else {
+			otherShape[name] = true
+		}
+	}
+	for _, f := range parsed {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				classify(fd.Name.Name, fd.Type)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				fl, ok := rhs.(*ast.FuncLit)
+				if !ok {
+					continue
+				}
+				if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name != "_" {
+					classify(id.Name, fl.Type)
+				}
+			}
+			return true
+		})
+	}
+	for name := range otherShape {
+		delete(returnsErr, name)
+	}
+
+	var violations []string
+	for _, path := range files {
+		f := parsed[path]
+		rel, relErr := filepath.Rel(root, path)
+		if relErr != nil {
+			rel = path
+		}
+		isTest := strings.HasSuffix(path, "_test.go")
+		waived := waivedLines(fset, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = st.X.(*ast.CallExpr)
+			case *ast.AssignStmt:
+				if isTest || !allBlank(st.Lhs) || len(st.Rhs) != 1 {
+					return true
+				}
+				call, _ = st.Rhs[0].(*ast.CallExpr)
+			default:
+				return true
+			}
+			if call == nil {
+				return true
+			}
+			name := calleeName(call)
+			if name == "" || !returnsErr[name] || isTestingReceiver(call) {
+				return true
+			}
+			line := fset.Position(call.Pos()).Line
+			if waived[line] {
+				return true
+			}
+			violations = append(violations,
+				fmt.Sprintf("%s:%d: result of %s discarded (handle the error or waive with //errok <reason>)",
+					rel, line, name))
+			return true
+		})
+	}
+
+	if len(violations) > 0 {
+		sort.Strings(violations)
+		t.Errorf("%d discarded error(s):\n%s", len(violations), strings.Join(violations, "\n"))
+	}
+}
+
+// repoRoot walks up from the package directory to the go.mod.
+func repoRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// goFiles lists every .go file in the repo, skipping VCS metadata.
+func goFiles(root string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") {
+			out = append(out, path)
+		}
+		return nil
+	})
+	return out, err
+}
+
+// lastResultIsError reports whether the function type's final result is the
+// identifier `error`.
+func lastResultIsError(ft *ast.FuncType) bool {
+	if ft.Results == nil || len(ft.Results.List) == 0 {
+		return false
+	}
+	last := ft.Results.List[len(ft.Results.List)-1]
+	id, ok := last.Type.(*ast.Ident)
+	return ok && id.Name == "error"
+}
+
+// calleeName extracts the called function's bare name (`f()` or `x.f()`).
+func calleeName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}
+
+// isTestingReceiver reports whether the call is a method on a conventional
+// *testing.T/B/F receiver (`t.Run`, `b.Run`, …) — stdlib methods whose
+// names may collide with repo declarations but never return errors.
+func isTestingReceiver(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && (id.Name == "t" || id.Name == "b" || id.Name == "f")
+}
+
+// allBlank reports whether every assignment target is the blank identifier.
+func allBlank(lhs []ast.Expr) bool {
+	for _, e := range lhs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return true
+}
+
+// waivedLines collects the line numbers carrying an errok comment.
+func waivedLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	out := make(map[int]bool)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, "errok") {
+				out[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return out
+}

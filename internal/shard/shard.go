@@ -325,6 +325,20 @@ func (se *Engine) Options() core.Options { return se.opts }
 // Substrate returns the shared social substrate all shards consume.
 func (se *Engine) Substrate() *aggindex.Social { return se.sub }
 
+// OnEpoch installs fn as the epoch-delta callback on every shard (single
+// consumer; nil detaches everywhere). Shard epochs publish independently,
+// so fn must tolerate interleaved deltas: per-shard Moved sets are
+// disjoint at any instant (each user has one owning shard), and a
+// cross-shard move surfaces as a removal delta on the old owner plus an
+// insert delta on the new one — a consumer that unions touched-user IDs
+// across callbacks sees a superset of everything that changed. A shared-
+// substrate social sync fires once per shard with SocialChanged set.
+func (se *Engine) OnEpoch(fn func(aggindex.EpochDelta)) {
+	for _, sh := range se.shards {
+		sh.AggIndex().SetNotify(fn)
+	}
+}
+
 // ShardOfUser returns the shard currently locating the user, -1 when the
 // user has no indexed location.
 func (se *Engine) ShardOfUser(id int32) int {

@@ -28,8 +28,10 @@ package ssrq
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
+	"ssrq/internal/aggindex"
 	"ssrq/internal/core"
 	"ssrq/internal/dataset"
 	"ssrq/internal/gen"
@@ -37,6 +39,7 @@ import (
 	"ssrq/internal/landmark"
 	"ssrq/internal/shard"
 	"ssrq/internal/spatial"
+	"ssrq/internal/sub"
 )
 
 // UserID identifies a user; users are dense integers in [0, NumUsers).
@@ -306,6 +309,7 @@ type engineAPI interface {
 	NumLocated() int
 	LiveSocialGraph() *graph.Graph
 	SpatialKNN(q int32, k int) ([]spatial.Neighbor, error)
+	OnEpoch(fn func(aggindex.EpochDelta))
 }
 
 // Engine answers SSRQ queries over one dataset. The engine is safe for
@@ -324,6 +328,11 @@ type engineAPI interface {
 type Engine struct {
 	eng engineAPI
 	d   *Dataset
+
+	// subs is the continuous-subscription layer, created lazily on the
+	// first Subscribe call so query-only engines pay nothing for it.
+	subMu sync.Mutex
+	subs  *sub.Engine
 }
 
 // NewEngine builds all indexes (grid, social summaries, landmark tables,
@@ -548,9 +557,81 @@ func (e *Engine) ApplyUpdates(ups []Update) error {
 // RemoveUserLocationAsync before the call has been applied and published.
 func (e *Engine) Flush() { e.eng.Flush() }
 
-// Close drains the asynchronous update pipeline and stops it. Idempotent;
-// queries keep working after Close, only the async update path shuts down.
-func (e *Engine) Close() { e.eng.Close() }
+// Close drains the asynchronous update pipeline and stops it, after first
+// tearing down the subscription layer — every live Subscription's notify
+// channel is closed (terminating SSE streams and other consumers) and the
+// in-flight evaluation round is waited out before the underlying engine
+// shuts down. Idempotent; queries keep working after Close, only the push
+// and async update paths shut down.
+func (e *Engine) Close() {
+	e.subMu.Lock()
+	subs := e.subs
+	e.subs = nil
+	e.subMu.Unlock()
+	if subs != nil {
+		subs.Close()
+	}
+	e.eng.Close()
+}
+
+// Subscription is a standing top-k query (see Subscribe).
+type Subscription = sub.Subscription
+
+// SubscriptionDelta is the change between two consecutive reads of a
+// subscription's result (see Subscription.Delta).
+type SubscriptionDelta = sub.Delta
+
+// SubscriptionStats are the subscription layer's counters; the skip rate
+// is Skips / (Skips + Evals).
+type SubscriptionStats = sub.Stats
+
+// Subscribe registers a standing top-k query for user q: instead of
+// re-running TopK, the engine watches every published epoch, proves via
+// the batch's touched-user set and Lemma-2 lower bounds when q's result
+// cannot have changed (the overwhelmingly common case, skipped silently),
+// and re-evaluates only otherwise. Consumers wait on the subscription's
+// Notify channel and drain changes with Delta (entries carry normalized
+// scores, exactly like TopK results), or poll Result. Close the
+// subscription to stop; Engine.Close tears down all of them. Blocks until
+// the initial result is evaluated.
+func (e *Engine) Subscribe(q UserID, k int, alpha float64) (*Subscription, error) {
+	if q < 0 || int(q) >= e.d.NumUsers() {
+		return nil, fmt.Errorf("ssrq: subscribe user %d out of range [0,%d)", q, e.d.NumUsers())
+	}
+	e.subMu.Lock()
+	if e.subs == nil {
+		e.subs = sub.New(e.eng)
+	}
+	subs := e.subs
+	e.subMu.Unlock()
+	return subs.Subscribe(q, k, alpha)
+}
+
+// SyncSubscriptions is the subscription read-your-writes barrier: it
+// flushes the async update pipeline and then blocks until every epoch
+// published before the call has been through a subscription evaluation
+// round, so every subscription's Result reflects all prior updates.
+func (e *Engine) SyncSubscriptions() {
+	e.eng.Flush()
+	e.subMu.Lock()
+	subs := e.subs
+	e.subMu.Unlock()
+	if subs != nil {
+		subs.Sync()
+	}
+}
+
+// SubscriptionStats returns the subscription layer's counters (zero value
+// when nothing ever subscribed).
+func (e *Engine) SubscriptionStats() SubscriptionStats {
+	e.subMu.Lock()
+	subs := e.subs
+	e.subMu.Unlock()
+	if subs == nil {
+		return SubscriptionStats{}
+	}
+	return subs.Stats()
+}
 
 // RemoveUserLocation marks the user's whereabouts unknown; he/she becomes
 // "infinitely far away" and leaves all spatial structures.

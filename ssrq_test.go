@@ -4,6 +4,7 @@ import (
 	"math"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 func TestNewDatasetExplicitWeights(t *testing.T) {
@@ -131,8 +132,11 @@ func TestMoveUserRawCoordinates(t *testing.T) {
 	q := UserID(0)
 	target, _ := ds.Location(q)
 	// Teleport user 42 onto the query user and verify it becomes the
-	// nearest spatial neighbor.
-	eng.MoveUser(42, target)
+	// nearest spatial neighbor. A rejected move would silently leave user
+	// 42 where it was, so the error must be checked.
+	if err := eng.MoveUser(42, target); err != nil {
+		t.Fatal(err)
+	}
 	nbrs, err := eng.SpatialKNN(q, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -140,7 +144,9 @@ func TestMoveUserRawCoordinates(t *testing.T) {
 	if len(nbrs) != 1 || nbrs[0].ID != 42 {
 		t.Fatalf("nearest after move = %+v", nbrs)
 	}
-	eng.RemoveUserLocation(42)
+	if err := eng.RemoveUserLocation(42); err != nil {
+		t.Fatal(err)
+	}
 	nbrs, _ = eng.SpatialKNN(q, 1)
 	if len(nbrs) == 1 && nbrs[0].ID == 42 {
 		t.Fatal("removed user still indexed")
@@ -396,5 +402,110 @@ func TestShardedEngineRootAPI(t *testing.T) {
 	st := sharded.DatasetStats()
 	if st.NumLocated == 0 || st.NumEdges == 0 {
 		t.Fatalf("live stats dead: %+v", st)
+	}
+}
+
+func TestSubscribeRootAPI(t *testing.T) {
+	ds, err := Synthesize("twitter", 300, 7) // all located
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		opts *Options
+	}{
+		{"monolithic", nil},
+		{"sharded", &Options{Shards: 4}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			eng, err := NewEngine(ds, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer eng.Close()
+
+			if _, err := eng.Subscribe(-1, 5, 0.3); err == nil {
+				t.Fatal("negative user accepted")
+			}
+			if _, err := eng.Subscribe(0, 5, 1.5); err == nil {
+				t.Fatal("alpha out of (0,1) accepted")
+			}
+
+			const q, k = 0, 5
+			sb, err := eng.Subscribe(q, k, 0.3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sb.Close()
+			want, err := eng.TopK(q, k, 0.3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := sb.Result()
+			if len(got) != len(want.Entries) {
+				t.Fatalf("initial result %d entries, want %d", len(got), len(want.Entries))
+			}
+			for i := range got {
+				if got[i].ID != want.Entries[i].ID || got[i].F != want.Entries[i].F {
+					t.Fatalf("rank %d: subscription %+v, query %+v", i, got[i], want.Entries[i])
+				}
+			}
+
+			// Raw-coordinate async moves must flow through to the standing
+			// query after the subscription barrier.
+			far, ok := eng.UserLocation(want.Entries[k-1].ID)
+			if !ok {
+				t.Fatal("ranked user unlocated")
+			}
+			if err := eng.MoveUserAsync(q, Point{X: far.X + 5, Y: far.Y + 5}); err != nil {
+				t.Fatal(err)
+			}
+			eng.SyncSubscriptions()
+			want, err = eng.TopK(q, k, 0.3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = sb.Result()
+			if len(got) != len(want.Entries) {
+				t.Fatalf("post-move result %d entries, want %d", len(got), len(want.Entries))
+			}
+			for i := range got {
+				if got[i].ID != want.Entries[i].ID {
+					t.Fatalf("post-move rank %d: subscription id=%d, query id=%d", i, got[i].ID, want.Entries[i].ID)
+				}
+			}
+			if st := eng.SubscriptionStats(); st.Active != 1 || st.Evals == 0 {
+				t.Fatalf("subscription stats dead: %+v", st)
+			}
+		})
+	}
+}
+
+func TestSubscribeAfterCloseRejected(t *testing.T) {
+	ds, err := Synthesize("twitter", 200, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(ds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := eng.Subscribe(0, 5, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Close()
+	// Close must have terminated the subscription's notify stream (a
+	// buffered change signal may still be pending ahead of the close).
+	timeout := time.After(5 * time.Second)
+	for {
+		select {
+		case _, open := <-sb.Notify():
+			if !open {
+				return
+			}
+		case <-timeout:
+			t.Fatal("notify channel still open after engine Close")
+		}
 	}
 }
