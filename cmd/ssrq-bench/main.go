@@ -15,10 +15,11 @@
 //	ssrq-bench -exp shard -shards 1,4,16          # sharded fan-out latency + pruning
 //	ssrq-bench -exp shard -skew -shards 16        # skewed migration + online rebalance
 //	ssrq-bench -exp subscribe -subs 2000          # standing top-k subscriptions: delta latency + skip rate
+//	ssrq-bench -exp recover                       # WAL churn cost, crash recovery speed, follower tail (self-checking)
 //	ssrq-bench -exp throughput -json out.json     # also emit a machine-readable report
 //
 // Experiments: table2 fig7a fig7b fig8 fig9 fig10 fig11 fig12 fig13 fig14a
-// fig14b throughput churn socialchurn shard subscribe all. Scales: small |
+// fig14b throughput churn socialchurn shard subscribe recover all. Scales: small |
 // medium | large (see internal/exp).
 package main
 
@@ -88,7 +89,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("ssrq-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		expID    = fs.String("exp", "all", "experiment id (table2, fig7a..fig14b, throughput, all)")
+		expID    = fs.String("exp", "all", "experiment id (table2, fig7a..fig14b, throughput, recover, all)")
 		scale    = fs.String("scale", "medium", "dataset scale: small|medium|large")
 		seed     = fs.Int64("seed", 42, "generator seed")
 		withCH   = fs.Bool("ch", false, "include the SFA-CH/SPA-CH/TSA-CH variants in fig8 (slow preprocessing)")

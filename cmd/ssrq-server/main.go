@@ -13,6 +13,7 @@
 //	POST /moves  {"moves":[...],"flush":false}               bulk updates (batching pipeline)
 //	POST /unlocate {"id":123}                                drop location
 //	GET  /stats                                              dataset + epoch/update stats
+//	GET  /wal/bootstrap, /wal/stream                         journal replication feed
 //	GET  /healthz                                            liveness
 //
 // Start with a saved dataset or a synthesized one:
@@ -24,6 +25,23 @@
 // With -shards N the engine is spatially partitioned: queries fan out in
 // parallel across per-region indexes with bound-based shard pruning, updates
 // route to the owning shard, and /stats gains per-shard counters.
+//
+// With -wal-dir the engine is durable: every mutation is journaled to a
+// write-ahead log before it applies, a restart recovers the journaled state
+// (newest checkpoint + tail replay), and the /wal endpoints serve the
+// journal to followers:
+//
+//	ssrq-server -preset gowalla -n 20000 -wal-dir /var/lib/ssrq/wal
+//
+// With -follower-of the server is a read-only replica instead: it
+// bootstraps from the named leader's newest checkpoint, tails its journal,
+// answers queries at bounded replication lag (reported in /stats), and
+// returns 403 for writes:
+//
+//	ssrq-server -preset gowalla -n 20000 -follower-of http://leader:8080
+//
+// The replica must be started over the leader's construction dataset (same
+// -data file, or same -preset/-n/-seed).
 package main
 
 import (
@@ -33,8 +51,10 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"time"
 
 	"ssrq"
+	"ssrq/internal/follower"
 	"ssrq/internal/httpapi"
 )
 
@@ -48,6 +68,13 @@ type serverConfig struct {
 	parallel int
 	buildCH  bool
 	shards   int
+
+	walDir     string
+	fsync      string
+	ckptEvery  int64
+	keepSegs   bool
+	followerOf string
+	pollEvery  time.Duration
 }
 
 // parseFlags parses the command line; separated from main so tests can
@@ -64,35 +91,82 @@ func parseFlags(args []string, stderr io.Writer) (*serverConfig, error) {
 	fs.IntVar(&cfg.parallel, "parallel", 0, "default worker count for POST /batch (0 = GOMAXPROCS)")
 	fs.BoolVar(&cfg.buildCH, "ch", false, "build a contraction hierarchy so the SFA-CH/SPA-CH/TSA-CH variants serve (survives edge churn: in-place repair for insertions, background rebuild otherwise)")
 	fs.IntVar(&cfg.shards, "shards", 1, "spatially partition the engine across this many shards (parallel fan-out queries, per-shard update pipelines, per-shard /stats; 1 = monolithic)")
+	fs.StringVar(&cfg.walDir, "wal-dir", "", "journal every mutation to a write-ahead log in this directory and recover from it on start (empty = not durable)")
+	fs.StringVar(&cfg.fsync, "fsync", "batch", "WAL commit policy: batch (group-committed fsync before a write returns), interval, or off")
+	fs.Int64Var(&cfg.ckptEvery, "checkpoint-every", 100000, "write a background WAL checkpoint after this many journaled ops (0 = never)")
+	fs.BoolVar(&cfg.keepSegs, "wal-keep", false, "retain checkpointed-away WAL segments (keeps the full history replayable for file-tailing followers)")
+	fs.StringVar(&cfg.followerOf, "follower-of", "", "run as a read-only replica of the leader server at this base URL (e.g. http://leader:8080)")
+	fs.DurationVar(&cfg.pollEvery, "poll-interval", 20*time.Millisecond, "replica tail poll interval (with -follower-of)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
+	}
+	if cfg.walDir != "" && cfg.followerOf != "" {
+		return nil, fmt.Errorf("-wal-dir and -follower-of are mutually exclusive: a replica consumes a journal, it does not write one")
 	}
 	return cfg, nil
 }
 
-// buildServer loads or synthesizes the dataset, builds the engine and wraps
-// it in the HTTP handler; separated from main so tests can drive the full
-// stack through httptest.
-func buildServer(cfg *serverConfig) (*httpapi.Server, *ssrq.Dataset, error) {
-	var (
-		ds  *ssrq.Dataset
-		err error
-	)
+// loadDataset loads or synthesizes the configured dataset.
+func loadDataset(cfg *serverConfig) (*ssrq.Dataset, error) {
 	if cfg.data != "" {
-		ds, err = ssrq.LoadDataset(cfg.data)
-	} else {
-		ds, err = ssrq.Synthesize(cfg.preset, cfg.n, cfg.seed)
+		return ssrq.LoadDataset(cfg.data)
 	}
+	return ssrq.Synthesize(cfg.preset, cfg.n, cfg.seed)
+}
+
+// buildServer loads or synthesizes the dataset and builds the HTTP handler
+// in the configured role — standalone, durable leader, or read-only
+// follower; separated from main so tests can drive the full stack through
+// httptest. The cleanup func releases the engine (and follower tail loop).
+func buildServer(cfg *serverConfig) (*httpapi.Server, *ssrq.Dataset, func(), error) {
+	ds, err := loadDataset(cfg)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	eng, err := ssrq.NewEngine(ds, &ssrq.Options{Seed: cfg.seed, BuildCH: cfg.buildCH, Shards: cfg.shards})
+	opts := &ssrq.Options{Seed: cfg.seed, BuildCH: cfg.buildCH, Shards: cfg.shards}
+
+	if cfg.followerOf != "" {
+		f, err := follower.New(ds, follower.HTTPSource{BaseURL: cfg.followerOf}, &follower.Options{
+			Engine:       opts,
+			PollInterval: cfg.pollEvery,
+		})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		srv := httpapi.New(f.Engine())
+		srv.SetParallel(cfg.parallel)
+		srv.SetFollower(func() (uint64, uint64) {
+			st := f.Stats()
+			return st.AppliedSeq, st.LeaderSeq
+		})
+		return srv, ds, f.Close, nil
+	}
+
+	if cfg.walDir != "" {
+		opts.Durability = &ssrq.DurabilityOptions{
+			Dir:                cfg.walDir,
+			Fsync:              cfg.fsync,
+			CheckpointEveryOps: cfg.ckptEvery,
+			KeepSegments:       cfg.keepSegs,
+		}
+		eng, rec, err := ssrq.OpenOrRecover(ds, opts)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		log.Printf("ssrq-server: recovered to seq %d (checkpoint@%d: %d ops, tail: %d ops, %d torn bytes dropped) in %v",
+			rec.LastSeq, rec.CheckpointSeq, rec.CheckpointOps, rec.ReplayedOps, rec.TruncatedBytes, rec.Elapsed)
+		srv := httpapi.New(eng)
+		srv.SetParallel(cfg.parallel)
+		return srv, ds, eng.Close, nil
+	}
+
+	eng, err := ssrq.NewEngine(ds, opts)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	srv := httpapi.New(eng)
 	srv.SetParallel(cfg.parallel)
-	return srv, ds, nil
+	return srv, ds, eng.Close, nil
 }
 
 func main() {
@@ -100,14 +174,22 @@ func main() {
 	if err != nil {
 		os.Exit(2)
 	}
-	srv, ds, err := buildServer(cfg)
+	srv, ds, cleanup, err := buildServer(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ssrq-server:", err)
 		os.Exit(1)
 	}
+	defer cleanup()
 	st := ds.Stats()
-	log.Printf("ssrq-server: %s (%d users, %d edges) listening on %s (batch parallelism %d, %d shard(s))",
-		st.Name, st.NumVertices, st.NumEdges, cfg.addr, cfg.parallel, cfg.shards)
+	role := "standalone"
+	switch {
+	case cfg.followerOf != "":
+		role = "follower of " + cfg.followerOf
+	case cfg.walDir != "":
+		role = "durable leader (wal: " + cfg.walDir + ", fsync: " + cfg.fsync + ")"
+	}
+	log.Printf("ssrq-server: %s (%d users, %d edges) listening on %s (batch parallelism %d, %d shard(s), %s)",
+		st.Name, st.NumVertices, st.NumEdges, cfg.addr, cfg.parallel, cfg.shards, role)
 	if err := http.ListenAndServe(cfg.addr, srv); err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 )
 
 func TestParseFlags(t *testing.T) {
@@ -27,10 +28,11 @@ func TestBuildServerAndServe(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, ds, err := buildServer(cfg)
+	srv, ds, cleanup, err := buildServer(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer cleanup()
 	if ds.NumUsers() != 400 {
 		t.Fatalf("users = %d", ds.NumUsers())
 	}
@@ -91,10 +93,11 @@ func TestBuildShardedServer(t *testing.T) {
 	if cfg.shards != 4 {
 		t.Fatalf("shards = %d", cfg.shards)
 	}
-	srv, _, err := buildServer(cfg)
+	srv, _, cleanup, err := buildServer(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer cleanup()
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
@@ -128,7 +131,7 @@ func TestBuildShardedServer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := buildServer(bad); err == nil {
+	if _, _, _, err := buildServer(bad); err == nil {
 		t.Fatal("absurd shard count accepted")
 	}
 }
@@ -138,7 +141,141 @@ func TestBuildServerBadDataset(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := buildServer(cfg); err == nil {
+	if _, _, _, err := buildServer(cfg); err == nil {
 		t.Fatal("missing dataset file accepted")
+	}
+}
+
+// TestDurableLeaderAndFollowerServers drives the new roles end to end:
+// a -wal-dir leader journals a write and recovers it on restart; a
+// -follower-of replica tails the leader, reports its replication position
+// in /stats, and refuses writes.
+func TestDurableLeaderAndFollowerServers(t *testing.T) {
+	walDir := t.TempDir()
+	cfg, err := parseFlags([]string{"-preset", "gowalla", "-n", "300", "-wal-dir", walDir, "-fsync", "off"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, _, cleanup, err := buildServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+
+	body := bytes.NewBufferString(`{"id":7,"x":0.125,"y":0.25}`)
+	resp, err := http.Post(ts.URL+"/move", "application/json", body)
+	if err != nil || resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("move: %v %v", err, resp)
+	}
+	resp.Body.Close()
+	ts.Close()
+	cleanup()
+
+	// Restart over the same WAL directory: the move must survive.
+	srv, _, cleanup, err = buildServer(cfg)
+	if err != nil {
+		t.Fatalf("restart with WAL: %v", err)
+	}
+	defer cleanup()
+	ts = httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, err = http.Get(ts.URL + "/user/7")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("user: %v %v", err, resp)
+	}
+	var user struct {
+		X float64 `json:"x"`
+		Y float64 `json:"y"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&user); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if user.X != 0.125 || user.Y != 0.25 {
+		t.Fatalf("recovered location (%v,%v), want (0.125,0.25)", user.X, user.Y)
+	}
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		Durability struct {
+			LastSeq uint64 `json:"last_seq"`
+		} `json:"durability"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Durability.LastSeq == 0 {
+		t.Fatal("durable leader /stats has no journal position")
+	}
+
+	// Follower of the recovered leader.
+	fcfg, err := parseFlags([]string{"-preset", "gowalla", "-n", "300", "-follower-of", ts.URL, "-poll-interval", "1ms"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsrv, _, fcleanup, err := buildServer(fcfg)
+	if err != nil {
+		t.Fatalf("follower build: %v", err)
+	}
+	defer fcleanup()
+	fts := httptest.NewServer(fsrv)
+	defer fts.Close()
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(fts.URL + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var fst struct {
+			Role    string  `json:"role"`
+			Applied uint64  `json:"replication_applied_seq"`
+			Lag     *uint64 `json:"replication_lag_ops"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&fst); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if fst.Role != "follower" || fst.Lag == nil {
+			t.Fatalf("follower /stats missing replication section: %+v", fst)
+		}
+		if fst.Applied >= st.Durability.LastSeq && *fst.Lag == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never caught up: %+v", fst)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, err = http.Get(fts.URL + "/user/7")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("follower user: %v %v", err, resp)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&user); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if user.X != 0.125 || user.Y != 0.25 {
+		t.Fatalf("follower location (%v,%v), want (0.125,0.25)", user.X, user.Y)
+	}
+
+	body = bytes.NewBufferString(`{"id":7,"x":0.5,"y":0.5}`)
+	resp, err = http.Post(fts.URL+"/move", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("follower accepted a write: %d", resp.StatusCode)
+	}
+
+	// -wal-dir and -follower-of together must be rejected.
+	if _, err := parseFlags([]string{"-wal-dir", walDir, "-follower-of", ts.URL}, io.Discard); err == nil {
+		t.Fatal("conflicting roles accepted")
 	}
 }

@@ -269,6 +269,13 @@ type Index struct {
 	notify       func(EpochDelta)
 	notifyMoved  []int32
 	notifySocial bool
+
+	// oplogFn, when set, receives every location batch under mu immediately
+	// before it is applied — the write-ahead hook for the durability layer.
+	// Batches arrive post-coalesce (this is where the async updater lands),
+	// so the logged stream is exactly the applied stream, in application
+	// order. Single consumer; must be cheap and must not call back in.
+	oplogFn func([]Op)
 }
 
 // EpochDelta describes what one published epoch changed: the users whose
@@ -290,6 +297,21 @@ func (ix *Index) SetNotify(fn func(EpochDelta)) {
 	ix.mu.Lock()
 	ix.notify = fn
 	ix.mu.Unlock()
+}
+
+// SetOpLog installs the write-ahead hook: fn receives every location batch
+// under the writer lock right before it mutates the grid, and — when this
+// index fronts a social substrate — every edge batch under the substrate's
+// writer lock likewise (single consumer each; nil detaches). Only the
+// monolithic engine hooks here; the sharded engine logs at its routing
+// layer, where the per-user order is authoritative across shards.
+func (ix *Index) SetOpLog(fn func([]Op)) {
+	ix.mu.Lock()
+	ix.oplogFn = fn
+	ix.mu.Unlock()
+	if ix.sub != nil {
+		ix.sub.SetOpLog(fn)
+	}
 }
 
 // Config tunes the social substrate built by NewSocial (or handed to
@@ -613,6 +635,9 @@ func (ix *Index) Apply(ops []Op) {
 		return
 	}
 	ix.mu.Lock()
+	if ix.oplogFn != nil {
+		ix.oplogFn(locs)
+	}
 	for _, op := range locs {
 		ix.applyOne(op)
 		if ix.notify != nil {

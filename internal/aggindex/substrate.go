@@ -79,6 +79,11 @@ type Social struct {
 	// Edge-op counters (mu-guarded; exposed via Stats).
 	edgeAdds, edgeRemoves, edgeReweights, edgeNoops int64
 
+	// oplogFn, when set, receives every edge batch under mu before it is
+	// applied — the write-ahead hook for the durability layer. Single
+	// consumer; installed via Index.SetOpLog on the fronting index.
+	oplogFn func([]Op)
+
 	// Asynchronous rebuild machinery, moved wholesale from the per-index
 	// implementation: at most one landmark loop and one CH loop at a time,
 	// re-kicked by ApplyEdges while debt remains, with the rate-limited
@@ -139,6 +144,14 @@ func NewSocialSubstrate(lm *landmark.Set, g *graph.Graph, cfg Config) (*Social, 
 // Snapshot returns the latest published social epoch (lock-free).
 func (s *Social) Snapshot() *SocialSnapshot { return s.published.Load() }
 
+// SetOpLog installs the write-ahead hook for edge batches (single
+// consumer; nil detaches). See Index.SetOpLog.
+func (s *Social) SetOpLog(fn func([]Op)) {
+	s.mu.Lock()
+	s.oplogFn = fn
+	s.mu.Unlock()
+}
+
 // Landmarks returns the construction-time landmark set (live tables come
 // from Snapshot().Landmarks()).
 func (s *Social) Landmarks() *landmark.Set { return s.lm }
@@ -197,6 +210,11 @@ func (s *Social) ApplyEdges(ops []Op) {
 		return
 	}
 	s.mu.Lock()
+	if s.oplogFn != nil {
+		// Callers pass edge-only batches (Index.Apply splits kinds); log
+		// before applying so the durable order is the application order.
+		s.oplogFn(ops)
+	}
 	var dirty []graph.VertexID
 	var chChanges []ch.EdgeChange
 	effective := false

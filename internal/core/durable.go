@@ -1,0 +1,88 @@
+package core
+
+import (
+	"ssrq/internal/dataset"
+	"ssrq/internal/graph"
+	"ssrq/internal/spatial"
+)
+
+// SetOpLog installs the durability layer's write-ahead hook: fn receives
+// every applied update batch (location batches under the index writer lock,
+// edge batches under the substrate writer lock) in application order.
+// Because the hook sits at Index.Apply — after the async updater's
+// coalescing — the logged stream is exactly what mutated the world. Single
+// consumer; nil detaches. Replay must NOT go through a hooked engine's
+// async path only; use ApplyUpdates, which funnels into the same Apply.
+func (e *Engine) SetOpLog(fn func(ops []Update)) {
+	e.agg.SetOpLog(fn)
+}
+
+// ExportDiff returns the update batch that transforms a freshly built
+// engine over the same construction dataset into this engine's currently
+// published state — the checkpoint payload. Callers wanting a consistent
+// cut against the op-log should Flush() first (drain the async pipeline)
+// after noting the log position; overlap past that position is harmless
+// because updates are absolute writes.
+func (e *Engine) ExportDiff() []Update {
+	sn := e.agg.Snapshot()
+	g := sn.Grid()
+	locate := func(id int32) (spatial.Point, bool) {
+		if !g.Located(id) {
+			return spatial.Point{}, false
+		}
+		return g.Point(id), true
+	}
+	var cur *graph.Graph
+	if e.SupportsEdgeChurn() {
+		cur = sn.SocialGraph()
+	}
+	return StateDiff(e.ds, locate, cur)
+}
+
+// StateDiff computes the updates that carry a fresh engine over ds to the
+// state described by locate (per-user current position, false = unlocated)
+// and cur (current social graph; nil = unchanged from construction):
+// moves for users whose position changed or appeared, removals for users
+// located at construction but not now, edge upserts for new or reweighted
+// edges, and edge removals for construction edges now absent. Shared by
+// the monolithic and sharded engines' checkpoint exports.
+func StateDiff(ds *dataset.Dataset, locate func(id int32) (spatial.Point, bool), cur *graph.Graph) []Update {
+	n := ds.NumUsers()
+	var out []Update
+	for i := 0; i < n; i++ {
+		id := int32(i)
+		p, ok := locate(id)
+		switch {
+		case ok && (!ds.Located[i] || ds.Pts[i] != p):
+			out = append(out, Update{ID: id, To: p})
+		case !ok && ds.Located[i]:
+			out = append(out, Update{ID: id, Remove: true})
+		}
+	}
+	if cur == nil {
+		return out
+	}
+	base := ds.G
+	for u := 0; u < n; u++ {
+		uid := graph.VertexID(u)
+		vs, ws := cur.Neighbors(uid)
+		for j, v := range vs {
+			if int(v) <= u {
+				continue // undirected: visit each edge once, as (u < v)
+			}
+			if bw, ok := base.EdgeWeight(uid, v); !ok || bw != ws[j] {
+				out = append(out, Update{Kind: OpEdgeUpsert, U: int32(u), V: int32(v), W: ws[j]})
+			}
+		}
+		bvs, _ := base.Neighbors(uid)
+		for _, v := range bvs {
+			if int(v) <= u {
+				continue
+			}
+			if _, ok := cur.EdgeWeight(uid, v); !ok {
+				out = append(out, Update{Kind: OpEdgeRemove, U: int32(u), V: int32(v)})
+			}
+		}
+	}
+	return out
+}

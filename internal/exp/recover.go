@@ -1,0 +1,249 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"time"
+
+	"ssrq"
+	"ssrq/internal/follower"
+)
+
+// RunRecover measures and verifies the durability pipeline end to end:
+// journaling cost under churn, checkpoint + tail recovery speed after a
+// simulated hard stop (the WAL write path is severed mid-record, exactly
+// the torn state a killed process leaves), and a file-tailing follower
+// converging on the recovered state. The cell is self-checking — it fails,
+// rather than just reports, when
+//
+//   - the recovered world diverges from a twin engine that replayed the
+//     full journal from sequence 1 (checkpoint recovery must be
+//     indistinguishable from full replay), on locations or on sampled
+//     top-k results,
+//   - recovery lost journaled history (recovered position below the
+//     pre-crash durable floor), or
+//   - the follower finishes its tail with nonzero lag or a diverged state.
+func (s *Suite) RunRecover() error {
+	rds, err := ssrq.Synthesize("gowalla", s.Scale.GowallaN, s.Seed)
+	if err != nil {
+		return err
+	}
+	walDir, err := os.MkdirTemp("", "ssrq-recover-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(walDir) // errok: best-effort temp cleanup
+
+	nOps := 5 * s.Scale.GowallaN
+	if nOps > 50000 {
+		nOps = 50000
+	}
+	dur := &ssrq.DurabilityOptions{Dir: walDir, Fsync: "off", KeepSegments: true}
+	eng, err := ssrq.NewEngine(rds, &ssrq.Options{Seed: s.Seed, Durability: dur})
+	if err != nil {
+		return err
+	}
+
+	// Phase 1: churn with the journal attached (measures journaling cost in
+	// the mutation path), checkpoint midway so recovery exercises
+	// checkpoint + tail rather than pure replay.
+	ops := recoverOps(rds, nOps, s.Seed+1)
+	churnStart := time.Now()
+	for i, op := range ops {
+		if err := op.apply(eng); err != nil {
+			eng.Close()
+			return fmt.Errorf("exp: recover: churn op %d: %w", i, err)
+		}
+		if i == nOps/2 {
+			if err := eng.Checkpoint(); err != nil {
+				eng.Close()
+				return fmt.Errorf("exp: recover: checkpoint: %w", err)
+			}
+		}
+	}
+	churnElapsed := time.Since(churnStart)
+	floor := eng.WALDurableSeq()
+
+	// Phase 2: hard stop. Sever the WAL mid-record and push more ops that
+	// must NOT survive, then abandon the engine like a dead process would.
+	eng.TestingWAL().TestingLimitBytes(777)
+	for i, op := range recoverOps(rds, 200, s.Seed+2) {
+		if err := op.apply(eng); err != nil {
+			eng.Close()
+			return fmt.Errorf("exp: recover: post-crash op %d: %w", i, err)
+		}
+	}
+	eng.Close()
+
+	// Phase 3: recover and differentially verify against a full-journal
+	// replay twin.
+	rec, info, err := ssrq.OpenOrRecover(rds, &ssrq.Options{Seed: s.Seed, Durability: dur})
+	if err != nil {
+		return fmt.Errorf("exp: recover: OpenOrRecover: %w", err)
+	}
+	defer rec.Close()
+	if info.LastSeq < floor {
+		return fmt.Errorf("exp: recover: lost journaled history: recovered to %d, durable floor was %d", info.LastSeq, floor)
+	}
+	recs, last, err := rec.WALRecords(1, math.MaxInt32)
+	if err != nil {
+		return fmt.Errorf("exp: recover: read journal: %w", err)
+	}
+	if last != info.LastSeq {
+		return fmt.Errorf("exp: recover: journal ends at %d, recovery claims %d", last, info.LastSeq)
+	}
+	twin, err := ssrq.NewEngine(rds, &ssrq.Options{Seed: s.Seed})
+	if err != nil {
+		return err
+	}
+	defer twin.Close()
+	if err := twin.ApplyWALRecords(recs); err != nil {
+		return fmt.Errorf("exp: recover: twin replay: %w", err)
+	}
+	if err := sameWorld(rds, rec, twin); err != nil {
+		return fmt.Errorf("exp: recover: recovered state diverges from full replay: %w", err)
+	}
+
+	// Phase 4: a follower tails the recovered leader's journal from disk
+	// and must converge to the same state with zero final lag.
+	f, err := follower.New(rds, follower.FileSource{Dir: walDir}, &follower.Options{
+		Engine: &ssrq.Options{Seed: s.Seed},
+		Manual: true,
+	})
+	if err != nil {
+		return fmt.Errorf("exp: recover: follower: %w", err)
+	}
+	defer f.Close()
+	followStart := time.Now()
+	for f.Stats().AppliedSeq < last {
+		if _, err := f.Pull(); err != nil {
+			return fmt.Errorf("exp: recover: follower pull: %w", err)
+		}
+	}
+	followElapsed := time.Since(followStart)
+	if lag := f.Stats().LagOps; lag != 0 {
+		return fmt.Errorf("exp: recover: follower finished with lag %d", lag)
+	}
+	if err := sameWorld(rds, rec, f.Engine()); err != nil {
+		return fmt.Errorf("exp: recover: follower state diverges from leader: %w", err)
+	}
+
+	replayed := info.CheckpointOps + info.ReplayedOps
+	replayRate := float64(replayed) / info.Elapsed.Seconds()
+	fmt.Fprintf(s.Out, "\nDurability & recovery (gowalla, N=%d, %d ops journaled)\n", rds.NumUsers(), last)
+	fmt.Fprintf(s.Out, "  churn with journal     %8.0f ops/s\n", float64(len(ops))/churnElapsed.Seconds())
+	fmt.Fprintf(s.Out, "  crash recovery         %8s (checkpoint@%d: %d ops + tail %d ops = %.0f ops/s, %d torn bytes dropped)\n",
+		info.Elapsed.Round(time.Millisecond), info.CheckpointSeq, info.CheckpointOps, info.ReplayedOps, replayRate, info.TruncatedBytes)
+	fmt.Fprintf(s.Out, "  follower full tail     %8s (%d records, final lag 0)\n",
+		followElapsed.Round(time.Millisecond), last)
+	fmt.Fprintf(s.Out, "  differential check     exact (locations, edges, sampled top-k: recovered == replay twin == follower)\n")
+	s.record(Measurement{
+		Dataset: "gowalla",
+		X:       float64(last),
+		Runtime: info.Elapsed,
+		Extra: map[string]float64{
+			"churn_ops_per_sec":  float64(len(ops)) / churnElapsed.Seconds(),
+			"recovered_seq":      float64(info.LastSeq),
+			"checkpoint_seq":     float64(info.CheckpointSeq),
+			"replayed_ops":       float64(replayed),
+			"replay_ops_per_sec": replayRate,
+			"truncated_bytes":    float64(info.TruncatedBytes),
+			"follower_tail_ms":   float64(followElapsed.Milliseconds()),
+		},
+	})
+	return nil
+}
+
+// recoverOp / recoverOps: deterministic mixed churn over the raw API.
+type recoverOp struct {
+	kind int
+	id   int32
+	p    ssrq.Point
+	u, v int32
+	w    float64
+}
+
+func (op recoverOp) apply(e *ssrq.Engine) error {
+	switch op.kind {
+	case 0:
+		return e.MoveUser(op.id, op.p)
+	case 1:
+		return e.RemoveUserLocation(op.id)
+	case 2:
+		return e.AddFriend(op.u, op.v, op.w)
+	default:
+		return e.RemoveFriend(op.u, op.v)
+	}
+}
+
+func recoverOps(d *ssrq.Dataset, n int, seed int64) []recoverOp {
+	rnd := rand.New(rand.NewSource(seed))
+	norm := d.Norms().Spatial
+	users := d.NumUsers()
+	edgePop := int32(60)
+	if int(edgePop) > users {
+		edgePop = int32(users)
+	}
+	ops := make([]recoverOp, 0, n)
+	for i := 0; i < n; i++ {
+		switch r := rnd.Float64(); {
+		case r < 0.65:
+			ops = append(ops, recoverOp{kind: 0, id: int32(rnd.Intn(users)),
+				p: ssrq.Point{X: rnd.Float64() * norm, Y: rnd.Float64() * norm}})
+		case r < 0.75:
+			ops = append(ops, recoverOp{kind: 1, id: int32(rnd.Intn(users))})
+		case r < 0.9:
+			u, v := rnd.Int31n(edgePop), rnd.Int31n(edgePop)
+			if u == v {
+				v = (v + 1) % edgePop
+			}
+			ops = append(ops, recoverOp{kind: 2, u: u, v: v, w: 0.1 + rnd.Float64()})
+		default:
+			u, v := rnd.Int31n(edgePop), rnd.Int31n(edgePop)
+			if u == v {
+				v = (v + 1) % edgePop
+			}
+			ops = append(ops, recoverOp{kind: 3, u: u, v: v})
+		}
+	}
+	return ops
+}
+
+// sameWorld compares two engines exactly: every user's location, and
+// sampled TSA top-k results (exact F within 1e-12, rank for rank).
+func sameWorld(d *ssrq.Dataset, a, b *ssrq.Engine) error {
+	n := d.NumUsers()
+	for id := 0; id < n; id++ {
+		pa, oka := a.UserLocation(int32(id))
+		pb, okb := b.UserLocation(int32(id))
+		if oka != okb || (oka && pa != pb) {
+			return fmt.Errorf("user %d: (%v,%v) vs (%v,%v)", id, pa, oka, pb, okb)
+		}
+	}
+	queried := 0
+	for id := 0; id < n && queried < 10; id += 1 + n/37 {
+		if _, ok := a.UserLocation(int32(id)); !ok {
+			continue
+		}
+		queried++
+		ra, ea := a.TopKWith(ssrq.TSA, int32(id), 10, 0.4)
+		rb, eb := b.TopKWith(ssrq.TSA, int32(id), 10, 0.4)
+		if ea != nil || eb != nil {
+			return fmt.Errorf("query %d: %v / %v", id, ea, eb)
+		}
+		if len(ra.Entries) != len(rb.Entries) {
+			return fmt.Errorf("query %d: %d vs %d entries", id, len(ra.Entries), len(rb.Entries))
+		}
+		for i := range ra.Entries {
+			if math.Abs(ra.Entries[i].F-rb.Entries[i].F) > 1e-12 {
+				return fmt.Errorf("query %d rank %d: F %v vs %v", id, i, ra.Entries[i].F, rb.Entries[i].F)
+			}
+		}
+	}
+	if queried == 0 {
+		return fmt.Errorf("no located users to sample")
+	}
+	return nil
+}

@@ -1,0 +1,32 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRecoverExperiment runs the self-checking durability cell at micro
+// scale: it must journal, crash, recover, tail, and report — its built-in
+// differential checks (recovered == replay twin == follower) fail the run
+// on any divergence.
+func TestRecoverExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewSuite(microScale, 42, &buf)
+	if err := s.Run("recover", false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"crash recovery", "follower full tail", "differential check     exact"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("recover output missing %q:\n%s", want, out)
+		}
+	}
+	if len(s.Measurements) != 1 {
+		t.Fatalf("measurements = %d, want 1", len(s.Measurements))
+	}
+	m := s.Measurements[0]
+	if m.Exp != "recover" || m.Extra["recovered_seq"] == 0 || m.Extra["replay_ops_per_sec"] <= 0 {
+		t.Fatalf("measurement = %+v", m)
+	}
+}

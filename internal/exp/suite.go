@@ -193,6 +193,8 @@ func (s *Suite) Run(id string, withCH bool) error {
 		return s.RunShard()
 	case "subscribe":
 		return s.RunSubscribe()
+	case "recover":
+		return s.RunRecover()
 	case "diag":
 		return s.RunDiagnostics()
 	default:

@@ -1,0 +1,336 @@
+// Package follower runs a read-only replica engine that tails a leader's
+// write-ahead log. The leader journals every world mutation as a canonical
+// oplog.Record in application order (see internal/oplog, internal/wal), so a
+// replica is just: bootstrap from the leader's newest checkpoint, then apply
+// the tail through the same internal update path recovery uses, forever.
+//
+// Replication is PREFIX CONSISTENT: records are applied synchronously in
+// sequence order, so every query the replica answers reflects the leader's
+// history up to exactly some log position A (the applied sequence), never a
+// gappy or reordered subset. Lag is observable (leader seq − applied seq)
+// and bounded by the poll interval plus one batch — there is no unbounded
+// buffering anywhere on the path.
+//
+// Three transports implement Source: FileSource tails a WAL directory on
+// shared storage, EngineSource tails an in-process leader, and HTTPSource
+// tails a remote leader over the /wal/bootstrap + /wal/stream endpoints.
+package follower
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ssrq"
+	"ssrq/internal/oplog"
+	"ssrq/internal/wal"
+)
+
+// Source is where a follower pulls the leader's journal from.
+type Source interface {
+	// Bootstrap returns the record sequence that brings a freshly built
+	// engine to the leader's newest checkpoint state, plus the log position
+	// that state represents (0 = no checkpoint; start from sequence 1).
+	Bootstrap() ([]oplog.Record, uint64, error)
+	// Fetch returns up to max contiguous records with sequence ≥ from, plus
+	// the newest sequence the leader has journaled. wal.ErrCompacted means
+	// from predates the retained history and the follower must re-sync.
+	Fetch(from uint64, max int) ([]oplog.Record, uint64, error)
+}
+
+// FileSource tails a WAL directory directly — the shared-disk transport.
+// Read-only: it never locks or mutates the leader's files.
+type FileSource struct{ Dir string }
+
+func (f FileSource) Bootstrap() ([]oplog.Record, uint64, error) {
+	rec, err := wal.ScanDir(f.Dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	return rec.CheckpointRecords, rec.CheckpointSeq, nil
+}
+
+func (f FileSource) Fetch(from uint64, max int) ([]oplog.Record, uint64, error) {
+	return wal.ReadDirFrom(f.Dir, from, max)
+}
+
+// EngineSource tails an in-process durable leader.
+type EngineSource struct{ Leader *ssrq.Engine }
+
+func (e EngineSource) Bootstrap() ([]oplog.Record, uint64, error) {
+	return e.Leader.WALBootstrap()
+}
+
+func (e EngineSource) Fetch(from uint64, max int) ([]oplog.Record, uint64, error) {
+	return e.Leader.WALRecords(from, max)
+}
+
+// HTTPSource tails a remote leader over httpapi's /wal/bootstrap and
+// /wal/stream endpoints (binary record stream; sequence metadata in
+// headers; 410 Gone = compacted past the requested position).
+type HTTPSource struct {
+	// BaseURL is the leader server root, e.g. "http://leader:8080".
+	BaseURL string
+	// Client defaults to http.DefaultClient.
+	Client *http.Client
+}
+
+func (h HTTPSource) client() *http.Client {
+	if h.Client != nil {
+		return h.Client
+	}
+	return http.DefaultClient
+}
+
+func (h HTTPSource) get(path string) ([]oplog.Record, uint64, error) {
+	resp, err := h.client().Get(h.BaseURL + path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close() // errok: read-only body
+	if resp.StatusCode == http.StatusGone {
+		return nil, 0, wal.ErrCompacted
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, fmt.Errorf("follower: leader returned %s for %s", resp.Status, path)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, err
+	}
+	var recs []oplog.Record
+	for len(body) > 0 {
+		r, n, err := oplog.Decode(body)
+		if err != nil {
+			return nil, 0, fmt.Errorf("follower: corrupt record stream from leader: %w", err)
+		}
+		recs = append(recs, r)
+		body = body[n:]
+	}
+	seq, err := strconv.ParseUint(resp.Header.Get("X-WAL-Seq"), 10, 64)
+	if err != nil {
+		return nil, 0, fmt.Errorf("follower: leader sent bad X-WAL-Seq: %w", err)
+	}
+	return recs, seq, nil
+}
+
+func (h HTTPSource) Bootstrap() ([]oplog.Record, uint64, error) {
+	return h.get("/wal/bootstrap")
+}
+
+func (h HTTPSource) Fetch(from uint64, max int) ([]oplog.Record, uint64, error) {
+	return h.get("/wal/stream?from=" + url.QueryEscape(strconv.FormatUint(from, 10)) +
+		"&max=" + strconv.Itoa(max))
+}
+
+// Options tunes a follower.
+type Options struct {
+	// Engine configures the replica engine build (shard count, landmark
+	// count, …). Durability must be nil: the replica consumes a journal, it
+	// does not write one.
+	Engine *ssrq.Options
+	// PollInterval is how long the tail loop sleeps when caught up
+	// (default 20ms). Worst-case observable lag is one interval plus one
+	// batch apply.
+	PollInterval time.Duration
+	// BatchMax bounds one Fetch (default 8192 records).
+	BatchMax int
+	// Manual disables the background tail loop; the caller drives
+	// replication by calling Pull. For tests and single-stepped replicas.
+	Manual bool
+}
+
+// Stats is a follower's replication state.
+type Stats struct {
+	// AppliedSeq is the log prefix the replica's answers reflect.
+	AppliedSeq uint64 `json:"applied_seq"`
+	// LeaderSeq is the newest sequence the leader had journaled at the last
+	// successful fetch.
+	LeaderSeq uint64 `json:"leader_seq"`
+	// LagOps = LeaderSeq − AppliedSeq.
+	LagOps uint64 `json:"lag_ops"`
+	// ResyncRequired: the leader compacted history past our position; the
+	// replica must be rebuilt from a fresh bootstrap (run the leader with
+	// KeepSegments, or poll faster, to avoid this).
+	ResyncRequired bool `json:"resync_required,omitempty"`
+	// LastError is the most recent fetch/apply failure ("" when healthy).
+	LastError string `json:"last_error,omitempty"`
+}
+
+// Follower is a read-only replica tailing a leader's journal.
+type Follower struct {
+	eng      *ssrq.Engine
+	src      Source
+	interval time.Duration
+	batchMax int
+
+	applied  atomic.Uint64
+	leader   atomic.Uint64
+	resync   atomic.Bool
+	lastErr  atomic.Pointer[string]
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+	promoted atomic.Bool
+}
+
+// New builds the replica engine over the same construction dataset the
+// leader was built from, bootstraps it from the source's newest checkpoint,
+// and starts tailing. The dataset MUST be the leader's construction dataset
+// (checkpoints are diffs against it).
+func New(d *ssrq.Dataset, src Source, opts *Options) (*Follower, error) {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	if o.PollInterval <= 0 {
+		o.PollInterval = 20 * time.Millisecond
+	}
+	if o.BatchMax <= 0 {
+		o.BatchMax = 8192
+	}
+	var eo ssrq.Options
+	if o.Engine != nil {
+		eo = *o.Engine
+	}
+	if eo.Durability != nil {
+		return nil, fmt.Errorf("follower: replica engine must not have Durability set")
+	}
+	eng, err := ssrq.NewEngine(d, &eo)
+	if err != nil {
+		return nil, err
+	}
+	recs, upTo, err := src.Bootstrap()
+	if err != nil {
+		eng.Close()
+		return nil, fmt.Errorf("follower: bootstrap: %w", err)
+	}
+	if err := eng.ApplyWALRecords(recs); err != nil {
+		eng.Close()
+		return nil, fmt.Errorf("follower: apply bootstrap: %w", err)
+	}
+	f := &Follower{
+		eng:      eng,
+		src:      src,
+		interval: o.PollInterval,
+		batchMax: o.BatchMax,
+		stop:     make(chan struct{}),
+	}
+	f.applied.Store(upTo)
+	f.leader.Store(upTo)
+	if !o.Manual {
+		f.wg.Add(1)
+		go f.tail()
+	}
+	return f, nil
+}
+
+// tail is the replication loop: fetch from applied+1, apply, repeat;
+// sleep only when caught up or failing.
+func (f *Follower) tail() {
+	defer f.wg.Done()
+	for {
+		select {
+		case <-f.stop:
+			return
+		default:
+		}
+		n, err := f.Pull()
+		if err == nil && n > 0 {
+			continue // more may be waiting: fetch again immediately
+		}
+		select {
+		case <-f.stop:
+			return
+		case <-time.After(f.interval):
+		}
+	}
+}
+
+// Pull performs one fetch+apply round and returns how many records it
+// applied, maintaining the replication stats. The Manual-mode driver; must
+// not be called concurrently with the background loop.
+func (f *Follower) Pull() (int, error) {
+	n, err := f.pull()
+	if err != nil {
+		s := err.Error()
+		f.lastErr.Store(&s)
+		if errors.Is(err, wal.ErrCompacted) {
+			f.resync.Store(true)
+		}
+		return n, err
+	}
+	f.lastErr.Store(nil)
+	return n, nil
+}
+
+func (f *Follower) pull() (int, error) {
+	from := f.applied.Load() + 1
+	recs, leaderSeq, err := f.src.Fetch(from, f.batchMax)
+	if err != nil {
+		return 0, err
+	}
+	if leaderSeq > f.leader.Load() {
+		f.leader.Store(leaderSeq)
+	}
+	if len(recs) == 0 {
+		return 0, nil
+	}
+	if recs[0].Seq != from {
+		return 0, fmt.Errorf("follower: wanted seq %d, leader sent %d", from, recs[0].Seq)
+	}
+	if err := f.eng.ApplyWALRecords(recs); err != nil {
+		return 0, fmt.Errorf("follower: apply: %w", err)
+	}
+	f.applied.Store(recs[len(recs)-1].Seq)
+	return len(recs), nil
+}
+
+// Engine returns the replica engine for queries and subscriptions. Do not
+// mutate it while the follower is tailing (use Promote).
+func (f *Follower) Engine() *ssrq.Engine { return f.eng }
+
+// Stats reports the replication state.
+func (f *Follower) Stats() Stats {
+	st := Stats{
+		AppliedSeq:     f.applied.Load(),
+		LeaderSeq:      f.leader.Load(),
+		ResyncRequired: f.resync.Load(),
+	}
+	if st.LeaderSeq > st.AppliedSeq {
+		st.LagOps = st.LeaderSeq - st.AppliedSeq
+	}
+	if p := f.lastErr.Load(); p != nil {
+		st.LastError = *p
+	}
+	return st
+}
+
+// Promote stops tailing and returns the engine, now a standalone writable
+// engine at the replicated state — failover. The caller owns Close from
+// here; closing the Follower afterwards is a no-op.
+func (f *Follower) Promote() *ssrq.Engine {
+	f.halt()
+	f.promoted.Store(true)
+	return f.eng
+}
+
+// Close stops tailing and closes the replica engine (unless promoted —
+// the new owner closes it then).
+func (f *Follower) Close() {
+	f.halt()
+	if !f.promoted.Load() {
+		f.eng.Close()
+	}
+}
+
+func (f *Follower) halt() {
+	f.stopOnce.Do(func() { close(f.stop) })
+	f.wg.Wait()
+}

@@ -27,6 +27,9 @@ type Server struct {
 	mux *http.ServeMux
 	// parallel is the default worker count for /batch; 0 = GOMAXPROCS.
 	parallel int
+	// followerStats non-nil puts the server in read-only replica mode; it
+	// reports (applied seq, leader seq) for /stats. See SetFollower.
+	followerStats func() (applied, leader uint64)
 }
 
 // maxBatch bounds one /batch request, keeping a single request from pinning
@@ -51,6 +54,8 @@ func New(eng *ssrq.Engine) *Server {
 	s.mux.HandleFunc("POST /unlocate", s.handleUnlocate)
 	s.mux.HandleFunc("GET /subscribe", s.handleSubscribe)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /wal/bootstrap", s.handleWALBootstrap)
+	s.mux.HandleFunc("GET /wal/stream", s.handleWALStream)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
@@ -257,6 +262,9 @@ type moveRequest struct {
 }
 
 func (s *Server) handleMove(w http.ResponseWriter, r *http.Request) {
+	if s.denyIfFollower(w) {
+		return
+	}
 	var req moveRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("bad body: %w", err))
@@ -298,6 +306,9 @@ type movesResponse struct {
 }
 
 func (s *Server) handleMoves(w http.ResponseWriter, r *http.Request) {
+	if s.denyIfFollower(w) {
+		return
+	}
 	var req movesRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20)).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("bad body: %w", err))
@@ -372,6 +383,9 @@ type edgesResponse struct {
 }
 
 func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
+	if s.denyIfFollower(w) {
+		return
+	}
 	var req edgesRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20)).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("bad body: %w", err))
@@ -438,6 +452,9 @@ type unlocateRequest struct {
 }
 
 func (s *Server) handleUnlocate(w http.ResponseWriter, r *http.Request) {
+	if s.denyIfFollower(w) {
+		return
+	}
 	var req unlocateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("bad body: %w", err))
@@ -495,6 +512,17 @@ type statsResponse struct {
 	UsersMoved    int64           `json:"rebalance_users_moved,omitempty"`
 	Imbalance     float64         `json:"imbalance,omitempty"`
 	Shards        []shardStatJSON `json:"shards,omitempty"`
+
+	// Durability section (absent on non-durable engines): WAL positions,
+	// fsync policy, checkpoint counters, last-recovery cost.
+	Durability *ssrq.DurabilityStats `json:"durability,omitempty"`
+
+	// Replication section (read-only followers only; see SetFollower).
+	// Pointers so a fully caught-up follower still reports lag 0.
+	Role                  string  `json:"role,omitempty"`
+	ReplicationAppliedSeq *uint64 `json:"replication_applied_seq,omitempty"`
+	ReplicationLeaderSeq  *uint64 `json:"replication_leader_seq,omitempty"`
+	ReplicationLagOps     *uint64 `json:"replication_lag_ops,omitempty"`
 }
 
 // shardStatJSON is the wire form of one shard's live state.
@@ -566,6 +594,18 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 				PrunedQueries:     st.PrunedQueries,
 			}
 		}
+	}
+	resp.Durability = s.eng.DurabilityStats()
+	if s.followerStats != nil {
+		applied, leader := s.followerStats()
+		var lag uint64
+		if leader > applied {
+			lag = leader - applied
+		}
+		resp.Role = "follower"
+		resp.ReplicationAppliedSeq = &applied
+		resp.ReplicationLeaderSeq = &leader
+		resp.ReplicationLagOps = &lag
 	}
 	writeJSON(w, resp)
 }

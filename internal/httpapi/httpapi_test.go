@@ -434,11 +434,21 @@ func TestCHVariantsOverHTTP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	buildStart := time.Now()
 	eng, err := ssrq.NewEngine(ds, &ssrq.Options{BuildCH: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer eng.Close()
+	// The background rebuild waited on below redoes roughly the CH work the
+	// construction just did, so the construction time calibrates how long
+	// that wait may reasonably take on this machine (a loaded single-core
+	// runner under -race is easily an order of magnitude slower than the
+	// 15s that suffices on idle hardware).
+	chPatience := 15 * time.Second
+	if scaled := 30 * time.Since(buildStart); scaled > chPatience {
+		chPatience = scaled
+	}
 	s := New(eng)
 
 	for _, algo := range []string{"SFA-CH", "SPA-CH", "TSA-CH", "TSA-NL"} {
@@ -487,7 +497,8 @@ func TestCHVariantsOverHTTP(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("edges remove = %d: %s", rec.Code, rec.Body)
 	}
-	deadline := time.Now().Add(15 * time.Second)
+	deadline := time.Now().Add(chPatience)
+	progress := ""
 	for {
 		rec := do(t, s, "GET", "/query?q=0&k=3&algo=TSA-CH", nil)
 		if rec.Code == http.StatusOK {
@@ -498,6 +509,15 @@ func TestCHVariantsOverHTTP(t *testing.T) {
 			t.Fatalf("TSA-CH mid-rebuild = %d: %s", rec.Code, rec.Body)
 		}
 		if time.Now().After(deadline) {
+			// Declare the rebuild hung only if the maintenance counters have
+			// also stopped moving; while they advance, keep waiting.
+			m := stats()
+			c := fmt.Sprint(m["ch_rebuilds"], m["ch_repairs"], m["ch_forced_installs"], m["social_epoch"])
+			if c != progress {
+				progress = c
+				deadline = time.Now().Add(chPatience)
+				continue
+			}
 			t.Fatalf("background rebuild never restored TSA-CH: %s", rec.Body)
 		}
 		time.Sleep(2 * time.Millisecond)

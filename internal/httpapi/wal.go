@@ -1,0 +1,90 @@
+package httpapi
+
+// WAL replication endpoints. A durable engine's journal is served as a
+// binary record stream (the oplog wire format — self-delimiting, CRC'd
+// records) so a follower's transport is two GETs:
+//
+//	GET /wal/bootstrap          → checkpoint record sequence; X-WAL-Seq is
+//	                              the log position that state represents
+//	GET /wal/stream?from=&max=  → contiguous records with sequence ≥ from;
+//	                              X-WAL-Seq is the leader's newest sequence
+//
+// 404 = this engine has no WAL; 410 Gone = the history at `from` was
+// compacted away (re-bootstrap). See internal/follower.HTTPSource for the
+// consuming side.
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"ssrq/internal/oplog"
+	"ssrq/internal/wal"
+)
+
+// maxWALFetch bounds one /wal/stream response (records).
+const maxWALFetch = 65536
+
+func (s *Server) handleWALBootstrap(w http.ResponseWriter, _ *http.Request) {
+	recs, seq, err := s.eng.WALBootstrap()
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	writeWALRecords(w, recs, seq)
+}
+
+func (s *Server) handleWALStream(w http.ResponseWriter, r *http.Request) {
+	from, err := strconv.ParseUint(r.URL.Query().Get("from"), 10, 64)
+	if err != nil || from == 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad from: need a sequence ≥ 1"))
+		return
+	}
+	max, err := intParam(r, "max", maxWALFetch)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if max <= 0 || max > maxWALFetch {
+		max = maxWALFetch
+	}
+	recs, last, err := s.eng.WALRecords(from, max)
+	switch {
+	case errors.Is(err, wal.ErrCompacted):
+		httpError(w, http.StatusGone, err)
+		return
+	case err != nil:
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	writeWALRecords(w, recs, last)
+}
+
+func writeWALRecords(w http.ResponseWriter, recs []oplog.Record, seq uint64) {
+	buf := make([]byte, 0, len(recs)*oplog.MaxEncodedSize)
+	for _, rec := range recs {
+		buf = rec.Append(buf)
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-WAL-Seq", strconv.FormatUint(seq, 10))
+	w.Header().Set("X-WAL-Records", strconv.Itoa(len(recs)))
+	_, _ = w.Write(buf) // errok: client gone mid-response
+}
+
+// SetFollower puts the server in read-only replica mode: mutation endpoints
+// return 403 (writes belong on the leader) and /stats carries the
+// replication position from stats (applied seq, leader seq). Call before
+// serving.
+func (s *Server) SetFollower(stats func() (applied, leader uint64)) {
+	s.followerStats = stats
+}
+
+// denyIfFollower rejects mutation requests on a read-only replica.
+func (s *Server) denyIfFollower(w http.ResponseWriter) bool {
+	if s.followerStats == nil {
+		return false
+	}
+	httpError(w, http.StatusForbidden, fmt.Errorf("read-only follower: send writes to the leader"))
+	return true
+}

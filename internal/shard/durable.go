@@ -1,0 +1,61 @@
+package shard
+
+import (
+	"ssrq/internal/core"
+	"ssrq/internal/graph"
+	"ssrq/internal/spatial"
+)
+
+// Durability hooks for the sharded engine. The write-ahead hook sits at the
+// ROUTING layer, not at the per-shard aggregate indexes: a cross-shard move
+// is routed as remove@old + insert@new onto two independent pipelines, and
+// only the routing stripe held while both are enqueued defines the user's
+// total op order — the shards may publish the halves in either order. The
+// log therefore carries the single logical op and replay re-derives the
+// split. Rebalance migrations never reach the hook (they apply through the
+// per-shard engines directly): they move shard placement, not world state,
+// and replaying their remove halves would delete users.
+
+// SetOpLog installs the write-ahead hook: fn receives every routed update
+// (async ops one at a time under their stripe, synchronous batches whole
+// under their stripe set) in routing order, which the pipelines preserve
+// per user through to application. Single consumer; nil detaches.
+func (se *Engine) SetOpLog(fn func(ops []core.Update)) {
+	if fn == nil {
+		se.oplogFn.Store(nil)
+		return
+	}
+	se.oplogFn.Store(&fn)
+}
+
+func (se *Engine) logOps(ops []core.Update) {
+	if fp := se.oplogFn.Load(); fp != nil {
+		(*fp)(ops)
+	}
+}
+
+// ExportDiff returns the update batch that carries a freshly built engine
+// over the same construction dataset to this engine's current state — the
+// checkpoint payload. Location state is read per user from the owning
+// shard's published snapshot (the owner map points at the newest residency
+// of an in-flight cross-shard move; any user still settling is fixed up by
+// the log tail replayed after the checkpoint position). See
+// core.Engine.ExportDiff for the flush-first protocol.
+func (se *Engine) ExportDiff() []core.Update {
+	grids := make([]*spatial.Snapshot, len(se.shards))
+	for i, sh := range se.shards {
+		grids[i] = sh.Snapshot().Grid()
+	}
+	locate := func(id int32) (spatial.Point, bool) {
+		s := se.owner[id].Load()
+		if s < 0 || !grids[s].Located(id) {
+			return spatial.Point{}, false
+		}
+		return grids[s].Point(id), true
+	}
+	var cur *graph.Graph
+	if se.SupportsEdgeChurn() {
+		cur = se.sub.Snapshot().Graph()
+	}
+	return core.StateDiff(se.ds, locate, cur)
+}

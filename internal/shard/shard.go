@@ -93,6 +93,14 @@ type Engine struct {
 	// entirely. No half-delivered multi-shard op can straddle Close.
 	closed atomic.Bool
 
+	// oplogFn is the durability layer's write-ahead hook (see durable.go).
+	// The sharded engine logs at this routing layer — under the op's
+	// stripe, where the per-user order is authoritative — not at the
+	// per-shard indexes, whose independent pipelines may publish a
+	// cross-shard move's remove/insert halves in either order. Atomic so a
+	// promoted follower can attach a log while serving.
+	oplogFn atomic.Pointer[func([]core.Update)]
+
 	// Rebalance machinery (see rebalance.go). rebalanceMu serializes
 	// re-cuts; bg tracks the auto-kicked goroutine so Close can wait it out.
 	rebalanceMu   sync.Mutex

@@ -68,10 +68,18 @@ func (se *Engine) enqueueRouted(op core.Update) error {
 		if se.closed.Load() {
 			return fmt.Errorf("shard: engine closed")
 		}
+		var err error
 		if op.Kind == core.OpEdgeRemove {
-			return se.shards[0].RemoveFriendAsync(op.U, op.V)
+			err = se.shards[0].RemoveFriendAsync(op.U, op.V)
+		} else {
+			err = se.shards[0].AddFriendAsync(op.U, op.V, op.W)
 		}
-		return se.shards[0].AddFriendAsync(op.U, op.V, op.W)
+		if err == nil {
+			// Still under the pair's stripe: the logged order is the
+			// pipeline (= application) order for this edge.
+			se.logOps([]core.Update{op})
+		}
+		return err
 	}
 	mu := se.lockFor(op.ID)
 	mu.Lock()
@@ -80,6 +88,14 @@ func (se *Engine) enqueueRouted(op core.Update) error {
 		return fmt.Errorf("shard: engine closed")
 	}
 	err := se.routeAsyncLocked(op)
+	if err == nil {
+		// Log the single logical op under the user's stripe; replay
+		// re-derives the cross-shard remove+insert split itself. (The
+		// split halves must not be logged: the two shards' pipelines
+		// publish independently, so their application order across shards
+		// is not the routing order — the stripe-held logical stream is.)
+		se.logOps([]core.Update{op})
+	}
 	mu.Unlock()
 	if err == nil {
 		se.noteUpdates(1)
@@ -190,6 +206,10 @@ func (se *Engine) ApplyUpdates(ops []core.Update) error {
 	mask := se.stripeMaskOf(ops)
 	se.lockStripes(mask)
 	defer se.unlockStripes(mask)
+	// Under the batch's stripes async routing for these users is frozen and
+	// the per-shard pipelines are about to be flushed, so logging here puts
+	// the batch at its true position in every touched user's op order.
+	se.logOps(ops)
 	per := make([][]core.Update, len(se.shards))
 	for _, op := range ops {
 		se.routeInto(per, op)

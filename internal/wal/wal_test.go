@@ -1,0 +1,369 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"ssrq/internal/oplog"
+)
+
+func moveRec(id int32, x float64) oplog.Record {
+	return oplog.Record{Kind: oplog.KindMove, ID: id, X: x, Y: 1 - x}
+}
+
+func mustOpen(t *testing.T, dir string, opts Options) (*Log, *Recovery) {
+	t.Helper()
+	l, rec, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l, rec
+}
+
+func appendN(t *testing.T, l *Log, start, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, _, err := l.Append([]oplog.Record{moveRec(int32(start+i), 0.25)}); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+}
+
+func TestAppendReopenReplay(t *testing.T) {
+	dir := t.TempDir()
+	l, rec := mustOpen(t, dir, Options{Fsync: FsyncOff})
+	if rec.LastSeq != 0 || len(rec.TailRecords) != 0 {
+		t.Fatalf("fresh log not empty: %+v", rec)
+	}
+	first, last, err := l.Append([]oplog.Record{moveRec(1, 0.1), moveRec(2, 0.2)})
+	if err != nil || first != 1 || last != 2 {
+		t.Fatalf("Append: first=%d last=%d err=%v", first, last, err)
+	}
+	appendN(t, l, 3, 5)
+	if got := l.LastSeq(); got != 7 {
+		t.Fatalf("LastSeq=%d, want 7", got)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l2, rec2 := mustOpen(t, dir, Options{Fsync: FsyncOff})
+	defer func() {
+		if err := l2.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+	if rec2.LastSeq != 7 || len(rec2.TailRecords) != 7 {
+		t.Fatalf("reopen: LastSeq=%d tail=%d", rec2.LastSeq, len(rec2.TailRecords))
+	}
+	for i, r := range rec2.TailRecords {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("tail record %d has seq %d", i, r.Seq)
+		}
+	}
+	// Appends continue the sequence.
+	if first, _, err := l2.Append([]oplog.Record{moveRec(9, 0.9)}); err != nil || first != 8 {
+		t.Fatalf("continued append: first=%d err=%v", first, err)
+	}
+}
+
+func TestTornTailTruncatedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{Fsync: FsyncOff})
+	appendN(t, l, 1, 10)
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Tear the last record mid-way, as a crash would.
+	names, err := listSeqNames(dir, "wal-", ".log")
+	if err != nil || len(names) != 1 {
+		t.Fatalf("segments: %v %v", names, err)
+	}
+	path := filepath.Join(dir, names[0])
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, st.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rec := mustOpen(t, dir, Options{Fsync: FsyncOff})
+	if rec.LastSeq != 9 || len(rec.TailRecords) != 9 {
+		t.Fatalf("after tear: LastSeq=%d tail=%d", rec.LastSeq, len(rec.TailRecords))
+	}
+	if rec.TruncatedBytes == 0 {
+		t.Fatal("TruncatedBytes not reported")
+	}
+	// The torn bytes are physically gone and the next append reuses seq 10.
+	if first, _, err := l2.Append([]oplog.Record{moveRec(42, 0.4)}); err != nil || first != 10 {
+		t.Fatalf("append after tear: first=%d err=%v", first, err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	l3, rec3 := mustOpen(t, dir, Options{Fsync: FsyncOff})
+	if rec3.LastSeq != 10 {
+		t.Fatalf("after reopen: LastSeq=%d", rec3.LastSeq)
+	}
+	if rec3.TailRecords[9].ID != 42 {
+		t.Fatalf("replacement record lost: %+v", rec3.TailRecords[9])
+	}
+	if err := l3.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestCorruptTailTruncatedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{Fsync: FsyncOff})
+	appendN(t, l, 1, 5)
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	names, _ := listSeqNames(dir, "wal-", ".log")
+	path := filepath.Join(dir, names[0])
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-10] ^= 0xff // corrupt inside the last record
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, rec := mustOpen(t, dir, Options{Fsync: FsyncOff})
+	defer func() {
+		if err := l2.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+	if rec.LastSeq != 4 || len(rec.TailRecords) != 4 {
+		t.Fatalf("after corruption: LastSeq=%d tail=%d", rec.LastSeq, len(rec.TailRecords))
+	}
+}
+
+func TestRotationAndReadFrom(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{Fsync: FsyncOff, SegmentMaxBytes: 256})
+	appendN(t, l, 1, 100)
+	defer func() {
+		if err := l.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+	if st := l.Stats(); st.Segments < 2 {
+		t.Fatalf("expected rotation, got %d segments", st.Segments)
+	}
+	recs, lastSeq, err := l.ReadFrom(40, 10)
+	if err != nil {
+		t.Fatalf("ReadFrom: %v", err)
+	}
+	if len(recs) != 10 || recs[0].Seq != 40 || recs[9].Seq != 49 {
+		t.Fatalf("ReadFrom window wrong: %d recs, first=%d", len(recs), recs[0].Seq)
+	}
+	if lastSeq != 100 {
+		t.Fatalf("lastSeq=%d, want 100", lastSeq)
+	}
+	// Reading past the end is empty, not an error.
+	recs, _, err = l.ReadFrom(101, 10)
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("past-end read: %d recs, err=%v", len(recs), err)
+	}
+}
+
+func TestCheckpointPruneAndRecover(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{Fsync: FsyncOff, SegmentMaxBytes: 256})
+	appendN(t, l, 1, 50)
+	// Checkpoint claiming seq 50 with a synthetic state diff.
+	state := []oplog.Record{moveRec(7, 0.7), {Kind: oplog.KindEdgeUpsert, U: 1, V: 2, W: 0.5}}
+	if err := l.WriteCheckpoint(50, state); err != nil {
+		t.Fatalf("WriteCheckpoint: %v", err)
+	}
+	appendN(t, l, 51, 10)
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l2, rec := mustOpen(t, dir, Options{Fsync: FsyncOff})
+	defer func() {
+		if err := l2.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+	if rec.CheckpointSeq != 50 {
+		t.Fatalf("CheckpointSeq=%d", rec.CheckpointSeq)
+	}
+	if len(rec.CheckpointRecords) != 2 || rec.CheckpointRecords[0].ID != 7 {
+		t.Fatalf("checkpoint records wrong: %+v", rec.CheckpointRecords)
+	}
+	if len(rec.TailRecords) != 10 || rec.TailRecords[0].Seq != 51 {
+		t.Fatalf("tail wrong: %d recs", len(rec.TailRecords))
+	}
+	// Pre-checkpoint segments were pruned: seq 1 is gone.
+	if _, _, err := l2.ReadFrom(1, 1); !errors.Is(err, ErrCompacted) {
+		t.Fatalf("pruned read: err=%v, want ErrCompacted", err)
+	}
+	if l2.FirstSeq() <= 1 {
+		t.Fatalf("FirstSeq=%d after prune", l2.FirstSeq())
+	}
+}
+
+func TestKeepSegmentsRetainsFullHistory(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{Fsync: FsyncOff, SegmentMaxBytes: 256, KeepSegments: true})
+	defer func() {
+		if err := l.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+	appendN(t, l, 1, 50)
+	if err := l.WriteCheckpoint(50, nil); err != nil {
+		t.Fatalf("WriteCheckpoint: %v", err)
+	}
+	appendN(t, l, 51, 5)
+	recs, lastSeq, err := l.ReadFrom(1, 1000)
+	if err != nil {
+		t.Fatalf("ReadFrom: %v", err)
+	}
+	if len(recs) != 55 || lastSeq != 55 {
+		t.Fatalf("full history: %d recs, last=%d", len(recs), lastSeq)
+	}
+}
+
+func TestCorruptCheckpointFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{Fsync: FsyncOff, KeepSegments: true})
+	appendN(t, l, 1, 10)
+	if err := l.WriteCheckpoint(4, []oplog.Record{moveRec(1, 0.1)}); err != nil {
+		t.Fatalf("ckpt1: %v", err)
+	}
+	if err := l.WriteCheckpoint(8, []oplog.Record{moveRec(2, 0.2)}); err != nil {
+		t.Fatalf("ckpt2: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Damage the newest checkpoint; recovery must fall back to seq 4.
+	if err := os.Truncate(filepath.Join(dir, ckptName(8)), ckptHeaderSize+3); err != nil {
+		t.Fatal(err)
+	}
+	l2, rec := mustOpen(t, dir, Options{Fsync: FsyncOff})
+	defer func() {
+		if err := l2.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+	if rec.CheckpointSeq != 4 {
+		t.Fatalf("fallback CheckpointSeq=%d, want 4", rec.CheckpointSeq)
+	}
+	if len(rec.TailRecords) != 6 || rec.TailRecords[0].Seq != 5 {
+		t.Fatalf("fallback tail: %d recs", len(rec.TailRecords))
+	}
+}
+
+func TestCrashSeamTearsMidRecord(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{Fsync: FsyncOff})
+	appendN(t, l, 1, 10)
+	// Allow 10 more bytes: the next record tears mid-write.
+	l.TestingLimitBytes(10)
+	appendN(t, l, 11, 5) // appends "succeed" but vanish
+	if !l.Crashed() {
+		t.Fatal("seam did not trip")
+	}
+	// No Close — the process "died". Recovery sees exactly the clean prefix.
+	_, rec := mustOpen(t, dir, Options{Fsync: FsyncOff})
+	if rec.LastSeq != 10 {
+		t.Fatalf("recovered LastSeq=%d, want 10", rec.LastSeq)
+	}
+	if rec.TruncatedBytes != 10 {
+		t.Fatalf("TruncatedBytes=%d, want 10", rec.TruncatedBytes)
+	}
+}
+
+func TestGroupCommitConcurrentAppends(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{Fsync: FsyncBatch})
+	const G, per = 8, 25
+	var wg sync.WaitGroup
+	for g := 0; g < G; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, _, err := l.Append([]oplog.Record{moveRec(int32(g*per+i), 0.5)}); err != nil {
+					t.Errorf("Append: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := l.LastSeq(); got != G*per {
+		t.Fatalf("LastSeq=%d, want %d", got, G*per)
+	}
+	if got := l.DurableSeq(); got != G*per {
+		t.Fatalf("DurableSeq=%d, want %d (batch policy syncs before return)", got, G*per)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// The sequence is contiguous and totally ordered on disk.
+	_, rec := mustOpen(t, dir, Options{Fsync: FsyncOff})
+	if len(rec.TailRecords) != G*per {
+		t.Fatalf("replay %d records, want %d", len(rec.TailRecords), G*per)
+	}
+}
+
+func TestIntervalFsyncAdvancesDurable(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{Fsync: FsyncInterval, FsyncInterval: 5 * time.Millisecond})
+	appendN(t, l, 1, 3)
+	deadline := time.Now().Add(2 * time.Second)
+	for l.DurableSeq() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("DurableSeq stuck at %d", l.DurableSeq())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestScanDirReadOnly(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{Fsync: FsyncOff})
+	appendN(t, l, 1, 6)
+	// Live scan while the writer still owns the log.
+	rec, err := ScanDir(dir)
+	if err != nil {
+		t.Fatalf("ScanDir: %v", err)
+	}
+	if rec.LastSeq != 6 || len(rec.TailRecords) != 6 {
+		t.Fatalf("live scan: LastSeq=%d tail=%d", rec.LastSeq, len(rec.TailRecords))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestAppendAfterClose(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{Fsync: FsyncOff})
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, _, err := l.Append([]oplog.Record{moveRec(1, 0.5)}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close: %v", err)
+	}
+	if err := l.Close(); err != nil { // idempotent
+		t.Fatalf("second Close: %v", err)
+	}
+}

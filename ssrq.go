@@ -29,6 +29,7 @@ package ssrq
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ssrq/internal/aggindex"
@@ -40,6 +41,7 @@ import (
 	"ssrq/internal/shard"
 	"ssrq/internal/spatial"
 	"ssrq/internal/sub"
+	"ssrq/internal/wal"
 )
 
 // UserID identifies a user; users are dense integers in [0, NumUsers).
@@ -280,6 +282,11 @@ type Options struct {
 	// (edge updates broadcast), so sharding scales the spatial dimension and
 	// query parallelism, at a memory/edge-churn cost linear in Shards.
 	Shards int
+	// Durability, when non-nil, journals every world mutation to a
+	// write-ahead log in Durability.Dir and recovers state from it on
+	// startup (newest checkpoint + tail replay). See DurabilityOptions
+	// and OpenOrRecover in durability.go.
+	Durability *DurabilityOptions
 }
 
 // engineAPI is the query/update surface shared by the monolithic
@@ -310,6 +317,8 @@ type engineAPI interface {
 	LiveSocialGraph() *graph.Graph
 	SpatialKNN(q int32, k int) ([]spatial.Neighbor, error)
 	OnEpoch(fn func(aggindex.EpochDelta))
+	SetOpLog(fn func(ops []core.Update))
+	ExportDiff() []core.Update
 }
 
 // Engine answers SSRQ queries over one dataset. The engine is safe for
@@ -333,6 +342,17 @@ type Engine struct {
 	// first Subscribe call so query-only engines pay nothing for it.
 	subMu sync.Mutex
 	subs  *sub.Engine
+
+	// Durability state (see durability.go); all zero for a non-durable
+	// engine. log outlives eng.Close so the final drain is journaled.
+	log         *wal.Log
+	recovered   *RecoveryInfo
+	ckptEvery   int64
+	ckptBusy    atomic.Bool
+	opsSince    atomic.Int64
+	walWG       sync.WaitGroup
+	walClosed   atomic.Bool
+	walCloseErr atomic.Pointer[error]
 }
 
 // NewEngine builds all indexes (grid, social summaries, landmark tables,
@@ -372,7 +392,14 @@ func NewEngine(d *Dataset, opts *Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{eng: eng, d: d}, nil
+	e := &Engine{eng: eng, d: d}
+	if o.Durability != nil {
+		if err := e.attachDurability(*o.Durability); err != nil {
+			e.eng.Close()
+			return nil, err
+		}
+	}
+	return e, nil
 }
 
 // NumShards returns the number of spatial shards (1 for the monolithic
@@ -571,7 +598,20 @@ func (e *Engine) Close() {
 	if subs != nil {
 		subs.Close()
 	}
+	// Stop accepting auto-checkpoints and wait out an in-flight one before
+	// the engine drains; the WAL stays open through eng.Close so the ops
+	// the drain applies are journaled, then seals last.
+	e.walClosed.Store(true)
+	e.walWG.Wait()
 	e.eng.Close()
+	if e.log != nil {
+		if err := e.log.Close(); err != nil {
+			// The engine is already down; surface the seal failure in
+			// stats (Close has no error to return, matching the APIs
+			// below it).
+			e.walCloseErr.Store(&err)
+		}
+	}
 }
 
 // Subscription is a standing top-k query (see Subscribe).
