@@ -89,7 +89,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("ssrq-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		expID    = fs.String("exp", "all", "experiment id (table2, fig7a..fig14b, throughput, recover, all)")
+		expID    = fs.String("exp", "all", "experiment id (table2, fig7a..fig14b, throughput, filter, recover, all)")
 		scale    = fs.String("scale", "medium", "dataset scale: small|medium|large")
 		seed     = fs.Int64("seed", 42, "generator seed")
 		withCH   = fs.Bool("ch", false, "include the SFA-CH/SPA-CH/TSA-CH variants in fig8 (slow preprocessing)")

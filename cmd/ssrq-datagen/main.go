@@ -20,7 +20,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("ssrq-datagen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		preset = fs.String("preset", "gowalla", "dataset preset: gowalla|foursquare|twitter")
+		preset = fs.String("preset", "gowalla", "dataset preset: gowalla|foursquare|twitter|urban|homophily")
 		n      = fs.Int("n", 10000, "number of users")
 		seed   = fs.Int64("seed", 42, "generator seed")
 		out    = fs.String("out", "", "output path (required)")

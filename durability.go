@@ -195,14 +195,27 @@ func (e *Engine) logWrite(ops []core.Update) {
 // Checkpoint serializes the current published state as a state-diff
 // checkpoint at the current log position and prunes the WAL history it
 // supersedes (unless KeepSegments). Queries are unaffected — the state
-// read is an immutable epoch snapshot. Safe concurrently with traffic;
-// see the package comment for why the Flush-after-noting-S protocol is
-// correct. No-op error when the engine is not durable.
+// read is an immutable epoch snapshot. Safe concurrently with traffic.
+//
+// Correctness of the cut: recovery applies the checkpoint then replays the
+// tail from s+1, so the export MUST reflect every op with seq ≤ s (ops > s
+// leaking into the export are harmless — records are absolute writes and
+// the tail re-asserts them). Seqs are assigned by the write-ahead hook
+// under the mutation layer's ordering locks, but the hook fires BEFORE the
+// op is applied and published — reading LastSeq alone could name an op
+// still mid-application whose effect the export would then miss, silently
+// losing it on recovery. MutationBarrier cycles those ordering locks, so
+// every op journaled at or before s has, on return, finished applying
+// (monolith) or at least been enqueued on its shard pipelines (sharded);
+// Flush then drains the async pipelines through to publication, and the
+// export snapshot covers everything ≤ s. No-op error when the engine is
+// not durable.
 func (e *Engine) Checkpoint() error {
 	if e.log == nil {
 		return fmt.Errorf("ssrq: engine has no durability configured")
 	}
 	s := e.log.LastSeq()
+	e.eng.MutationBarrier()
 	e.eng.Flush()
 	diff := e.eng.ExportDiff()
 	return e.log.WriteCheckpoint(s, oplog.FromOps(diff))

@@ -87,6 +87,8 @@ type Snapshot struct {
 	hierEpoch   uint64        // social epoch hier was built at
 	minSum      [][]float64   // [level][cell*m + j]
 	maxSum      [][]float64
+	labelSum    [][]uint64 // [level][cell]: OR of member label masks (nil when unlabeled)
+	labels      []uint64   // immutable per-user label bitmasks (nil when unlabeled)
 	m           int
 	disabledLm  uint64 // landmarks excluded from bounds in this epoch
 	epoch       uint64
@@ -131,6 +133,38 @@ func (s *Snapshot) HierarchyEpoch() uint64 { return s.hierEpoch }
 func (s *Snapshot) HierarchyFresh() bool {
 	return s.hier != nil && s.hierEpoch == s.socialEpoch
 }
+
+// CellLabelMask returns the OR of the label bitmasks of every member of the
+// cell (0 for an empty cell or an unlabeled index). A filtered query prunes
+// the cell outright when the mask misses its filter — no member can match.
+// Masks are maintained beside the min/max summaries and published in the
+// same snapshot, so they always describe exactly this epoch's membership.
+func (s *Snapshot) CellLabelMask(level int, idx int32) uint64 {
+	if s.labelSum == nil {
+		return 0
+	}
+	return s.labelSum[level][idx]
+}
+
+// LabelMasks returns one level's cell label masks indexed by cell (nil when
+// the index is unlabeled). Read-only.
+func (s *Snapshot) LabelMasks(level int) []uint64 {
+	if s.labelSum == nil {
+		return nil
+	}
+	return s.labelSum[level]
+}
+
+// UserLabels returns user u's label bitmask (0 when the index is unlabeled).
+func (s *Snapshot) UserLabels(u int32) uint64 {
+	if s.labels == nil {
+		return 0
+	}
+	return s.labels[u]
+}
+
+// HasLabels reports whether the index carries per-user labels.
+func (s *Snapshot) HasLabels() bool { return s.labels != nil }
 
 // MinSummary returns m̌[j] for the cell, the minimum graph distance between
 // any member user and landmark j (+Inf for an empty cell).
@@ -246,7 +280,15 @@ type Index struct {
 	minSum   [][]float64
 	maxSum   [][]float64
 	sumStamp []uint64
-	epoch    uint64
+	// labels is the immutable per-user label bitmask slice (nil for an
+	// unlabeled dataset); labelSum mirrors minSum/maxSum with one OR'd mask
+	// per cell, copy-on-write per level via labelStamp, published in the
+	// same snapshot as the min/max summaries so filtered pruning never
+	// pairs new membership with stale masks.
+	labels     []uint64
+	labelSum   [][]uint64
+	labelStamp []uint64
+	epoch      uint64
 	// sumsTouched records whether any summary level was written since the
 	// last publish; when false the next snapshot can alias the previous
 	// one's (immutable) outer arrays instead of re-copying them — the common
@@ -314,6 +356,22 @@ func (ix *Index) SetOpLog(fn func([]Op)) {
 	}
 }
 
+// MutationBarrier returns once every mutation that had already reached the
+// op-log hook when the call began has finished applying and publishing.
+// Ops are journaled under the same writer locks that apply them (ix.mu for
+// location batches, the substrate lock for edge batches), so cycling those
+// locks is a complete barrier: any op journaled before the call either
+// released its lock — fully published — or holds it and we wait. The
+// checkpointer relies on this to make the exported state cover every
+// sequence number at or below the position it records.
+func (ix *Index) MutationBarrier() {
+	ix.mu.Lock()
+	ix.mu.Unlock() //nolint:staticcheck // empty critical section is the point
+	if ix.sub != nil {
+		ix.sub.MutationBarrier()
+	}
+}
+
 // Config tunes the social substrate built by NewSocial (or handed to
 // NewSocialSubstrate directly).
 type Config struct {
@@ -336,6 +394,12 @@ type Config struct {
 	// install event and one forced CH install per interval. 0 selects the 2s
 	// default; negative disables forced installs (pure optimistic rebuilds).
 	ForcedInstallInterval time.Duration
+	// Labels is the per-user attribute bitmask slice (nil = unlabeled).
+	// Like the graph topology it is fixed for the substrate's lifetime; the
+	// substrate and every attached index read it without copying. Indexes
+	// built over a labeled substrate maintain per-cell OR'd label masks for
+	// filtered-query pruning.
+	Labels []uint64
 }
 
 // New builds a static aggregate index over an existing grid and landmark
@@ -393,8 +457,12 @@ func build(grid *spatial.Grid, lm *landmark.Set, sub *Social, ownsSub bool) (*In
 		ownsSub:     ownsSub,
 		dirtyLeaves: make(map[int32]struct{}),
 	}
+	if sub != nil {
+		ix.labels = sub.labels
+	}
 	layout := grid.Layout()
 	ix.sumStamp = make([]uint64, layout.Levels)
+	ix.labelStamp = make([]uint64, layout.Levels)
 	for l := 0; l < layout.Levels; l++ {
 		size := layout.NumCells(l) * ix.m
 		mins := make([]float64, size)
@@ -405,6 +473,9 @@ func build(grid *spatial.Grid, lm *landmark.Set, sub *Social, ownsSub bool) (*In
 		}
 		ix.minSum = append(ix.minSum, mins)
 		ix.maxSum = append(ix.maxSum, maxs)
+		if ix.labels != nil {
+			ix.labelSum = append(ix.labelSum, make([]uint64, layout.NumCells(l)))
+		}
 	}
 	if sub == nil {
 		ix.buildSummaries()
@@ -502,6 +573,18 @@ func (ix *Index) writableSums(level int) (mins, maxs []float64) {
 	return ix.minSum[level], ix.maxSum[level]
 }
 
+// writableLabels is writableSums for the per-cell label masks: duplicate one
+// level's mask array on first write per epoch so the published snapshot
+// keeps its own copy. Only called on labeled indexes.
+func (ix *Index) writableLabels(level int) []uint64 {
+	ix.sumsTouched = true
+	if ix.labelStamp[level] != ix.epoch {
+		ix.labelSum[level] = append([]uint64(nil), ix.labelSum[level]...)
+		ix.labelStamp[level] = ix.epoch
+	}
+	return ix.labelSum[level]
+}
+
 // publishLocked installs the working state as the next epoch. Caller holds
 // mu (or is the constructor).
 func (ix *Index) publishLocked() { ix.publishLockedAt(time.Now()) }
@@ -521,10 +604,15 @@ func (ix *Index) publishLockedAt(now time.Time) {
 		// outer arrays still describe exactly the current rows, and both are
 		// immutable, so alias them instead of copying.
 		s.minSum, s.maxSum = prev.minSum, prev.maxSum
+		s.labelSum = prev.labelSum
 	} else {
 		s.minSum = append([][]float64(nil), ix.minSum...)
 		s.maxSum = append([][]float64(nil), ix.maxSum...)
+		if ix.labelSum != nil {
+			s.labelSum = append([][]uint64(nil), ix.labelSum...)
+		}
 	}
+	s.labels = ix.labels
 	ix.sumsTouched = false
 	if soc := ix.social; soc != nil {
 		s.soc = soc.g
@@ -720,6 +808,16 @@ func (ix *Index) recomputeLeaf(idx int32) bool {
 			changed = true
 		}
 	}
+	if ix.labels != nil {
+		var mask uint64
+		for _, u := range ix.grid.CellUsers(idx) {
+			mask |= ix.labels[u]
+		}
+		if ix.labelSum[leaf][idx] != mask {
+			ix.writableLabels(leaf)[idx] = mask
+			changed = true
+		}
+	}
 	return changed
 }
 
@@ -748,6 +846,16 @@ func (ix *Index) recomputeFromChildren(level int, idx int32) bool {
 			}
 			mins[base+j] = lo
 			maxs[base+j] = hi
+			changed = true
+		}
+	}
+	if ix.labels != nil {
+		var mask uint64
+		for _, c := range kids {
+			mask |= ix.labelSum[level+1][c]
+		}
+		if ix.labelSum[level][idx] != mask {
+			ix.writableLabels(level)[idx] = mask
 			changed = true
 		}
 	}
@@ -807,6 +915,14 @@ func (ix *Index) onInsert(leaf int32, id int32) {
 			}
 			maxs[base+j] = d
 			changed = true
+		}
+	}
+	if ix.labels != nil {
+		if lbl := ix.labels[id]; lbl != 0 {
+			if old := ix.labelSum[l][leaf]; old|lbl != old {
+				ix.writableLabels(l)[leaf] = old | lbl
+				changed = true
+			}
 		}
 	}
 	if changed {
@@ -911,12 +1027,14 @@ func (ix *Index) onRemove(leaf int32, id int32) {
 	base := int(leaf) * ix.m
 	l := ix.grid.Layout().LeafLevel()
 	lm := ix.lmView()
-	responsible := false
-	for j := 0; j < ix.m; j++ {
+	// A labeled leaver may have been the only carrier of its label bits in
+	// the cell; recomputeLeaf re-derives the mask over the remaining members
+	// (narrowing on removal can't be decided locally, same as min/max).
+	responsible := ix.labels != nil && ix.labels[id] != 0
+	for j := 0; !responsible && j < ix.m; j++ {
 		d := lm.Dist(j, id)
 		if d == ix.minSum[l][base+j] || d == ix.maxSum[l][base+j] {
 			responsible = true
-			break
 		}
 	}
 	if !responsible {

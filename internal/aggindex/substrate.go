@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"ssrq/internal/ch"
+	"ssrq/internal/fof"
 	"ssrq/internal/graph"
 	"ssrq/internal/landmark"
 )
@@ -68,6 +69,15 @@ type Social struct {
 	dyn   *landmark.Dynamic
 	g0    *graph.Graph
 	chDyn *ch.Dynamic
+
+	// labels is the immutable per-user label bitmask slice (nil when the
+	// world is unlabeled); consumers build per-cell masks from it.
+	labels []uint64
+	// fof carries the friends-of-friends bound's monotone weight floors,
+	// lowered on every edge upsert before the epoch publishes (never raised
+	// on removal), so its lower bounds stay admissible against every
+	// snapshot any consumer can hold.
+	fof *fof.Index
 
 	mu        sync.Mutex
 	published atomic.Pointer[SocialSnapshot]
@@ -117,10 +127,15 @@ func NewSocialSubstrate(lm *landmark.Set, g *graph.Graph, cfg Config) (*Social, 
 	if lm == nil || g == nil {
 		return nil, fmt.Errorf("aggindex: nil landmark set or social graph")
 	}
+	if cfg.Labels != nil && len(cfg.Labels) != g.NumVertices() {
+		return nil, fmt.Errorf("aggindex: %d label masks for %d users", len(cfg.Labels), g.NumVertices())
+	}
 	s := &Social{
 		lm:          lm,
 		g0:          g,
 		chDyn:       cfg.CH,
+		labels:      cfg.Labels,
+		fof:         fof.New(g),
 		forcedEvery: cfg.ForcedInstallInterval,
 	}
 	if s.forcedEvery == 0 {
@@ -152,12 +167,29 @@ func (s *Social) SetOpLog(fn func([]Op)) {
 	s.mu.Unlock()
 }
 
+// MutationBarrier waits out any edge batch that is mid-application: edge
+// ops journal and publish under s.mu, so cycling it guarantees every batch
+// that had reached the op-log hook before the call is published on return.
+// See Index.MutationBarrier.
+func (s *Social) MutationBarrier() {
+	s.mu.Lock()
+	s.mu.Unlock() //nolint:staticcheck // empty critical section is the point
+}
+
 // Landmarks returns the construction-time landmark set (live tables come
 // from Snapshot().Landmarks()).
 func (s *Social) Landmarks() *landmark.Set { return s.lm }
 
 // SupportsEdgeChurn reports whether the substrate can ingest edge ops.
 func (s *Social) SupportsEdgeChurn() bool { return s.ov != nil && s.dyn != nil }
+
+// Labels returns the per-user label bitmasks (nil when unlabeled). Read-only.
+func (s *Social) Labels() []uint64 { return s.labels }
+
+// FoF returns the friends-of-friends bound index maintained by this
+// substrate. Its floors are safe to read lock-free after loading any
+// snapshot published by a consumer (floor updates happen-before publishes).
+func (s *Social) FoF() *fof.Index { return s.fof }
 
 // publishLocked freezes the working social state into the next published
 // SocialSnapshot and returns it. Caller holds mu (or is the constructor).
@@ -305,6 +337,10 @@ func (s *Social) applyEdge(op Op, dirty []graph.VertexID) ([]graph.VertexID, ch.
 		} else {
 			s.edgeAdds++
 		}
+		// Lower the FoF weight floors before the batch publishes: any
+		// snapshot containing this edge is published after this write, so a
+		// query on it can never see a floor above the edge's weight.
+		s.fof.ObserveUpsert(u, v, op.W)
 		return append(dirty, s.dyn.EdgeChanged(s.ov.Working(), u, v, oldW, had, op.W, true)...), change, true
 	case OpEdgeRemove:
 		if !had {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"ssrq/internal/aggindex"
+	"ssrq/internal/fof"
 	"ssrq/internal/graph"
 	"ssrq/internal/spatial"
 )
@@ -65,11 +66,27 @@ func (e *Engine) runAIS(sn *aggindex.Snapshot, q graph.VertexID, qpt spatial.Poi
 	h := &p.ais
 	h.Reset()
 
+	filter := prm.Filter
+	labels := e.ds.Labels
+	// Friends-of-friends bound: armed once per query, it tightens the
+	// per-user landmark bound at leaf expansion (often past the cell bound
+	// that admitted the leaf, so fewer users survive to exact evaluation).
+	useFoF := e.fof != nil
+	if useFoF {
+		p.fof.Arm(e.fof, soc, q, fof.DefaultBudget)
+	}
+
 	// Seed the search with the top grid level, its Lemma-2 bounds evaluated
 	// in one flat batch over the summary arrays.
 	p.cellLow = sn.SocialLowerBoundsInto(0, qvec, p.cellLow)
 	for idx := int32(0); idx < int32(layout.NumCells(0)); idx++ {
 		if g.CountAt(0, idx) == 0 {
+			continue
+		}
+		if filter != 0 && sn.CellLabelMask(0, idx)&filter == 0 {
+			// No member of this cell carries a requested label: the whole
+			// subtree is disqualified before any bound arithmetic.
+			st.LabelCellPrunes++
 			continue
 		}
 		dLow := layout.CellRect(0, idx).MinDist(qpt)
@@ -93,6 +110,10 @@ func (e *Engine) runAIS(sn *aggindex.Snapshot, q graph.VertexID, qpt spatial.Poi
 				if g.CountAt(level+1, c) == 0 {
 					continue
 				}
+				if filter != 0 && sn.CellLabelMask(level+1, c)&filter == 0 {
+					st.LabelCellPrunes++
+					continue
+				}
 				pLow := sn.SocialLowerBound(level+1, c, qvec)
 				dLow := layout.CellRect(level+1, c).MinDist(qpt)
 				if key := combine(alpha, pLow, dLow); finite(key) {
@@ -106,7 +127,23 @@ func (e *Engine) runAIS(sn *aggindex.Snapshot, q graph.VertexID, qpt spatial.Poi
 				if u == q {
 					continue
 				}
+				if filter != 0 {
+					var lbl uint64
+					if labels != nil {
+						lbl = labels[u]
+					}
+					if lbl&filter == 0 {
+						st.LabelSkips++
+						continue
+					}
+				}
 				pLow := lm.LowerBound(q, u)
+				if useFoF {
+					if f := p.fof.LowerBound(u); f > pLow {
+						pLow = f
+						st.FoFTightened++
+					}
+				}
 				d := g.Point(u).Dist(qpt)
 				if key := combine(alpha, pLow, d); finite(key) {
 					h.Push(key, aisTie(aisUser, u), aisItem{aisUser, u})

@@ -16,11 +16,22 @@ func (e *Engine) runBrute(sn *aggindex.Snapshot, q graph.VertexID, qpt spatial.P
 	g := sn.Grid()
 	sp := sn.SocialGraph().Dijkstra(q)
 	st.SocialPops += e.ds.NumUsers()
+	labels := e.ds.Labels
 	r := newTopK(prm.K)
 	for v := 0; v < e.ds.NumUsers(); v++ {
 		id := graph.VertexID(v)
 		if id == q {
 			continue
+		}
+		if prm.Filter != 0 {
+			var lbl uint64
+			if labels != nil {
+				lbl = labels[id]
+			}
+			if !prm.matches(lbl) {
+				st.LabelSkips++
+				continue
+			}
 		}
 		p := sp.Dist[v]
 		d := spatialDist(g, qpt, id)

@@ -120,9 +120,25 @@ func (e *Engine) ResetCache(t int) {
 func (e *Engine) runAISCache(sn *aggindex.Snapshot, q graph.VertexID, qpt spatial.Point, bound *SharedBound, prm Params, st *Stats, p *queryPools) []Entry {
 	g := sn.Grid()
 	list, complete := e.cache.get(sn.SocialGraph(), sn.SocialEpoch(), q)
+	labels := e.ds.Labels
 	r := p.top.reset(prm.K, bound)
 	for _, cn := range list {
 		st.CacheHits++
+		if prm.Filter != 0 {
+			var lbl uint64
+			if labels != nil {
+				lbl = labels[cn.V]
+			}
+			if !prm.matches(lbl) {
+				// The skipped entry still bounds everything after it in the
+				// list (ascending social distance), so θ below stays valid.
+				st.LabelSkips++
+				if theta := prm.Alpha * cn.P; theta >= r.Fk() {
+					return r.Sorted()
+				}
+				continue
+			}
+		}
 		d := spatialDist(g, qpt, cn.V)
 		r.Consider(Entry{ID: cn.V, F: combine(prm.Alpha, cn.P, d), P: cn.P, D: d})
 		if theta := prm.Alpha * cn.P; theta >= r.Fk() {

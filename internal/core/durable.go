@@ -17,6 +17,14 @@ func (e *Engine) SetOpLog(fn func(ops []Update)) {
 	e.agg.SetOpLog(fn)
 }
 
+// MutationBarrier returns once every mutation that had reached the op-log
+// hook when the call began is applied and published; combined with Flush it
+// lets the checkpointer export a state that provably covers every journaled
+// sequence number it claims. See aggindex.Index.MutationBarrier.
+func (e *Engine) MutationBarrier() {
+	e.agg.MutationBarrier()
+}
+
 // ExportDiff returns the update batch that transforms a freshly built
 // engine over the same construction dataset into this engine's currently
 // published state — the checkpoint payload. Callers wanting a consistent

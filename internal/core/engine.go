@@ -10,6 +10,7 @@ import (
 	"ssrq/internal/aggindex"
 	"ssrq/internal/ch"
 	"ssrq/internal/dataset"
+	"ssrq/internal/fof"
 	"ssrq/internal/graph"
 	"ssrq/internal/landmark"
 	"ssrq/internal/pqueue"
@@ -204,6 +205,10 @@ type Engine struct {
 	agg   *aggindex.Index
 	cache *socialCache
 	opts  Options
+	// fof is the friends-of-friends bound index owned by the social
+	// substrate (nil only for engines without one); queries arm a pooled
+	// Scratch from it for the 2-hop exact / weight-floor lower bound.
+	fof *fof.Index
 
 	pools sync.Pool // *queryPools, reused across queries
 
@@ -232,6 +237,7 @@ type queryPools struct {
 	childBuf []int32                // grid child-index scratch
 	qvec     []float64              // query landmark vector
 	cellLow  []float64              // batched Lemma-2 bounds, one per top-level cell
+	fof      fof.Scratch            // friends-of-friends exact-2-hop bound scratch
 }
 
 // NewEngine builds all indexes over the dataset.
@@ -261,6 +267,7 @@ func NewEngine(ds *dataset.Dataset, opts Options) (*Engine, error) {
 		RepairBudget:          opts.LandmarkRepairBudget,
 		CompactThreshold:      opts.OverlayCompactThreshold,
 		ForcedInstallInterval: opts.ForcedInstallInterval,
+		Labels:                ds.Labels,
 	}
 	if opts.BuildCH {
 		// The hierarchy is built against the construction graph (social epoch
@@ -284,6 +291,9 @@ func NewEngine(ds *dataset.Dataset, opts Options) (*Engine, error) {
 		agg:   agg,
 		cache: newSocialCache(opts.CacheT),
 		opts:  opts,
+	}
+	if sub := agg.Substrate(); sub != nil {
+		e.fof = sub.FoF()
 	}
 	e.pools.New = func() any {
 		return &queryPools{
@@ -331,6 +341,7 @@ func NewEngineWithSubstrate(ds *dataset.Dataset, opts Options, sub *aggindex.Soc
 		agg:   agg,
 		cache: newSocialCache(opts.CacheT),
 		opts:  opts,
+		fof:   sub.FoF(),
 	}
 	n := ds.NumUsers()
 	e.pools.New = func() any {
@@ -649,6 +660,11 @@ func (e *Engine) NumLocated() int { return e.agg.Snapshot().Grid().NumLocated() 
 
 // LiveSocialGraph returns the social graph of the latest published epoch.
 func (e *Engine) LiveSocialGraph() *graph.Graph { return e.agg.Snapshot().SocialGraph() }
+
+// FoFIndex returns the friends-of-friends bound index (nil for engines
+// without a social substrate). Its floors are monotone non-increasing, so
+// bounds derived from them stay admissible against any published snapshot.
+func (e *Engine) FoFIndex() *fof.Index { return e.fof }
 
 // SpatialKNN returns the k spatially-nearest located users to q, excluding q
 // itself (a pure one-domain query). Lock-free against the latest epoch.

@@ -26,6 +26,16 @@ type Params struct {
 	// 0.1–0.9). Callers wanting a single-domain ranking can use the kNN
 	// helpers directly.
 	Alpha float64
+	// Filter restricts the result to users whose label bitmask intersects
+	// it (labels[u] & Filter != 0). Zero means unfiltered. On an unlabeled
+	// dataset a nonzero filter matches nobody. The query user itself is
+	// never part of the result, so its own labels are irrelevant.
+	Filter uint64
+}
+
+// matches reports whether a user with label mask lbl passes the filter.
+func (p Params) matches(lbl uint64) bool {
+	return p.Filter == 0 || lbl&p.Filter != 0
 }
 
 // Validate reports whether the parameters are usable.

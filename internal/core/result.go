@@ -29,7 +29,15 @@ type Stats struct {
 	GraphDistCalls int // exact social-distance evaluations
 	CHQueries      int // contraction-hierarchy point-to-point queries
 	CacheHits      int // §5.4 pre-computed list hits
-	FellBack       bool
+	// LabelCellPrunes counts grid cells a filtered query discarded outright
+	// because the cell's OR'd label mask missed the filter; LabelSkips
+	// counts individual users rejected at admission by the filter.
+	LabelCellPrunes int
+	LabelSkips      int
+	// FoFTightened counts bound evaluations where the friends-of-friends
+	// bound was strictly tighter than the landmark bound.
+	FoFTightened int
+	FellBack     bool
 }
 
 // Pops returns the |Vpop| aggregate used for the pop-ratio metric.
@@ -56,6 +64,9 @@ func (s *Stats) Add(o Stats) {
 	s.GraphDistCalls += o.GraphDistCalls
 	s.CHQueries += o.CHQueries
 	s.CacheHits += o.CacheHits
+	s.LabelCellPrunes += o.LabelCellPrunes
+	s.LabelSkips += o.LabelSkips
+	s.FoFTightened += o.FoFTightened
 	// FellBack is a property of the whole execution, not a counter: if any
 	// contributing engine's AISCache list was exhausted inconclusively, the
 	// aggregate fell back.

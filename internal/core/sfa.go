@@ -21,6 +21,7 @@ import (
 func (e *Engine) runSFA(sn *aggindex.Snapshot, q graph.VertexID, qpt spatial.Point, bound *SharedBound, prm Params, st *Stats, p *queryPools, useCH bool) []Entry {
 	g := sn.Grid()
 	hier := sn.Hierarchy() // chReady guaranteed it fresh when useCH
+	labels := e.ds.Labels
 	it := &p.soc
 	it.Reset(sn.SocialGraph(), q)
 	r := p.top.reset(prm.K, bound)
@@ -32,6 +33,18 @@ func (e *Engine) runSFA(sn *aggindex.Snapshot, q graph.VertexID, qpt spatial.Poi
 		st.SocialPops++
 		if v == q {
 			continue
+		}
+		if prm.Filter != 0 {
+			var lbl uint64
+			if labels != nil {
+				lbl = labels[v]
+			}
+			if !prm.matches(lbl) {
+				// Non-matching users still drive the expansion (they are
+				// waypoints to matching ones) but never enter the result.
+				st.LabelSkips++
+				continue
+			}
 		}
 		if useCH {
 			p, _ = hier.Dist(q, v)

@@ -28,6 +28,7 @@ func (e *Engine) runSPA(sn *aggindex.Snapshot, q graph.VertexID, qpt spatial.Poi
 		fwd.Reset(sn.SocialGraph(), q)
 	}
 
+	labels := e.ds.Labels
 	for {
 		u, d, ok := nn.Next()
 		if !ok {
@@ -36,6 +37,18 @@ func (e *Engine) runSPA(sn *aggindex.Snapshot, q graph.VertexID, qpt spatial.Poi
 		st.SpatialPops++
 		if u == q {
 			continue
+		}
+		if prm.Filter != 0 {
+			var lbl uint64
+			if labels != nil {
+				lbl = labels[u]
+			}
+			if !prm.matches(lbl) {
+				// Skip before paying the social-distance evaluation — the
+				// expensive half of each SPA iteration.
+				st.LabelSkips++
+				continue
+			}
 		}
 		// Social-distance module: an independent CH query per target for
 		// SPA-CH, otherwise the shared forward Dijkstra expanded just far

@@ -5,6 +5,7 @@ import (
 
 	"ssrq/internal/aggindex"
 	"ssrq/internal/ch"
+	"ssrq/internal/fof"
 	"ssrq/internal/graph"
 	"ssrq/internal/pqueue"
 	"ssrq/internal/spatial"
@@ -92,18 +93,38 @@ func (c *candidateSet) Prune(drop func(u int32, d float64) bool) {
 // allocation per query, while a local struct with methods stays on the
 // caller's stack.
 type tsaRun struct {
-	g     *spatial.Snapshot
-	qpt   spatial.Point
-	q     graph.VertexID
-	alpha float64
-	soc   *graph.DijkstraIterator
-	nn    *spatial.NNIterator
-	r     *topK
-	cand  *candidateSet
-	st    *Stats
+	g      *spatial.Snapshot
+	qpt    spatial.Point
+	q      graph.VertexID
+	alpha  float64
+	filter uint64
+	labels []uint64
+	soc    *graph.DijkstraIterator
+	nn     *spatial.NNIterator
+	r      *topK
+	cand   *candidateSet
+	st     *Stats
 
 	tp, td           float64
 	socDone, spaDone bool
+}
+
+// excluded reports whether the query filter rejects user u. Excluded users
+// still advance both frontiers (t_p/t_d bound *unseen* users regardless of
+// labels) but never enter the interim result or the candidate set.
+func (t *tsaRun) excluded(u int32) bool {
+	if t.filter == 0 {
+		return false
+	}
+	var lbl uint64
+	if t.labels != nil {
+		lbl = t.labels[u]
+	}
+	if lbl&t.filter == 0 {
+		t.st.LabelSkips++
+		return true
+	}
+	return false
 }
 
 func (t *tsaRun) advanceSocial() {
@@ -117,10 +138,14 @@ func (t *tsaRun) advanceSocial() {
 	if v == t.q {
 		return
 	}
+	// Algorithm 1 lines 7–8: a candidate reached by the social search is
+	// now fully evaluated and must leave Q (filtered users never entered
+	// it, and must not enter the result either).
+	if t.excluded(v) {
+		return
+	}
 	d := spatialDist(t.g, t.qpt, v)
 	t.r.Consider(Entry{ID: v, F: combine(t.alpha, p, d), P: p, D: d})
-	// Algorithm 1 lines 7–8: a candidate reached by the social search is
-	// now fully evaluated and must leave Q.
 	t.cand.Remove(v)
 }
 
@@ -133,6 +158,9 @@ func (t *tsaRun) advanceSpatial() {
 	t.st.SpatialPops++
 	t.td = d
 	if u == t.q || t.soc.Settled(u) {
+		return
+	}
+	if t.excluded(u) {
 		return
 	}
 	t.cand.Add(u, d)
@@ -164,6 +192,7 @@ func (e *Engine) runTSA(sn *aggindex.Snapshot, q graph.VertexID, qpt spatial.Poi
 	r := p.top.reset(prm.K, bound)
 	t := tsaRun{
 		g: g, qpt: qpt, q: q, alpha: prm.Alpha,
+		filter: prm.Filter, labels: e.ds.Labels,
 		soc: &p.soc, nn: p.nn, r: r, cand: &p.cand, st: st,
 	}
 
@@ -208,8 +237,19 @@ func (e *Engine) runTSA(sn *aggindex.Snapshot, q graph.VertexID, qpt spatial.Poi
 		// than candidateSet.Prune: the predicate closure would capture four
 		// variables and allocate.
 		lm := sn.Landmarks()
+		useFoF := e.fof != nil && t.cand.Len() > 0
+		if useFoF {
+			p.fof.Arm(e.fof, sn.SocialGraph(), q, fof.DefaultBudget)
+		}
 		for u, d := range t.cand.d {
-			if combine(prm.Alpha, lm.LowerBound(q, u), d) >= r.Fk() {
+			lb := lm.LowerBound(q, u)
+			if useFoF {
+				if f := p.fof.LowerBound(u); f > lb {
+					lb = f
+					st.FoFTightened++
+				}
+			}
+			if combine(prm.Alpha, lb, d) >= r.Fk() {
 				delete(t.cand.d, u)
 			}
 		}

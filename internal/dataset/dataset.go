@@ -37,8 +37,13 @@ type Dataset struct {
 	G       *graph.Graph    // edge weights normalized by Norms.Social
 	Pts     []spatial.Point // coordinates normalized by Norms.Spatial
 	Located []bool
-	Norms   Norms
-	bounds  spatial.Rect // of normalized located points
+	// Labels holds an optional per-user attribute/topic bitmask (up to 64
+	// labels, bit i = label i), fixed at construction like the graph
+	// topology. Nil (or all-zero) means the dataset is unlabeled. A user
+	// with a zero mask matches no nonzero query filter.
+	Labels []uint64
+	Norms  Norms
+	bounds spatial.Rect // of normalized located points
 }
 
 // New builds a dataset from a raw graph and raw locations, normalizing both
@@ -117,6 +122,26 @@ func (d *Dataset) Restrict(keep []bool) (*Dataset, error) {
 	r := *d
 	r.Located = located
 	return &r, nil
+}
+
+// SetLabels attaches a per-user label bitmask to the dataset. Like the
+// graph topology, labels are fixed for the dataset's lifetime; engines read
+// the slice without copying, so callers must not mutate it afterwards.
+// Restrict'ed views share the same labels automatically.
+func (d *Dataset) SetLabels(labels []uint64) error {
+	if labels != nil && len(labels) != d.NumUsers() {
+		return fmt.Errorf("dataset: %d label masks for %d users", len(labels), d.NumUsers())
+	}
+	d.Labels = labels
+	return nil
+}
+
+// LabelsOf returns user u's label bitmask (0 when the dataset is unlabeled).
+func (d *Dataset) LabelsOf(u int32) uint64 {
+	if d.Labels == nil {
+		return 0
+	}
+	return d.Labels[u]
 }
 
 // NumUsers returns the number of users (== graph vertices).

@@ -186,6 +186,34 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 			t.Fatalf("distance %d drifted: %v vs %v", v, d1[v], d2[v])
 		}
 	}
+	// An unlabeled dataset stays unlabeled through the round trip...
+	if ds2.Labels != nil {
+		t.Fatal("labels materialized out of nowhere")
+	}
+	// ...and a labeled one keeps its labels bit for bit.
+	labels := make([]uint64, 60)
+	for v := range labels {
+		labels[v] = uint64(v) << uint(v%4)
+	}
+	if err := ds.SetLabels(labels); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := ds.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ds3, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds3.Labels == nil {
+		t.Fatal("labels lost in round trip")
+	}
+	for v := range labels {
+		if ds3.Labels[v] != labels[v] {
+			t.Fatalf("label %d drifted: %#x vs %#x", v, ds3.Labels[v], labels[v])
+		}
+	}
 }
 
 func TestSaveLoadFile(t *testing.T) {

@@ -22,6 +22,10 @@ type wire struct {
 	EdgeW   []float64
 	Pts     []spatial.Point
 	Located []bool
+	// Labels is optional (nil = unlabeled dataset); gob omits/ignores the
+	// field when absent, so labeled and unlabeled files interoperate across
+	// binary versions without a wire version bump.
+	Labels []uint64
 }
 
 const wireVersion = 1
@@ -35,6 +39,7 @@ func (d *Dataset) Save(w io.Writer) error {
 		N:       n,
 		Pts:     make([]spatial.Point, n),
 		Located: d.Located,
+		Labels:  d.Labels,
 	}
 	for i, p := range d.Pts {
 		msg.Pts[i] = spatial.Point{X: p.X * d.Norms.Spatial, Y: p.Y * d.Norms.Spatial}
@@ -74,7 +79,16 @@ func Load(r io.Reader) (*Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
-	return New(msg.Name, g, msg.Pts, msg.Located)
+	ds, err := New(msg.Name, g, msg.Pts, msg.Located)
+	if err != nil {
+		return nil, err
+	}
+	if msg.Labels != nil {
+		if err := ds.SetLabels(msg.Labels); err != nil {
+			return nil, fmt.Errorf("dataset: %w", err)
+		}
+	}
+	return ds, nil
 }
 
 // SaveFile writes the dataset to path.

@@ -191,6 +191,64 @@ func TestSuiteRunsEveryExperiment(t *testing.T) {
 	}
 }
 
+// TestRunFilter drives the attribute-filtered experiment cell at micro
+// scale. The cell is self-checking (per-query brute oracle under the same
+// filter, and a hard failure on zero cell-mask prunes), so a nil error
+// carries most of the assertion; the measurements are checked for the
+// pruning counters the CI gate reads.
+func TestRunFilter(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewSuite(microScale, 42, &buf)
+	if err := s.Run("filter", false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Filtered SSRQ") {
+		t.Fatal("filter output missing table")
+	}
+	var aisPrunes float64 = -1
+	for _, m := range s.Measurements {
+		if m.Exp == "filter" && m.Algo == core.AIS {
+			aisPrunes = m.Extra["label_cell_prunes_per_q"]
+		}
+	}
+	if aisPrunes <= 0 {
+		t.Fatalf("AIS cell-mask prunes per query = %v, want > 0 on the clustered urban workload", aisPrunes)
+	}
+}
+
+// TestWorkloadPresetSweepSmoke runs a k and α sweep over the homophily
+// preset through the suite plumbing — the new labeled presets must be
+// first-class experiment datasets, not just generators.
+func TestWorkloadPresetSweepSmoke(t *testing.T) {
+	s := NewSuite(microScale, 11, &bytes.Buffer{})
+	ds, err := s.Dataset("homophily")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Labels == nil {
+		t.Fatal("homophily preset lost its labels through the suite")
+	}
+	e, err := s.Engine("homophily", DefaultS, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := QueryUsers(ds, microScale.NumQueries, 11)
+	if len(users) == 0 {
+		t.Fatal("no located query users")
+	}
+	for _, k := range []int{5, 15} {
+		for _, alpha := range []float64{0.1, 0.5, 0.9} {
+			m, err := runWorkload(e, core.AIS, users, core.Params{K: k, Alpha: alpha})
+			if err != nil {
+				t.Fatalf("k=%d α=%.1f: %v", k, alpha, err)
+			}
+			if m.Queries != len(users) || m.Runtime <= 0 {
+				t.Fatalf("k=%d α=%.1f: degenerate measurement %+v", k, alpha, m)
+			}
+		}
+	}
+}
+
 func TestSuiteRunUnknownExperiment(t *testing.T) {
 	s := NewSuite(microScale, 1, &bytes.Buffer{})
 	if err := s.Run("fig99", false); err == nil {

@@ -75,6 +75,11 @@ func (s *Suite) Dataset(name string) (*dataset.Dataset, error) {
 		preset, n = gen.FoursquarePreset, s.Scale.FoursquareN
 	case "twitter":
 		preset, n = gen.TwitterPreset, s.Scale.TwitterN
+	case "urban":
+		// The literature-derived workload presets run at Gowalla scale.
+		preset, n = gen.UrbanPreset, s.Scale.GowallaN
+	case "homophily":
+		preset, n = gen.HomophilyPreset, s.Scale.GowallaN
 	default:
 		return nil, fmt.Errorf("exp: unknown dataset %q", name)
 	}
@@ -193,6 +198,8 @@ func (s *Suite) Run(id string, withCH bool) error {
 		return s.RunShard()
 	case "subscribe":
 		return s.RunSubscribe()
+	case "filter":
+		return s.RunFilter()
 	case "recover":
 		return s.RunRecover()
 	case "diag":

@@ -1,0 +1,188 @@
+package fof
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ssrq/internal/graph"
+)
+
+type auditEdge struct{ u, v int32 }
+
+func buildFrom(n int, model map[auditEdge]float64) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for e, w := range model {
+		_ = b.AddEdge(e.u, e.v, w)
+	}
+	return b.MustBuild()
+}
+
+func key(u, v int32) auditEdge {
+	if u > v {
+		u, v = v, u
+	}
+	return auditEdge{u, v}
+}
+
+// TestAdmissibilityUnderChurn audits the core contract: for every query
+// vertex and every target, LowerBound never exceeds the true shortest-path
+// distance in the snapshot the scratch was armed on — including after edge
+// removals (which never touch the floors, leaving them loose but safe) and
+// under budgets small enough to force the 1-hop-only fallback.
+func TestAdmissibilityUnderChurn(t *testing.T) {
+	for trial := 0; trial < 4; trial++ {
+		rng := rand.New(rand.NewSource(int64(41 + trial)))
+		const n = 60
+		model := make(map[auditEdge]float64)
+		// Seed a connected-ish random graph.
+		for i := int32(1); i < n; i++ {
+			model[key(i, rng.Int31n(i))] = 0.05 + rng.Float64()
+		}
+		for i := 0; i < 2*n; i++ {
+			u, v := rng.Int31n(n), rng.Int31n(n)
+			if u != v {
+				model[key(u, v)] = 0.05 + rng.Float64()
+			}
+		}
+		ix := New(buildFrom(n, model))
+		var sc Scratch
+
+		audit := func(step int, budget int) {
+			g := buildFrom(n, model)
+			for probe := 0; probe < 4; probe++ {
+				q := rng.Int31n(n)
+				sc.Arm(ix, g, q, budget)
+				truth := g.DistancesFrom(graph.VertexID(q))
+				for u := int32(0); u < n; u++ {
+					lb := sc.LowerBound(u)
+					if u == q {
+						if lb != 0 {
+							t.Fatalf("trial %d step %d: LowerBound(q)=%v", trial, step, lb)
+						}
+						continue
+					}
+					if lb > truth[u]+1e-12 {
+						t.Fatalf("trial %d step %d budget %d: bound %v exceeds true distance %v (q=%d u=%d, complete=%v)",
+							trial, step, budget, lb, truth[u], q, u, sc.complete)
+					}
+				}
+				sc.Release()
+			}
+		}
+
+		audit(-1, 0) // pre-churn, default budget
+		audit(-1, 1) // pre-churn, budget so small the 2-hop pass never runs
+
+		// Interleaved churn: upserts lower floors, removals leave them alone.
+		for step := 0; step < 40; step++ {
+			if rng.Intn(3) == 0 && len(model) > n {
+				// Remove a random edge (possibly the global-minimum one: the
+				// floors must stay admissible without being recomputed).
+				for e := range model {
+					delete(model, e)
+					break
+				}
+			} else {
+				u, v := rng.Int31n(n), rng.Int31n(n)
+				if u == v {
+					continue
+				}
+				w := 0.02 + rng.Float64()
+				model[key(u, v)] = w
+				ix.ObserveUpsert(u, v, w)
+			}
+			if step%8 == 0 {
+				audit(step, 0)
+				audit(step, 1)
+			}
+		}
+		audit(40, 0)
+		audit(40, 1)
+	}
+}
+
+// TestExactWithinTwoHops: with an ample budget the bound is not merely
+// admissible but exact for every vertex whose shortest path uses ≤ 2 edges —
+// the regime the paper's result sets live in.
+func TestExactWithinTwoHops(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 40
+	model := make(map[auditEdge]float64)
+	for i := int32(1); i < n; i++ {
+		model[key(i, rng.Int31n(i))] = 0.1 + rng.Float64()
+	}
+	g := buildFrom(n, model)
+	ix := New(g)
+	var sc Scratch
+	for q := int32(0); q < n; q++ {
+		sc.Arm(ix, g, q, 1<<30)
+		if !sc.complete {
+			t.Fatalf("q=%d: ample budget left the expansion incomplete", q)
+		}
+		truth := g.DistancesFrom(graph.VertexID(q))
+		hops := hopCounts(g, q)
+		for u := int32(0); u < n; u++ {
+			if u == q || hops[u] > 2 {
+				continue
+			}
+			// A ≤2-hop shortest path is enumerated exactly — unless an even
+			// shorter path with more edges exists, in which case the exact
+			// enumeration can only be beaten from below by the floor.
+			if lb := sc.LowerBound(u); lb > truth[u]+1e-12 {
+				t.Fatalf("q=%d u=%d (%d hops): bound %v > true %v", q, u, hops[u], lb, truth[u])
+			}
+		}
+		sc.Release()
+	}
+}
+
+// hopCounts BFS-counts minimum edge counts (not weights) from q.
+func hopCounts(g *graph.Graph, q int32) []int {
+	n := g.NumVertices()
+	h := make([]int, n)
+	for i := range h {
+		h[i] = n + 1
+	}
+	h[q] = 0
+	queue := []int32{q}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		nbrs, _ := g.Neighbors(graph.VertexID(v))
+		for _, u := range nbrs {
+			if h[u] > h[v]+1 {
+				h[u] = h[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return h
+}
+
+// TestFloorsMonotone: ObserveUpsert only ever lowers MinIncident and the
+// global floor, and removals (absence of a call) never raise them.
+func TestFloorsMonotone(t *testing.T) {
+	b := graph.NewBuilder(4)
+	_ = b.AddEdge(0, 1, 0.9)
+	_ = b.AddEdge(1, 2, 0.4)
+	ix := New(b.MustBuild())
+	if got := ix.MinIncident(0); got != 0.9 {
+		t.Fatalf("minw[0] = %v", got)
+	}
+	if got := ix.GlobalFloor(); got != 0.4 {
+		t.Fatalf("wmin = %v", got)
+	}
+	if got := ix.MinIncident(3); !math.IsInf(got, 1) {
+		t.Fatalf("isolated vertex floor = %v, want +Inf", got)
+	}
+	ix.ObserveUpsert(0, 3, 0.2)
+	if ix.MinIncident(0) != 0.2 || ix.MinIncident(3) != 0.2 || ix.GlobalFloor() != 0.2 {
+		t.Fatalf("floors after upsert: %v %v %v", ix.MinIncident(0), ix.MinIncident(3), ix.GlobalFloor())
+	}
+	// A heavier upsert on the same vertices is a no-op.
+	ix.ObserveUpsert(0, 3, 5)
+	if ix.MinIncident(0) != 0.2 || ix.GlobalFloor() != 0.2 {
+		t.Fatal("heavier upsert raised a floor")
+	}
+}

@@ -46,6 +46,13 @@ func fingerprint(ds *dataset.Dataset) uint64 {
 	}
 	wf(ds.Norms.Social)
 	wf(ds.Norms.Spatial)
+	// Labels participate only when present, so unlabeled presets keep their
+	// historical constants.
+	if ds.Labels != nil {
+		for _, l := range ds.Labels {
+			w64(l)
+		}
+	}
 	return h.Sum64()
 }
 
@@ -66,11 +73,32 @@ func TestGoldenSeedDataset(t *testing.T) {
 	}
 }
 
+// TestGoldenSeedWorkloadPresets pins the labeled workload presets (labels are
+// part of the fingerprint for these) the same way.
+func TestGoldenSeedWorkloadPresets(t *testing.T) {
+	golden := map[string]uint64{
+		"urban":     0x43661be4f270200b,
+		"homophily": 0xee07d63e1caf7f22,
+	}
+	for _, p := range []Preset{UrbanPreset, HomophilyPreset} {
+		ds, err := p.Dataset(300, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ds.Labels == nil {
+			t.Fatalf("%s(n=300, seed=42) produced no labels", p.Name)
+		}
+		if got := fingerprint(ds); got != golden[p.Name] {
+			t.Fatalf("%s(n=300, seed=42) fingerprint %#x, want %#x — the synthesis pipeline is no longer seed-stable", p.Name, got, golden[p.Name])
+		}
+	}
+}
+
 // TestSourceThreadingEquivalence: the Source-threaded constructors are the
 // same function as the seed-taking wrappers, and repeated calls with equal
 // seeds agree for every preset.
 func TestSourceThreadingEquivalence(t *testing.T) {
-	for _, p := range []Preset{GowallaPreset, FoursquarePreset, TwitterPreset} {
+	for _, p := range []Preset{GowallaPreset, FoursquarePreset, TwitterPreset, UrbanPreset, HomophilyPreset} {
 		a, err := p.Dataset(120, 7)
 		if err != nil {
 			t.Fatal(err)

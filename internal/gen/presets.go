@@ -9,7 +9,8 @@ import (
 	"ssrq/internal/spatial"
 )
 
-// Preset identifies a paper-dataset substitute (Table 2 / Fig. 13).
+// Preset identifies a paper-dataset substitute (Table 2 / Fig. 13) or a
+// literature-derived workload profile.
 type Preset struct {
 	Name string
 	// AvgDegreeTarget drives the attachment parameter.
@@ -19,6 +20,11 @@ type Preset struct {
 	// FireP blends forest-fire community structure into the graph
 	// (fraction of edges grown by forest fire rather than BA).
 	FireP float64
+	// Model selects the generator: "" = the default GeoSocial mix,
+	// "urban" = distance-dependent edge probability (UrbanGeoSocial),
+	// "homophily" = hierarchical attribute homophily (HomophilyGeoSocial).
+	// The non-default models also attach per-user labels.
+	Model string
 }
 
 // Paper-dataset presets. Sizes are a parameter: the paper's full scales
@@ -32,6 +38,12 @@ var (
 	// TwitterPreset mirrors the Singapore Twitter set: avg degree 57.7,
 	// all users geo-tagged.
 	TwitterPreset = Preset{Name: "twitter", AvgDegreeTarget: 57.7, LocatedFrac: 1.0, FireP: 0.10}
+	// UrbanPreset models a metropolitan LBSN with distance-dependent edge
+	// probability (Herrera-Yagüe et al.) and per-city user labels.
+	UrbanPreset = Preset{Name: "urban", AvgDegreeTarget: 12, LocatedFrac: 0.85, Model: "urban"}
+	// HomophilyPreset models hierarchical attribute homophily (Watts et
+	// al.) with per-group user labels laid out on a spatial grid.
+	HomophilyPreset = Preset{Name: "homophily", AvgDegreeTarget: 10, LocatedFrac: 0.7, Model: "homophily"}
 )
 
 // Dataset synthesizes an n-user dataset matching the preset: a geo-social
@@ -63,13 +75,31 @@ func (p Preset) DatasetFrom(n int, src rand.Source) (*dataset.Dataset, error) {
 	if cities > 40 {
 		cities = 40
 	}
-	edges, pts, located, err := GeoSocial(GeoSocialConfig{
-		N:           n,
-		M:           m,
-		PLocal:      0.5,
-		Cities:      cities,
-		LocatedFrac: p.LocatedFrac,
-	}, rng)
+	var (
+		edges   []edge
+		pts     []spatial.Point
+		located []bool
+		labels  []uint64
+		err     error
+	)
+	switch p.Model {
+	case "urban":
+		edges, pts, located, labels, err = UrbanGeoSocial(UrbanConfig{
+			N: n, M: m, Cities: cities, LocatedFrac: p.LocatedFrac,
+		}, rng)
+	case "homophily":
+		edges, pts, located, labels, err = HomophilyGeoSocial(HomophilyConfig{
+			N: n, M: m, LocatedFrac: p.LocatedFrac,
+		}, rng)
+	default:
+		edges, pts, located, err = GeoSocial(GeoSocialConfig{
+			N:           n,
+			M:           m,
+			PLocal:      0.5,
+			Cities:      cities,
+			LocatedFrac: p.LocatedFrac,
+		}, rng)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -77,7 +107,16 @@ func (p Preset) DatasetFrom(n int, src rand.Source) (*dataset.Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
-	return dataset.New(p.Name, g, pts, located)
+	ds, err := dataset.New(p.Name, g, pts, located)
+	if err != nil {
+		return nil, err
+	}
+	if labels != nil {
+		if err := ds.SetLabels(labels); err != nil {
+			return nil, err
+		}
+	}
+	return ds, nil
 }
 
 // CorrelatedDataset builds the Fig. 14a dataset family: the graph comes from

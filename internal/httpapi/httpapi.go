@@ -17,6 +17,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"ssrq"
 )
@@ -27,6 +28,8 @@ type Server struct {
 	mux *http.ServeMux
 	// parallel is the default worker count for /batch; 0 = GOMAXPROCS.
 	parallel int
+	// heartbeat is the SSE idle-stream ping interval; 0 = default 15s.
+	heartbeat time.Duration
 	// followerStats non-nil puts the server in read-only replica mode; it
 	// reports (applied seq, leader seq) for /stats. See SetFollower.
 	followerStats func() (applied, leader uint64)
@@ -67,6 +70,10 @@ func New(eng *ssrq.Engine) *Server {
 // before serving.
 func (s *Server) SetParallel(n int) { s.parallel = n }
 
+// SetHeartbeat sets the SSE idle-stream ping interval (0 restores the 15s
+// default). Call before serving.
+func (s *Server) SetHeartbeat(d time.Duration) { s.heartbeat = d }
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
@@ -96,31 +103,79 @@ type queryEntry struct {
 }
 
 type queryStats struct {
-	SocialPops    int  `json:"social_pops"`
-	SpatialPops   int  `json:"spatial_pops"`
-	IndexUserPops int  `json:"index_user_pops"`
-	DistCalls     int  `json:"dist_calls"`
-	FellBack      bool `json:"fell_back,omitempty"`
+	SocialPops      int  `json:"social_pops"`
+	SpatialPops     int  `json:"spatial_pops"`
+	IndexUserPops   int  `json:"index_user_pops"`
+	DistCalls       int  `json:"dist_calls"`
+	LabelCellPrunes int  `json:"label_cell_prunes,omitempty"`
+	LabelSkips      int  `json:"label_skips,omitempty"`
+	FoFTightened    int  `json:"fof_tightened,omitempty"`
+	FellBack        bool `json:"fell_back,omitempty"`
 }
 
-func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	q, err := intParam(r, "q", -1)
+// queryParams parses and validates the shared (user, k, alpha, labels) query
+// surface of /query and /subscribe, pinning the error semantics at the
+// handler layer: malformed or domain-violating parameters (k < 1, alpha
+// outside (0,1) — including NaN, which ParseFloat accepts — bad label
+// indices) are 400s, an out-of-range user is a 404. Engine-level failures
+// past this point (e.g. an unlocated query user) remain 422s.
+func (s *Server) queryParams(r *http.Request, userParam string) (int, ssrq.Params, int, error) {
+	q, err := intParam(r, userParam, -1)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
+		return 0, ssrq.Params{}, http.StatusBadRequest, err
+	}
+	if q < 0 || q >= s.eng.Dataset().NumUsers() {
+		return 0, ssrq.Params{}, http.StatusNotFound, fmt.Errorf("unknown user %d", q)
 	}
 	k, err := intParam(r, "k", 10)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
+		return 0, ssrq.Params{}, http.StatusBadRequest, err
 	}
 	alpha := 0.3
 	if raw := r.URL.Query().Get("alpha"); raw != "" {
 		alpha, err = strconv.ParseFloat(raw, 64)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("bad alpha: %w", err))
-			return
+			return 0, ssrq.Params{}, http.StatusBadRequest, fmt.Errorf("bad alpha: %w", err)
 		}
+	}
+	filter, err := parseLabels(r.URL.Query().Get("labels"))
+	if err != nil {
+		return 0, ssrq.Params{}, http.StatusBadRequest, err
+	}
+	prm := ssrq.Params{K: k, Alpha: alpha, Filter: filter}
+	if err := prm.Validate(); err != nil {
+		return 0, ssrq.Params{}, http.StatusBadRequest, err
+	}
+	return q, prm, http.StatusOK, nil
+}
+
+// parseLabels parses the labels= wire format — comma-separated label indices
+// in [0,64), e.g. "0,3,17" — into a filter bitmask (0 when absent: no
+// filtering). A filtered query reports only users carrying at least one of
+// the requested labels.
+func parseLabels(raw string) (uint64, error) {
+	if raw == "" {
+		return 0, nil
+	}
+	var m uint64
+	for _, part := range strings.Split(raw, ",") {
+		i, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return 0, fmt.Errorf("bad label index %q", part)
+		}
+		if i < 0 || i > 63 {
+			return 0, fmt.Errorf("label index %d out of [0,64)", i)
+		}
+		m |= 1 << uint(i)
+	}
+	return m, nil
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	q, prm, code, err := s.queryParams(r, "q")
+	if err != nil {
+		httpError(w, code, err)
+		return
 	}
 	algo := ssrq.AIS
 	if raw := r.URL.Query().Get("algo"); raw != "" {
@@ -132,12 +187,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	res, err := s.eng.TopKWith(algo, ssrq.UserID(q), k, alpha)
+	res, err := s.eng.Query(algo, ssrq.UserID(q), prm)
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	writeJSON(w, toQueryResponse(int32(q), k, alpha, algo, res))
+	writeJSON(w, toQueryResponse(int32(q), prm.K, prm.Alpha, algo, res))
 }
 
 func toQueryResponse(q int32, k int, alpha float64, algo ssrq.Algorithm, res *ssrq.Result) queryResponse {
@@ -145,11 +200,14 @@ func toQueryResponse(q int32, k int, alpha float64, algo ssrq.Algorithm, res *ss
 		Query: q, K: k, Alpha: alpha, Algo: fmt.Sprint(algo),
 		Entries: make([]queryEntry, len(res.Entries)),
 		Stats: queryStats{
-			SocialPops:    res.Stats.SocialPops,
-			SpatialPops:   res.Stats.SpatialPops,
-			IndexUserPops: res.Stats.IndexUserPops,
-			DistCalls:     res.Stats.GraphDistCalls,
-			FellBack:      res.Stats.FellBack,
+			SocialPops:      res.Stats.SocialPops,
+			SpatialPops:     res.Stats.SpatialPops,
+			IndexUserPops:   res.Stats.IndexUserPops,
+			DistCalls:       res.Stats.GraphDistCalls,
+			LabelCellPrunes: res.Stats.LabelCellPrunes,
+			LabelSkips:      res.Stats.LabelSkips,
+			FoFTightened:    res.Stats.FoFTightened,
+			FellBack:        res.Stats.FellBack,
 		},
 	}
 	for i, e := range res.Entries {
@@ -158,12 +216,15 @@ func toQueryResponse(q int32, k int, alpha float64, algo ssrq.Algorithm, res *ss
 	return resp
 }
 
-// batchRequest asks for the same (algo, k, alpha) over many query users.
-// Parallel optionally overrides the server's worker count for this request.
+// batchRequest asks for the same (algo, k, alpha, labels) over many query
+// users. Labels holds label indices in [0,64): when non-empty only users
+// carrying at least one of them are reported. Parallel optionally overrides
+// the server's worker count for this request.
 type batchRequest struct {
 	Algo     string  `json:"algo"`
 	K        int     `json:"k"`
 	Alpha    float64 `json:"alpha"`
+	Labels   []int   `json:"labels,omitempty"`
 	Queries  []int32 `json:"queries"`
 	Parallel int     `json:"parallel,omitempty"`
 }
@@ -204,6 +265,21 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("unknown algorithm %q", req.Algo))
 		return
 	}
+	var filter uint64
+	for _, i := range req.Labels {
+		if i < 0 || i > 63 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("label index %d out of [0,64)", i))
+			return
+		}
+		filter |= 1 << uint(i)
+	}
+	prm := ssrq.Params{K: req.K, Alpha: req.Alpha, Filter: filter}
+	if err := prm.Validate(); err != nil {
+		// Parameter-domain violations (k < 1, alpha outside (0,1) incl. NaN)
+		// are the client's fault: 400, not the engine catch-all 422.
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
 	// A request may lower its own parallelism but never exceed the
 	// operator's configured cap (-parallel, GOMAXPROCS when unset).
 	limit := s.parallel
@@ -214,7 +290,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if req.Parallel > 0 && req.Parallel < limit {
 		workers = req.Parallel
 	}
-	outs := s.eng.TopKBatch(algo, req.Queries, req.K, req.Alpha, workers)
+	batch := make([]ssrq.BatchQuery, len(req.Queries))
+	for i, q := range req.Queries {
+		batch[i] = ssrq.BatchQuery{Algo: algo, Q: q, Params: prm}
+	}
+	outs := s.eng.QueryBatch(batch, workers)
 	resp := batchResponse{
 		K: req.K, Alpha: req.Alpha, Algo: fmt.Sprint(algo),
 		Results: make([]batchItem, len(outs)),

@@ -95,8 +95,21 @@ func TestQueryValidation(t *testing.T) {
 		{"/query?q=abc", http.StatusBadRequest},          // bad q
 		{"/query?q=0&k=frog", http.StatusBadRequest},     // bad k
 		{"/query?q=0&alpha=nope", http.StatusBadRequest}, // bad alpha
-		{"/query?q=0&alpha=1.5", http.StatusUnprocessableEntity},
-		{"/query?q=999999", http.StatusUnprocessableEntity}, // out of range
+		// Parameter-domain violations are the client's fault: 400, not the
+		// engine catch-all 422 they used to fall into.
+		{"/query?q=0&k=0", http.StatusBadRequest},
+		{"/query?q=0&k=-3", http.StatusBadRequest},
+		{"/query?q=0&alpha=1.5", http.StatusBadRequest},
+		{"/query?q=0&alpha=0", http.StatusBadRequest},
+		{"/query?q=0&alpha=1", http.StatusBadRequest},
+		{"/query?q=0&alpha=NaN", http.StatusBadRequest}, // ParseFloat accepts NaN
+		{"/query?q=0&labels=frog", http.StatusBadRequest},
+		{"/query?q=0&labels=64", http.StatusBadRequest},
+		{"/query?q=0&labels=-1", http.StatusBadRequest},
+		// An unknown user is a missing resource, not a malformed request.
+		{"/query?q=999999", http.StatusNotFound},
+		// Valid labels parse fine on an unlabeled dataset (empty result).
+		{"/query?q=0&labels=0,3,17", http.StatusOK},
 	}
 	for _, c := range cases {
 		if rec := do(t, s, "GET", c.path, nil); rec.Code != c.want {
@@ -284,6 +297,27 @@ func TestBatchEndpointValidation(t *testing.T) {
 	s.ServeHTTP(w, req)
 	if w.Code != http.StatusBadRequest {
 		t.Fatalf("garbage body = %d", w.Code)
+	}
+	// Parameter-domain violations reject the whole batch with 400 — they are
+	// malformed requests, not per-slot engine failures.
+	domain := []struct {
+		name string
+		req  batchRequest
+	}{
+		{"k=0 via negative", batchRequest{Algo: "AIS", K: -1, Queries: []int32{0}}},
+		{"alpha=1.5", batchRequest{Algo: "AIS", Alpha: 1.5, Queries: []int32{0}}},
+		{"alpha=-0.1", batchRequest{Algo: "AIS", Alpha: -0.1, Queries: []int32{0}}},
+		{"label index 64", batchRequest{Algo: "AIS", Labels: []int{64}, Queries: []int32{0}}},
+		{"label index -1", batchRequest{Algo: "AIS", Labels: []int{-1}, Queries: []int32{0}}},
+	}
+	for _, c := range domain {
+		if rec := do(t, s, "POST", "/batch", c.req); rec.Code != http.StatusBadRequest {
+			t.Errorf("%s = %d, want %d", c.name, rec.Code, http.StatusBadRequest)
+		}
+	}
+	// Valid label indices are accepted (empty slots on an unlabeled dataset).
+	if rec := do(t, s, "POST", "/batch", batchRequest{Algo: "AIS", K: 3, Alpha: 0.5, Labels: []int{0, 5}, Queries: []int32{0}}); rec.Code != http.StatusOK {
+		t.Errorf("valid labels = %d, want 200", rec.Code)
 	}
 }
 

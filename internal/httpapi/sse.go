@@ -3,11 +3,18 @@ package httpapi
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
-	"strconv"
+	"time"
 
 	"ssrq"
 )
+
+// defaultHeartbeat is the idle-stream heartbeat interval: during long
+// stretches where every epoch is skip-proven (no delta events), the handler
+// emits an SSE comment line so proxies and clients see a live connection and
+// the server notices a broken one. Override with Server.SetHeartbeat.
+const defaultHeartbeat = 15 * time.Second
 
 // sseDelta is the wire form of one subscription delta event: the entries
 // that entered the top-k (in result order), the ones that remain with a
@@ -43,26 +50,13 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported by this connection"))
 		return
 	}
-	q, err := intParam(r, "user", -1)
+	q, prm, code, err := s.queryParams(r, "user")
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpError(w, code, err)
 		return
-	}
-	k, err := intParam(r, "k", 10)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
-	}
-	alpha := 0.3
-	if raw := r.URL.Query().Get("alpha"); raw != "" {
-		alpha, err = strconv.ParseFloat(raw, 64)
-		if err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("bad alpha: %w", err))
-			return
-		}
 	}
 
-	sb, err := s.eng.Subscribe(ssrq.UserID(q), k, alpha)
+	sb, err := s.eng.SubscribeParams(ssrq.UserID(q), prm)
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, err)
 		return
@@ -80,10 +74,27 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	}
 	flusher.Flush()
 
+	// The heartbeat guards the all-skip steady state: a subscriber whose
+	// result never changes would otherwise receive zero bytes indefinitely,
+	// which idle-timeout proxies kill and half-open connections survive.
+	// Comment lines are invisible to EventSource clients; a failed write is
+	// the broken-connection signal.
+	hb := s.heartbeat
+	if hb <= 0 {
+		hb = defaultHeartbeat
+	}
+	ticker := time.NewTicker(hb)
+	defer ticker.Stop()
+
 	for {
 		select {
 		case <-r.Context().Done():
 			return // client disconnected
+		case <-ticker.C:
+			if _, err := io.WriteString(w, ": ping\n\n"); err != nil {
+				return // connection broke during an idle stretch
+			}
+			flusher.Flush()
 		case _, open := <-sb.Notify():
 			if !open {
 				return // subscription or engine closed

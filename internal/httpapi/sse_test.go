@@ -255,28 +255,77 @@ func TestSSETeardownOnClose(t *testing.T) {
 	}
 }
 
-// TestSSEBadRequests: parameter validation surfaces as HTTP errors, not
-// half-open streams.
+// TestSSEBadRequests: parameter validation surfaces as the same status
+// codes the /query endpoint uses — 400 for malformed or out-of-domain
+// parameters, 404 for an unknown user — never a half-open stream.
 func TestSSEBadRequests(t *testing.T) {
 	eng := sseEngine(t, nil)
 	defer eng.Close()
 	ts := httptest.NewServer(New(eng))
 	defer ts.Close()
 
-	for _, url := range []string{
-		ts.URL + "/subscribe",                        // missing user
-		ts.URL + "/subscribe?user=999999",            // out of range
-		ts.URL + "/subscribe?user=0&alpha=1.5",       // bad alpha
-		ts.URL + "/subscribe?user=0&k=0",             // bad k
-		ts.URL + "/subscribe?user=0&alpha=notafloat", // unparseable
+	for _, c := range []struct {
+		path string
+		want int
+	}{
+		{"/subscribe", http.StatusBadRequest},                 // missing user
+		{"/subscribe?user=999999", http.StatusNotFound},       // out of range
+		{"/subscribe?user=0&alpha=1.5", http.StatusBadRequest},
+		{"/subscribe?user=0&alpha=NaN", http.StatusBadRequest},
+		{"/subscribe?user=0&k=0", http.StatusBadRequest},
+		{"/subscribe?user=0&alpha=notafloat", http.StatusBadRequest},
+		{"/subscribe?user=0&labels=64", http.StatusBadRequest},
 	} {
-		resp, err := http.Get(url)
+		resp, err := http.Get(ts.URL + c.path)
 		if err != nil {
 			t.Fatal(err)
 		}
 		resp.Body.Close()
-		if resp.StatusCode == http.StatusOK {
-			t.Fatalf("%s: expected an error status, got 200", url)
+		if resp.StatusCode != c.want {
+			t.Fatalf("%s = %d, want %d", c.path, resp.StatusCode, c.want)
+		}
+	}
+}
+
+// TestSSEHeartbeat: a subscriber whose result never changes still receives
+// periodic ": ping" comment lines, so the stream is distinguishable from a
+// dead connection. The world stays frozen after the initial event — without
+// the heartbeat this client would read zero bytes forever.
+func TestSSEHeartbeat(t *testing.T) {
+	eng := sseEngine(t, nil)
+	defer eng.Close()
+	srv := New(eng)
+	srv.SetHeartbeat(50 * time.Millisecond)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	c := openSSE(t, ts.URL, 0, 5, 0.3)
+	defer c.close()
+	if _, ok := c.nextWithin(t, 5*time.Second); !ok {
+		t.Fatal("no initial event")
+	}
+
+	// Read raw lines off the idle stream: a comment line must arrive.
+	lines := make(chan string, 16)
+	go func() {
+		for c.sc.Scan() {
+			lines <- c.sc.Text()
+		}
+		close(lines)
+	}()
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				t.Fatal("stream ended before any heartbeat")
+			}
+			if strings.HasPrefix(line, ":") {
+				return // heartbeat comment observed
+			}
+			// Blank separators or stray events are fine; keep reading.
+		case <-deadline:
+			t.Fatal("no heartbeat comment within 5s on an idle stream")
 		}
 	}
 }

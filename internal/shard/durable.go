@@ -34,6 +34,20 @@ func (se *Engine) logOps(ops []core.Update) {
 	}
 }
 
+// MutationBarrier cycles every routing stripe. Ops journal under their
+// stripe before the pipelines see them (async) or while being applied
+// (sync), so any op that had reached the hook when the call began is — on
+// return — at least enqueued on its shard pipelines, and a following
+// Flush drains it through to publication. The checkpointer relies on the
+// barrier+Flush pair to make its export cover every sequence number at or
+// below the log position it records.
+func (se *Engine) MutationBarrier() {
+	for i := range se.locks {
+		se.locks[i].Lock()
+		se.locks[i].Unlock() //nolint:staticcheck // empty critical section is the point
+	}
+}
+
 // ExportDiff returns the update batch that carries a freshly built engine
 // over the same construction dataset to this engine's current state — the
 // checkpoint payload. Location state is read per user from the owning

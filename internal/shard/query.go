@@ -77,6 +77,7 @@ func (se *Engine) Query(algo core.Algorithm, q graph.VertexID, prm core.Params) 
 	outcomes := make([]shardOutcome, len(se.shards))
 	results := make([]*core.Result, len(se.shards))
 	errs := make([]error, len(se.shards))
+	var maskPruned int
 	var wg sync.WaitGroup
 	for s := range se.shards {
 		if s == home {
@@ -85,6 +86,13 @@ func (se *Engine) Query(algo core.Algorithm, q graph.VertexID, prm core.Params) 
 		sn := se.shards[s].Snapshot()
 		if sn.Grid().NumLocated() == 0 {
 			outcomes[s] = outEmpty
+			continue
+		}
+		if prm.Filter != 0 && !shardMatchesFilter(sn, prm.Filter) {
+			// No located user of this shard carries a requested label: skip it
+			// before even computing the Lemma-2 admission bound.
+			outcomes[s] = outPruned
+			maskPruned++
 			continue
 		}
 		lb := shardLowerBound(sn, q, qpt, prm.Alpha)
@@ -139,6 +147,7 @@ func (se *Engine) Query(algo core.Algorithm, q graph.VertexID, prm core.Params) 
 	lists := make([][]core.Entry, 0, len(se.shards))
 	lists = append(lists, hres.Entries)
 	stats := hres.Stats
+	stats.LabelCellPrunes += maskPruned
 	for _, r := range results {
 		if r != nil {
 			lists = append(lists, r.Entries)
@@ -189,6 +198,27 @@ func (se *Engine) locateHome(q graph.VertexID, flushPending bool) (int, *agginde
 		}
 	}
 	return -1, nil
+}
+
+// shardMatchesFilter reports whether any occupied top-level cell of the
+// shard's snapshot carries a label requested by the filter. A false answer is
+// exact, not heuristic: each cell mask is the OR of its members' label sets,
+// maintained with the same epoch discipline as the min/max summaries, so a
+// miss proves no located member of this snapshot can match. An unlabeled
+// index (nil masks) holds only unlabeled users, which never match a nonzero
+// filter.
+func shardMatchesFilter(sn *aggindex.Snapshot, filter uint64) bool {
+	masks := sn.LabelMasks(0)
+	if masks == nil {
+		return false
+	}
+	g := sn.Grid()
+	for idx, m := range masks {
+		if m&filter != 0 && g.CountAt(0, int32(idx)) != 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // shardLowerBound is the shard-level admission test: the minimum over the

@@ -55,6 +55,7 @@ import (
 	"ssrq/internal/ch"
 	"ssrq/internal/core"
 	"ssrq/internal/dataset"
+	"ssrq/internal/fof"
 	"ssrq/internal/landmark"
 	"ssrq/internal/spatial"
 )
@@ -162,6 +163,7 @@ func New(ds *dataset.Dataset, numShards int, opts core.Options) (*Engine, error)
 		RepairBudget:          opts.LandmarkRepairBudget,
 		CompactThreshold:      opts.OverlayCompactThreshold,
 		ForcedInstallInterval: opts.ForcedInstallInterval,
+		Labels:                ds.Labels,
 	}
 	if opts.BuildCH {
 		chd, err := ch.NewDynamic(ds.G, ch.Options{WitnessSettleLimit: opts.CHWitnessLimit}, opts.CHRepairBudget)
@@ -332,6 +334,10 @@ func (se *Engine) Options() core.Options { return se.opts }
 
 // Substrate returns the shared social substrate all shards consume.
 func (se *Engine) Substrate() *aggindex.Social { return se.sub }
+
+// FoFIndex returns the substrate's friends-of-friends bound index (shared by
+// every shard; the subscription layer discovers it through this accessor).
+func (se *Engine) FoFIndex() *fof.Index { return se.sub.FoF() }
 
 // OnEpoch installs fn as the epoch-delta callback on every shard (single
 // consumer; nil detaches everywhere). Shard epochs publish independently,

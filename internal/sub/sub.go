@@ -29,6 +29,7 @@ import (
 
 	"ssrq/internal/aggindex"
 	"ssrq/internal/core"
+	"ssrq/internal/fof"
 	"ssrq/internal/graph"
 	"ssrq/internal/landmark"
 	"ssrq/internal/spatial"
@@ -75,6 +76,12 @@ type Engine struct {
 	doneCh  chan struct{}
 	closedA atomic.Bool
 
+	// fofIx is the source's friends-of-friends bound index when it exposes
+	// one; fofSc is its per-subscriber scratch, touched only by the
+	// evaluator goroutine.
+	fofIx *fof.Index
+	fofSc fof.Scratch
+
 	rounds, evals, skips, notified atomic.Int64
 }
 
@@ -100,6 +107,9 @@ func New(src Source) *Engine {
 		doneCh:       make(chan struct{}),
 	}
 	e.cond = sync.NewCond(&e.mu)
+	if f, ok := src.(interface{ FoFIndex() *fof.Index }); ok {
+		e.fofIx = f.FoFIndex()
+	}
 	src.OnEpoch(e.onEpoch)
 	go e.loop()
 	return e
@@ -130,7 +140,14 @@ func (e *Engine) onEpoch(d aggindex.EpochDelta) {
 // populated result (empty when q has no known location). The caller owns
 // the returned Subscription and must Close it when done.
 func (e *Engine) Subscribe(q int32, k int, alpha float64) (*Subscription, error) {
-	prm := core.Params{K: k, Alpha: alpha}
+	return e.SubscribeParams(q, core.Params{K: k, Alpha: alpha})
+}
+
+// SubscribeParams is Subscribe with full query parameters — in particular a
+// label filter, which restricts the standing result to users carrying at
+// least one requested label and lets the per-epoch skip test discard touched
+// users the filter excludes.
+func (e *Engine) SubscribeParams(q int32, prm core.Params) (*Subscription, error) {
 	if err := prm.Validate(); err != nil {
 		return nil, err
 	}
@@ -309,12 +326,17 @@ func (e *Engine) subDirty(st *Subscription, touched map[int32]struct{}, sn *aggi
 		lm = sn.Landmarks()
 	}
 	alpha := st.prm.Alpha
+	filter := st.prm.Filter
+	fofArmed := false
 	for u := range touched {
 		if u == st.q {
 			continue
 		}
 		if _, in := st.curSet[u]; in {
 			return true // a current result member moved → rescore at least
+		}
+		if filter != 0 && sn != nil && sn.UserLabels(u)&filter == 0 {
+			continue // the filter excludes u: it cannot enter the result
 		}
 		upt, located := e.src.UserLocation(u)
 		if !located {
@@ -327,7 +349,19 @@ func (e *Engine) subDirty(st *Subscription, touched map[int32]struct{}, sn *aggi
 		if lm == nil {
 			return true
 		}
-		if alpha*lm.LowerBound(graph.VertexID(st.q), graph.VertexID(u))+d <= kth {
+		plb := lm.LowerBound(graph.VertexID(st.q), graph.VertexID(u))
+		if e.fofIx != nil {
+			// Tighten with the friends-of-friends bound; armed lazily so
+			// rounds whose touched users all fail the spatial test stay free.
+			if !fofArmed {
+				e.fofSc.Arm(e.fofIx, sn.SocialGraph(), graph.VertexID(st.q), fof.DefaultBudget)
+				fofArmed = true
+			}
+			if f := e.fofSc.LowerBound(graph.VertexID(u)); f > plb {
+				plb = f
+			}
+		}
+		if alpha*plb+d <= kth {
 			return true // cannot prove u stays out
 		}
 	}

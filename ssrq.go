@@ -172,7 +172,11 @@ func NewDataset(name string, numUsers int, edges []Edge, locations map[UserID]Po
 
 // Synthesize generates a paper-substitute dataset: preset is "gowalla",
 // "foursquare" or "twitter" (matching Table 2's degree and located-fraction
-// profiles; see DESIGN.md for the substitution rationale).
+// profiles; see DESIGN.md for the substitution rationale), or one of the
+// literature-derived workload presets "urban" (distance-dependent edge
+// probability after Herrera-Yagüe et al.) and "homophily" (hierarchical
+// attribute homophily after Watts et al.), both of which also attach
+// spatially-clustered user labels for filtered queries.
 func Synthesize(preset string, n int, seed int64) (*Dataset, error) {
 	var p gen.Preset
 	switch preset {
@@ -182,8 +186,12 @@ func Synthesize(preset string, n int, seed int64) (*Dataset, error) {
 		p = gen.FoursquarePreset
 	case "twitter":
 		p = gen.TwitterPreset
+	case "urban":
+		p = gen.UrbanPreset
+	case "homophily":
+		p = gen.HomophilyPreset
 	default:
-		return nil, fmt.Errorf("ssrq: unknown preset %q (gowalla|foursquare|twitter)", preset)
+		return nil, fmt.Errorf("ssrq: unknown preset %q (gowalla|foursquare|twitter|urban|homophily)", preset)
 	}
 	ds, err := p.Dataset(n, seed)
 	if err != nil {
@@ -219,6 +227,29 @@ func (d *Dataset) Location(id UserID) (Point, bool) {
 	}
 	p := d.ds.Pts[id]
 	return Point{X: p.X * d.ds.Norms.Spatial, Y: p.Y * d.ds.Norms.Spatial}, true
+}
+
+// SetLabels attaches a per-user label bitmask (bit i set = user carries
+// label i, up to 64 labels) used by filtered queries. Labels are a fixed
+// attribute of the dataset: set them before building an engine. Pass nil to
+// clear. len(labels) must equal NumUsers.
+func (d *Dataset) SetLabels(labels []uint64) error { return d.ds.SetLabels(labels) }
+
+// Labels returns the user's label bitmask (0 when unlabeled).
+func (d *Dataset) Labels(id UserID) uint64 { return d.ds.LabelsOf(id) }
+
+// LabelMask builds a filter bitmask from label indices in [0, 64). Use with
+// Params.Filter: a filtered query reports only users carrying at least one
+// of the requested labels.
+func LabelMask(indices ...int) (uint64, error) {
+	var m uint64
+	for _, i := range indices {
+		if i < 0 || i > 63 {
+			return 0, fmt.Errorf("ssrq: label index %d out of [0,64)", i)
+		}
+		m |= 1 << uint(i)
+	}
+	return m, nil
 }
 
 // Stats returns Table 2-style statistics.
@@ -318,6 +349,7 @@ type engineAPI interface {
 	SpatialKNN(q int32, k int) ([]spatial.Neighbor, error)
 	OnEpoch(fn func(aggindex.EpochDelta))
 	SetOpLog(fn func(ops []core.Update))
+	MutationBarrier()
 	ExportDiff() []core.Update
 }
 
@@ -468,6 +500,15 @@ func (e *Engine) TopK(q UserID, k int, alpha float64) (*Result, error) {
 // TopKWith answers an SSRQ with a specific algorithm.
 func (e *Engine) TopKWith(algo Algorithm, q UserID, k int, alpha float64) (*Result, error) {
 	return e.eng.Query(algo, q, core.Params{K: k, Alpha: alpha})
+}
+
+// Query answers an SSRQ with explicit parameters — the way to run a
+// label-filtered query (set Params.Filter, e.g. via LabelMask). With a
+// nonzero filter only users carrying at least one requested label are
+// reported; the engines prune whole index subtrees (and, sharded, whole
+// shards) whose aggregated label masks miss the filter.
+func (e *Engine) Query(algo Algorithm, q UserID, prm Params) (*Result, error) {
+	return e.eng.Query(algo, q, prm)
 }
 
 // BatchQuery is one query of a batch (see TopKBatch / QueryBatch).
@@ -635,6 +676,12 @@ type SubscriptionStats = sub.Stats
 // subscription to stop; Engine.Close tears down all of them. Blocks until
 // the initial result is evaluated.
 func (e *Engine) Subscribe(q UserID, k int, alpha float64) (*Subscription, error) {
+	return e.SubscribeParams(q, Params{K: k, Alpha: alpha})
+}
+
+// SubscribeParams is Subscribe with explicit parameters — the way to
+// register a label-filtered standing query (set Params.Filter).
+func (e *Engine) SubscribeParams(q UserID, prm Params) (*Subscription, error) {
 	if q < 0 || int(q) >= e.d.NumUsers() {
 		return nil, fmt.Errorf("ssrq: subscribe user %d out of range [0,%d)", q, e.d.NumUsers())
 	}
@@ -644,7 +691,7 @@ func (e *Engine) Subscribe(q UserID, k int, alpha float64) (*Subscription, error
 	}
 	subs := e.subs
 	e.subMu.Unlock()
-	return subs.Subscribe(q, k, alpha)
+	return subs.SubscribeParams(q, prm)
 }
 
 // SyncSubscriptions is the subscription read-your-writes barrier: it
